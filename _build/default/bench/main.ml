@@ -1,0 +1,147 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §3 for the experiment index), plus Bechamel
+   microbenchmarks of the core data structures.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe fig7 table3     run selected experiments
+     bench/main.exe fast            run everything with shorter windows
+     bench/main.exe micro           only the microbenchmarks *)
+
+open Leed_experiments
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("fig1", Fig1.run);
+    ("table3", Table3.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+  ]
+
+(* --- Bechamel microbenchmarks of the core data structures --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let key i = Leed_workload.Workload.key_of_id i in
+  let bucket =
+    let items =
+      List.init 14 (fun i -> { Leed_core.Codec.key = key i; vlen = 1008; voff = i * 1044; vdev = 0 })
+    in
+    {
+      Leed_core.Codec.bindex = 42;
+      chain_len = 1;
+      chain_pos = 0;
+      seg_id = 7;
+      log_head = 0;
+      log_tail = 0;
+      items;
+    }
+  in
+  let encoded = Leed_core.Codec.encode_bucket bucket in
+  let btree =
+    let t = Leed_baselines.Btree.create ~dummy:0 () in
+    for i = 0 to 9_999 do
+      Leed_baselines.Btree.insert t (key i) i
+    done;
+    t
+  in
+  let ring =
+    let r = Leed_core.Ring.create () in
+    for n = 0 to 9 do
+      for v = 0 to 7 do
+        let e = Leed_core.Ring.add r { Leed_core.Ring.node = n; vidx = v } in
+        e.Leed_core.Ring.vstate <- Leed_core.Ring.Running
+      done
+    done;
+    r
+  in
+  let zipf = Leed_workload.Zipf.create ~theta:0.99 ~n:1_000_000 (Leed_sim.Rng.create 1) in
+  let hist = Leed_stats.Histogram.create () in
+  let rng = Leed_sim.Rng.create 2 in
+  let i = ref 0 in
+  let tests =
+    Test.make_grouped ~name:"core" ~fmt:"%s.%s"
+      [
+        Test.make ~name:"codec.encode_bucket"
+          (Staged.stage (fun () -> ignore (Leed_core.Codec.encode_bucket bucket)));
+        Test.make ~name:"codec.decode_bucket"
+          (Staged.stage (fun () -> ignore (Leed_core.Codec.decode_bucket encoded)));
+        Test.make ~name:"codec.hash_key"
+          (Staged.stage (fun () -> ignore (Leed_core.Codec.hash_key "k000000000012345")));
+        Test.make ~name:"btree.find-10k"
+          (Staged.stage (fun () ->
+               incr i;
+               ignore (Leed_baselines.Btree.find btree (key (!i mod 10_000)))));
+        Test.make ~name:"btree.insert-10k"
+          (Staged.stage (fun () ->
+               incr i;
+               Leed_baselines.Btree.insert btree (key (!i mod 10_000)) !i));
+        Test.make ~name:"ring.chain-r3"
+          (Staged.stage (fun () ->
+               incr i;
+               ignore (Leed_core.Ring.chain ring ~r:3 (key (!i mod 50_000)))));
+        Test.make ~name:"zipf.sample-1M"
+          (Staged.stage (fun () -> ignore (Leed_workload.Zipf.next_scrambled zipf)));
+        Test.make ~name:"histogram.record"
+          (Staged.stage (fun () -> Leed_stats.Histogram.record hist (Leed_sim.Rng.float rng)));
+      ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  print_newline ();
+  print_endline "== Microbenchmarks (monotonic clock, OLS ns/op) ==";
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns = match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> Printf.printf "  %-28s %10.1f ns/op\n" name ns) rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "fast" args in
+  if fast then Exp_common.time_scale := 0.3;
+  let selected = List.filter (fun a -> a <> "fast") args in
+  let micro_only = selected = [ "micro" ] in
+  let run_micro = selected = [] || List.mem "micro" selected in
+  let to_run =
+    if micro_only then []
+    else
+      match List.filter (fun a -> a <> "micro") selected with
+      | [] -> experiments
+      | names ->
+          List.filter_map
+            (fun n ->
+              match List.assoc_opt n experiments with
+              | Some f -> Some (n, f)
+              | None ->
+                  Printf.eprintf "unknown experiment %s\n" n;
+                  None)
+            names
+  in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      Printf.printf "\n######## %s ########\n%!" name;
+      (try f ()
+       with e ->
+         Printf.printf "!! %s failed: %s\n%!" name (Printexc.to_string e));
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0))
+    to_run;
+  if run_micro then micro ()

@@ -1,0 +1,98 @@
+(* The `leed` command-line tool: inspect the modeled platforms, run a
+   quick cluster smoke test, or regenerate a single paper experiment.
+
+   Examples:
+     dune exec bin/leed.exe -- platforms
+     dune exec bin/leed.exe -- smoke
+     dune exec bin/leed.exe -- experiment fig7 --fast *)
+
+open Cmdliner
+open Leed_platform
+
+let platforms_cmd =
+  let run () =
+    let open Leed_stats.Report in
+    let row (p : Platform.t) =
+      [
+        p.Platform.name;
+        Printf.sprintf "%dx%.1fGHz" p.Platform.cpu.Platform.cores p.Platform.cpu.Platform.ghz;
+        Printf.sprintf "%dGB" (p.Platform.dram_bytes / (1 lsl 30));
+        Printf.sprintf "%.0fGbE" p.Platform.nic_gbps;
+        Printf.sprintf "%dx %s" p.Platform.ssd_count p.Platform.ssd.Leed_blockdev.Blockdev.name;
+        Printf.sprintf "%.1fW" p.Platform.active_watts;
+        Printf.sprintf "%.0fx" (Platform.skewness p);
+      ]
+    in
+    table ~title:"Modeled platforms (paper testbed, §2.1/§4.1)"
+      ~columns:[ "platform"; "cpu"; "dram"; "nic"; "storage"; "active power"; "flash:DRAM" ]
+      [ row Platform.embedded_node; row Platform.server_jbof; row Platform.smartnic_jbof ]
+  in
+  Cmd.v (Cmd.info "platforms" ~doc:"Show the three modeled platforms") Term.(const run $ const ())
+
+let smoke_cmd =
+  let run () =
+    let open Leed_sim in
+    let open Leed_core in
+    Sim.run (fun () ->
+        let config =
+          { Cluster.default_config with Cluster.platform = Leed_experiments.Exp_common.leed_platform () }
+        in
+        let cluster = Cluster.create ~config () in
+        let client = Cluster.client cluster in
+        let n = 500 in
+        let t0 = Sim.now () in
+        for i = 0 to n - 1 do
+          Client.put client (Leed_workload.Workload.key_of_id i) (Bytes.make 1008 'x')
+        done;
+        let t1 = Sim.now () in
+        let bad = ref 0 in
+        for i = 0 to n - 1 do
+          if Client.get client (Leed_workload.Workload.key_of_id i) = None then incr bad
+        done;
+        let t2 = Sim.now () in
+        Printf.printf "smoke: %d puts in %.1f ms (sim), %d gets in %.1f ms, %d missing\n" n
+          ((t1 -. t0) *. 1e3) n ((t2 -. t1) *. 1e3) !bad;
+        if !bad > 0 then exit 1)
+  in
+  Cmd.v (Cmd.info "smoke" ~doc:"Put/get 500 objects through a 3-node cluster") Term.(const run $ const ())
+
+let experiment_cmd =
+  let names =
+    [
+      "table1"; "fig1"; "table3"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+      "fig12"; "fig13"; "fig14";
+    ]
+  in
+  let exp_name =
+    Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+         & info [] ~docv:"EXPERIMENT")
+  in
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Shorter measurement windows") in
+  let run exp fast =
+    if fast then Leed_experiments.Exp_common.time_scale := 0.3;
+    let f =
+      match exp with
+      | "table1" -> Leed_experiments.Table1.run
+      | "fig1" -> Leed_experiments.Fig1.run
+      | "table3" -> Leed_experiments.Table3.run
+      | "fig5" -> Leed_experiments.Fig5.run
+      | "fig6" -> Leed_experiments.Fig6.run
+      | "fig7" -> Leed_experiments.Fig7.run
+      | "fig8" -> Leed_experiments.Fig8.run
+      | "fig9" -> Leed_experiments.Fig9.run
+      | "fig10" -> Leed_experiments.Fig10.run
+      | "fig11" -> Leed_experiments.Fig11.run
+      | "fig12" -> Leed_experiments.Fig12.run
+      | "fig13" -> Leed_experiments.Fig13.run
+      | "fig14" -> Leed_experiments.Fig14.run
+      | _ -> assert false
+    in
+    f ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one paper table/figure")
+    Term.(const run $ exp_name $ fast)
+
+let () =
+  let info = Cmd.info "leed" ~doc:"LEED: low-power persistent KV store on SmartNIC JBOFs" in
+  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; experiment_cmd ]))

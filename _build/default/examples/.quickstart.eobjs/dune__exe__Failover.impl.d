@@ -1,0 +1,1 @@
+examples/failover.ml: Bytes Client Cluster Control Leed_core Leed_experiments Leed_sim Leed_workload Node Printf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Client Cluster Engine Leed_core Leed_experiments Leed_sim Node Printf Segtbl Sim Store

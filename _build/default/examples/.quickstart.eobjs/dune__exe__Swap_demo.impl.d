@@ -1,0 +1,1 @@
+examples/swap_demo.ml: Array Bytes Engine Leed_core Leed_experiments Leed_sim Leed_workload List Printf Segtbl Sim Store

@@ -1,0 +1,1 @@
+examples/ycsb_cluster.ml: Arg Cmd Cmdliner Exp_common Leed_experiments Leed_platform Leed_sim Leed_workload Platform Printf Rng Sim String Term Workload

@@ -1,0 +1,1 @@
+lib/baselines/btree.ml: Array List String

@@ -1,0 +1,1 @@
+lib/baselines/fawn_cluster.ml: Array Blockdev Bytes Circular_log Fawn_store Leed_blockdev Leed_core Leed_netsim Leed_platform Leed_sim Leed_workload List Netsim Platform Printf Ring Rng Sim String

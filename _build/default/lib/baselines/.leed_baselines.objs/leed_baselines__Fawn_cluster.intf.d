@@ -1,0 +1,1 @@
+lib/baselines/fawn_cluster.mli: Fawn_store Leed_workload

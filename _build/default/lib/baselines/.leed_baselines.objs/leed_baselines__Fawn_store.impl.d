@@ -1,0 +1,1 @@
+lib/baselines/fawn_store.ml: Bytes Circular_log Float Hashtbl Int32 Leed_core Leed_sim List Printf Queue Sim String

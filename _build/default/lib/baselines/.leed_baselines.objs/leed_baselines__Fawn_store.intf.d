@@ -1,0 +1,1 @@
+lib/baselines/fawn_store.mli: Leed_core

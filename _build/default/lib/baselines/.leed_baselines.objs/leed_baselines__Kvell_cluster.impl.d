@@ -1,0 +1,1 @@
+lib/baselines/kvell_cluster.ml: Array Blockdev Bytes Kvell_store Leed_blockdev Leed_core Leed_netsim Leed_platform Leed_sim Leed_workload List Netsim Platform Printf Rng Sim String

@@ -1,0 +1,1 @@
+lib/baselines/kvell_cluster.mli: Kvell_store Leed_netsim Leed_platform Leed_sim Leed_workload

@@ -1,0 +1,1 @@
+lib/baselines/kvell_store.ml: Array Blockdev Btree Bytes Float Hashtbl Int32 Leed_blockdev Leed_core Leed_sim List Printf Queue Sim String

@@ -1,0 +1,1 @@
+lib/baselines/kvell_store.mli: Leed_blockdev

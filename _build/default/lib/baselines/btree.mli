@@ -1,0 +1,37 @@
+(** In-memory B-tree — the index structure KVell keeps per worker.
+
+    Classic order-[m] B-tree with string keys: insert/replace, find,
+    delete, sorted iteration, and a structural invariant checker used by
+    the property tests. Node occupancy stays between ⌈m/2⌉-1 and m-1 keys
+    except at the root. *)
+
+type 'v t
+
+val create : ?order:int -> ?entry_bytes:int -> dummy:'v -> unit -> 'v t
+(** [order] ≥ 4 (default 32). [entry_bytes] is the modeled DRAM cost per
+    entry (~64 B for KVell: key + pointer + node overhead) — what blows
+    the SmartNIC DRAM budget in Table 3. [dummy] fills unused array slots
+    and is never observed. *)
+
+val size : 'v t -> int
+
+val modeled_bytes : 'v t -> int
+(** [size × entry_bytes]. *)
+
+val find : 'v t -> string -> 'v option
+val mem : 'v t -> string -> bool
+
+val insert : 'v t -> string -> 'v -> unit
+(** Insert or replace. *)
+
+val delete : 'v t -> string -> bool
+(** [true] if the key was present. *)
+
+val iter : 'v t -> (string -> 'v -> unit) -> unit
+(** In sorted key order. *)
+
+val to_list : 'v t -> (string * 'v) list
+
+val check : 'v t -> unit
+(** Verify ordering, occupancy bounds, uniform leaf depth, and size
+    consistency; raises [Failure] describing the first violation. *)

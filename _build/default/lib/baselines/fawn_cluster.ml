@@ -1,0 +1,161 @@
+(* FAWN-KV cluster: an array of wimpy embedded nodes (Raspberry Pi 3B+
+   class) behind front-ends, with consistent hashing and *classic* chain
+   replication — writes enter the head and propagate, reads are served by
+   the tail only (no request shipping, no token flow control). This is the
+   Embedded-FAWN comparison system of §4.3/§4.4. *)
+
+open Leed_sim
+open Leed_netsim
+module Rpc = Netsim.Rpc
+open Leed_platform
+open Leed_core
+open Leed_blockdev
+
+type request =
+  | FGet of { vn : Ring.vnode; key : string }
+  | FWrite of { vn : Ring.vnode; key : string; value : bytes option; hop : int }
+
+type response = FValue of bytes option | FOk | FErr
+
+let request_size = function
+  | FGet { key; _ } -> 48 + String.length key
+  | FWrite { key; value; _ } ->
+      48 + String.length key + (match value with Some v -> Bytes.length v | None -> 0)
+
+let response_size = function FValue (Some v) -> 48 + Bytes.length v | FValue None | FOk | FErr -> 48
+
+type node = {
+  id : int;
+  store : Fawn_store.t;
+  rpc : (request, response) Rpc.t;
+  cpu : Sim.Resource.t;
+  platform : Platform.t;
+}
+
+type t = {
+  r : int;
+  platform : Platform.t;
+  ring : Ring.t;
+  nodes : node array;
+  fabric : (request, response) Rpc.wire Netsim.fabric;
+}
+
+let store_of t id = t.nodes.(id).store
+
+let node_handler t (n : node) req =
+  (* Network + request dispatch cycles on the embedded CPU. *)
+  Platform.Cpu.execute_on n.platform n.cpu ~cycles:8000.;
+  match req with
+  | FGet { key; _ } -> (
+      Platform.Cpu.execute_on n.platform n.cpu ~cycles:6000.;
+      match Fawn_store.get n.store key with v -> FValue v | exception _ -> FErr)
+  | FWrite { key; value; hop; vn = _ } -> (
+      Platform.Cpu.execute_on n.platform n.cpu ~cycles:6000.;
+      let apply () =
+        match value with
+        | Some v -> Fawn_store.put n.store key v
+        | None -> Fawn_store.del n.store key
+      in
+      match apply () with
+      | () ->
+          (* Propagate down the chain. *)
+          let chain = Ring.chain t.ring ~r:t.r key in
+          if hop >= List.length chain - 1 then FOk
+          else begin
+            match List.nth_opt chain (hop + 1) with
+            | None -> FOk
+            | Some next ->
+                let req =
+                  FWrite { vn = next.Ring.owner; key; value; hop = hop + 1 }
+                in
+                let resp =
+                  Rpc.call_timeout n.rpc
+                    ~dst:t.nodes.(next.Ring.owner.Ring.node).rpc
+                    ~size:(request_size req) ~timeout:1.0 req
+                in
+                (match resp with Some FOk -> FOk | _ -> FErr)
+          end
+      | exception Fawn_store.Index_full -> FErr)
+
+let create ?(r = 3) ?(nnodes = 10) ?(dram_for_index = 16 * 1024 * 1024) () =
+  let platform = Platform.embedded_node in
+  let fabric = Netsim.fabric ~base_latency_us:30.0 () in
+  let ring = Ring.create () in
+  let nodes =
+    Array.init nnodes (fun id ->
+        let dev = Blockdev.create ~rng:(Rng.create (77 + id)) platform.Platform.ssd in
+        let log =
+          Circular_log.create ~name:(Printf.sprintf "fawn%d.log" id) ~dev ~dev_id:0 ~base:0
+            ~size:(Blockdev.capacity dev)
+        in
+        let store =
+          Fawn_store.create
+            ~config:{ Fawn_store.default_config with Fawn_store.dram_budget = dram_for_index }
+            ~log ()
+        in
+        Fawn_store.run_flusher store;
+        Fawn_store.run_compactor store;
+        {
+          id;
+          store;
+          rpc = Rpc.create fabric ~name:(Printf.sprintf "pi%d" id) ~gbps:platform.Platform.nic_gbps;
+          cpu = Sim.Resource.create ~name:(Printf.sprintf "pi%d.cpu" id) ~capacity:platform.Platform.cpu.Platform.cores ();
+          platform;
+        })
+  in
+  Array.iter
+    (fun n ->
+      let e = Ring.add ring { Ring.node = n.id; vidx = 0 } in
+      e.Ring.vstate <- Ring.Running)
+    nodes;
+  let t = { r = min r nnodes; platform; ring; nodes; fabric } in
+  Array.iter (fun n -> Rpc.serve n.rpc ~resp_size:response_size (fun _ ~src:_ req -> node_handler t n req)) nodes;
+  t
+
+(* Front-end client: forwards to the head (writes) or the tail (reads). *)
+type client = { cluster : t; rpc : (request, response) Rpc.t }
+
+let client t name =
+  let rpc = Rpc.create t.fabric ~name ~gbps:1.0 in
+  Rpc.client rpc;
+  { cluster = t; rpc }
+
+let get c key =
+  let t = c.cluster in
+  match List.rev (Ring.chain t.ring ~r:t.r key) with
+  | [] -> None
+  | tail :: _ -> (
+      let req = FGet { vn = tail.Ring.owner; key } in
+      match
+        Rpc.call_timeout c.rpc ~dst:t.nodes.(tail.Ring.owner.Ring.node).rpc ~size:(request_size req)
+          ~timeout:1.0 req
+      with
+      | Some (FValue v) -> v
+      | Some FOk | Some FErr | None -> None)
+
+let write c key value =
+  let t = c.cluster in
+  match Ring.chain t.ring ~r:t.r key with
+  | [] -> false
+  | head :: _ -> (
+      let req = FWrite { vn = head.Ring.owner; key; value; hop = 0 } in
+      match
+        Rpc.call_timeout c.rpc ~dst:t.nodes.(head.Ring.owner.Ring.node).rpc ~size:(request_size req)
+          ~timeout:1.0 req
+      with
+      | Some FOk -> true
+      | _ -> false)
+
+let put c key value = write c key (Some value)
+let del c key = ignore (write c key None)
+
+let execute c (op : Leed_workload.Workload.op) =
+  match op with
+  | Leed_workload.Workload.Read key -> ignore (get c key)
+  | Leed_workload.Workload.Update (key, v) | Leed_workload.Workload.Insert (key, v) ->
+      ignore (put c key v)
+  | Leed_workload.Workload.Read_modify_write (key, v) ->
+      ignore (get c key);
+      ignore (put c key v)
+
+let total_objects t = Array.fold_left (fun acc n -> acc + Fawn_store.objects n.store) 0 t.nodes

@@ -1,0 +1,129 @@
+(* KVell over server JBOFs, clustered: KVell itself is single-node, so the
+   comparison deployment (§4.3, replication factor 3) replicates on the
+   client side — a write goes to the R nodes owning the key, a read to the
+   primary. Each node runs the shared-nothing KVell store over its full
+   SSD array with workers pinned to Xeon cores. *)
+
+open Leed_sim
+open Leed_netsim
+module Rpc = Netsim.Rpc
+open Leed_platform
+open Leed_blockdev
+
+type request = KGet of string | KPut of string * bytes | KDel of string
+
+type response = KValue of bytes option | KOk | KErr
+
+let request_size = function
+  | KGet key -> 48 + String.length key
+  | KPut (key, v) -> 48 + String.length key + Bytes.length v
+  | KDel key -> 48 + String.length key
+
+let response_size = function KValue (Some v) -> 48 + Bytes.length v | KValue None | KOk | KErr -> 48
+
+type node = {
+  id : int;
+  store : Kvell_store.t;
+  rpc : (request, response) Rpc.t;
+  cores : Sim.Resource.t array; (* shared-nothing: one core per worker *)
+  platform : Platform.t;
+}
+
+type t = {
+  r : int;
+  platform : Platform.t;
+  nodes : node array;
+  fabric : (request, response) Rpc.wire Netsim.fabric;
+}
+
+let node_handler (n : node) req =
+  match req with
+  | KGet key -> ( match Kvell_store.get n.store key with v -> KValue v | exception _ -> KErr)
+  | KPut (key, v) -> (
+      match Kvell_store.put n.store key v with
+      | () -> KOk
+      | exception Kvell_store.Dram_full -> KErr)
+  | KDel key -> (
+      match Kvell_store.del n.store key with () -> KOk | exception _ -> KErr)
+
+let create ?(r = 3) ?(nnodes = 3) ?(platform = Platform.server_jbof)
+    ?(store_config = Kvell_store.default_config) () =
+  let fabric = Netsim.fabric ~base_latency_us:3.0 () in
+  let nodes =
+    Array.init nnodes (fun id ->
+        let devs =
+          Array.init platform.Platform.ssd_count (fun d ->
+              Blockdev.create ~rng:(Rng.create ((id * 100) + d)) platform.Platform.ssd)
+        in
+        let nworkers = min store_config.Kvell_store.nworkers platform.Platform.cpu.Platform.cores in
+        let cores = Array.init nworkers (fun w -> Platform.Cpu.pinned_core platform w) in
+        let config =
+          {
+            store_config with
+            Kvell_store.nworkers;
+            charge =
+              (fun wid cycles -> Platform.Cpu.execute_on platform cores.(wid mod nworkers) ~cycles);
+          }
+        in
+        {
+          id;
+          store = Kvell_store.create ~config ~devs ();
+          rpc = Rpc.create fabric ~name:(Printf.sprintf "kvell%d" id) ~gbps:platform.Platform.nic_gbps;
+          cores;
+          platform;
+        })
+  in
+  let t = { r = min r nnodes; platform; nodes; fabric } in
+  Array.iter
+    (fun n -> Rpc.serve n.rpc ~resp_size:response_size (fun _ ~src:_ req -> node_handler n req))
+    nodes;
+  t
+
+(* Replica set of a key: R consecutive nodes starting at hash(key). *)
+let replicas t key =
+  let n = Array.length t.nodes in
+  let start = Leed_core.Codec.hash_key key mod n in
+  List.init t.r (fun i -> t.nodes.((start + i) mod n))
+
+type client = { cluster : t; rpc : (request, response) Rpc.t }
+
+let client t name =
+  let rpc = Rpc.create t.fabric ~name ~gbps:100.0 in
+  Rpc.client rpc;
+  { cluster = t; rpc }
+
+let get c key =
+  match replicas c.cluster key with
+  | [] -> None
+  | primary :: _ -> (
+      let req = KGet key in
+      match Rpc.call_timeout c.rpc ~dst:primary.rpc ~size:(request_size req) ~timeout:1.0 req with
+      | Some (KValue v) -> v
+      | _ -> None)
+
+let put c key value =
+  let results =
+    List.map
+      (fun (n : node) () ->
+        let req = KPut (key, value) in
+        ignore (Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req))
+      (replicas c.cluster key)
+  in
+  Sim.fork_join results
+
+let del c key =
+  List.iter
+    (fun (n : node) ->
+      let req = KDel key in
+      ignore (Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req))
+    (replicas c.cluster key)
+
+let execute c (op : Leed_workload.Workload.op) =
+  match op with
+  | Leed_workload.Workload.Read key -> ignore (get c key)
+  | Leed_workload.Workload.Update (key, v) | Leed_workload.Workload.Insert (key, v) -> put c key v
+  | Leed_workload.Workload.Read_modify_write (key, v) ->
+      ignore (get c key);
+      put c key v
+
+let total_objects t = Array.fold_left (fun acc n -> acc + Kvell_store.objects n.store) 0 t.nodes

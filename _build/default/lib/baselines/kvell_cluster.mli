@@ -1,0 +1,40 @@
+(** KVell over server JBOFs, clustered: KVell itself is single-node, so
+    the paper's R=3 comparison deployment replicates on the client side —
+    a write goes to the R nodes owning the key, a read to the primary.
+    Each node runs the shared-nothing KVell store over its full SSD array
+    with workers pinned to Xeon cores. *)
+
+type request
+type response
+
+type node = private {
+  id : int;
+  store : Kvell_store.t;
+  rpc : (request, response) Leed_netsim.Netsim.Rpc.t;
+  cores : Leed_sim.Sim.Resource.t array;
+  platform : Leed_platform.Platform.t;
+}
+
+type t
+
+val create :
+  ?r:int ->
+  ?nnodes:int ->
+  ?platform:Leed_platform.Platform.t ->
+  ?store_config:Kvell_store.config ->
+  unit ->
+  t
+
+type client
+
+val client : t -> string -> client
+
+val get : client -> string -> bytes option
+(** From the key's primary replica. *)
+
+val put : client -> string -> bytes -> unit
+(** To all R replicas in parallel. *)
+
+val del : client -> string -> unit
+val execute : client -> Leed_workload.Workload.op -> unit
+val total_objects : t -> int

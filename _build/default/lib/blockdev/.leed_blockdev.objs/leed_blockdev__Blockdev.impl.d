@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.ml: Bytes Hashtbl Leed_sim Printf Rng Sim

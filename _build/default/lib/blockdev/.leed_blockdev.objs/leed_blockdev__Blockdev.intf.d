@@ -1,0 +1,1 @@
+lib/blockdev/blockdev.mli: Leed_sim

@@ -1,0 +1,213 @@
+(* Simulated block storage devices.
+
+   A device really stores bytes (so the stores built on top serialize real
+   data and can be crash-recovered) and charges simulated time per command:
+   reads share a pool of [read_concurrency] internal units (IOPS emerges as
+   concurrency / latency), writes additionally serialise on a bandwidth pipe
+   that caps sequential/random write throughput — reproducing the
+   read/write bandwidth discrepancy LEED's token engine reacts to (§3.4). *)
+
+open Leed_sim
+
+type profile = {
+  name : string;
+  capacity_bytes : int;
+  block_size : int;
+  read_concurrency : int;  (* internal parallelism for reads (≈ IOPS × latency) *)
+  read_us : float;         (* base random-read service latency for one block *)
+  write_us : float;        (* program latency charged after the transfer *)
+  seq_read_mbps : float;   (* large-transfer read bandwidth *)
+  seq_write_mbps : float;  (* sequential write bandwidth (append workloads) *)
+  rand_write_mbps : float; (* random in-place write bandwidth *)
+  jitter : float;          (* relative stddev of service time *)
+}
+
+(* Samsung DCT983 960 GB NVMe (the paper's JBOF drive): ~400 K 4 KB random
+   read IOPS, ~1 GB/s sequential write. *)
+let dct983 =
+  {
+    name = "samsung-dct983-960g";
+    capacity_bytes = 960 * 1024 * 1024 * 1024;
+    block_size = 4096;
+    read_concurrency = 24;
+    read_us = 58.0;
+    write_us = 30.0;
+    seq_read_mbps = 3000.0;
+    seq_write_mbps = 1050.0;
+    rand_write_mbps = 170.0;
+    jitter = 0.08;
+  }
+
+(* SanDisk 32 GB SD card behind the Pi's USB2 bus (shared with the
+   Ethernet adapter): QD≈1, ~60-80 MB/s reads, ~10 MB/s effective
+   sequential writes, miserable random writes. *)
+let sandisk_sd =
+  {
+    name = "sandisk-sd-32g";
+    capacity_bytes = 32 * 1024 * 1024 * 1024;
+    block_size = 4096;
+    read_concurrency = 2;
+    read_us = 600.0;
+    write_us = 700.0;
+    seq_read_mbps = 70.0;
+    seq_write_mbps = 10.0;
+    rand_write_mbps = 2.5;
+    jitter = 0.15;
+  }
+
+(* Zero-latency, infinite-bandwidth device for unit-testing the data
+   structures independent of timing. *)
+let instant ?(capacity_bytes = 1 lsl 30) () =
+  {
+    name = "instant";
+    capacity_bytes;
+    block_size = 4096;
+    read_concurrency = 1024;
+    read_us = 0.;
+    write_us = 0.;
+    seq_read_mbps = infinity;
+    seq_write_mbps = infinity;
+    rand_write_mbps = infinity;
+    jitter = 0.;
+  }
+
+let with_capacity p capacity_bytes = { p with capacity_bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Sparse chunked byte store behind the device. *)
+
+module Storage = struct
+  let chunk_bits = 16
+  let chunk_size = 1 lsl chunk_bits
+
+  type t = { chunks : (int, bytes) Hashtbl.t }
+
+  let create () = { chunks = Hashtbl.create 64 }
+
+  let chunk t i =
+    match Hashtbl.find_opt t.chunks i with
+    | Some c -> c
+    | None ->
+        let c = Bytes.make chunk_size '\000' in
+        Hashtbl.add t.chunks i c;
+        c
+
+  let write t ~off data =
+    let len = Bytes.length data in
+    let pos = ref 0 in
+    while !pos < len do
+      let abs = off + !pos in
+      let ci = abs lsr chunk_bits and co = abs land (chunk_size - 1) in
+      let n = min (len - !pos) (chunk_size - co) in
+      Bytes.blit data !pos (chunk t ci) co n;
+      pos := !pos + n
+    done
+
+  let read t ~off ~len =
+    let out = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let abs = off + !pos in
+      let ci = abs lsr chunk_bits and co = abs land (chunk_size - 1) in
+      let n = min (len - !pos) (chunk_size - co) in
+      (match Hashtbl.find_opt t.chunks ci with
+      | Some c -> Bytes.blit c co out !pos n
+      | None -> Bytes.fill out !pos n '\000');
+      pos := !pos + n
+    done;
+    out
+
+  let resident_bytes t = Hashtbl.length t.chunks * chunk_size
+end
+
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t = {
+  profile : profile;
+  storage : Storage.t;
+  read_units : Sim.Resource.t;
+  write_pipe : Sim.Resource.t;
+  rng : Rng.t;
+  stats : stats;
+  mutable inflight : int;
+}
+
+let create ?(rng = Rng.create 0) profile =
+  {
+    profile;
+    storage = Storage.create ();
+    read_units = Sim.Resource.create ~name:(profile.name ^ ".units") ~capacity:profile.read_concurrency ();
+    write_pipe = Sim.Resource.create ~name:(profile.name ^ ".pipe") ~capacity:1 ();
+    rng = Rng.split rng;
+    stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0 };
+    inflight = 0;
+  }
+
+let profile t = t.profile
+let stats t = t.stats
+let capacity t = t.profile.capacity_bytes
+
+(* Outstanding commands, queued or executing: the signal the LEED token
+   engine translates into serving capability. *)
+let inflight t = t.inflight
+let queued t = Sim.Resource.waiting t.read_units
+
+let jittered t base =
+  if base <= 0. || t.profile.jitter <= 0. then base
+  else max (0.2 *. base) (Rng.normal t.rng ~mean:base ~stddev:(base *. t.profile.jitter))
+
+let transfer_time bytes mbps =
+  if mbps = infinity then 0. else float_of_int bytes /. (mbps *. 1e6)
+
+let check_bounds t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.profile.capacity_bytes then
+    invalid_arg
+      (Printf.sprintf "%s: out-of-bounds access off=%d len=%d cap=%d" t.profile.name off len
+         t.profile.capacity_bytes)
+
+let read t ~off ~len =
+  check_bounds t ~off ~len;
+  t.inflight <- t.inflight + 1;
+  let service =
+    Sim.us (jittered t t.profile.read_us) +. transfer_time len t.profile.seq_read_mbps
+  in
+  Sim.Resource.with_ t.read_units (fun () -> Sim.delay service);
+  t.inflight <- t.inflight - 1;
+  t.stats.n_reads <- t.stats.n_reads + 1;
+  t.stats.bytes_read <- t.stats.bytes_read + len;
+  Storage.read t.storage ~off ~len
+
+let write_kind t ~off data kind =
+  let len = Bytes.length data in
+  check_bounds t ~off ~len;
+  t.inflight <- t.inflight + 1;
+  let bw = match kind with `Seq -> t.profile.seq_write_mbps | `Rand -> t.profile.rand_write_mbps in
+  (* A random write smaller than a flash page still costs a full
+     read-modify-write of the page. *)
+  let priced_len = match kind with `Seq -> len | `Rand -> max len t.profile.block_size in
+  Sim.Resource.with_ t.read_units (fun () ->
+      Sim.Resource.with_ t.write_pipe (fun () -> Sim.delay (transfer_time priced_len bw));
+      Sim.delay (Sim.us (jittered t t.profile.write_us)));
+  t.inflight <- t.inflight - 1;
+  t.stats.n_writes <- t.stats.n_writes + 1;
+  t.stats.bytes_written <- t.stats.bytes_written + len;
+  Storage.write t.storage ~off data
+
+(* Sequential append writes: priced at the drive's sequential bandwidth. *)
+let write_seq t ~off data = write_kind t ~off data `Seq
+
+(* Random in-place writes: priced at the (much lower) random-write bandwidth. *)
+let write_rand t ~off data = write_kind t ~off data `Rand
+
+(* Crash simulation hook: the persistent contents survive, all volatile
+   queueing/timing state is fresh. Used by recovery tests. *)
+let reboot t = { (create ~rng:t.rng t.profile) with storage = t.storage }
+
+let utilisation t = Sim.Resource.utilisation t.read_units

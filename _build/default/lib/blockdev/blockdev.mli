@@ -1,0 +1,78 @@
+(** Simulated block storage devices.
+
+    A device really stores bytes (stores serialize real data and can be
+    crash-recovered) and charges simulated time per command. Reads share a
+    pool of [read_concurrency] internal units — IOPS emerges as
+    concurrency / latency. Writes additionally serialise on a bandwidth
+    pipe capping sequential/random write throughput, reproducing the
+    read/write discrepancy LEED's token engine reacts to (paper §3.4). *)
+
+type profile = {
+  name : string;
+  capacity_bytes : int;
+  block_size : int;
+  read_concurrency : int;  (** internal parallelism (≈ IOPS × latency) *)
+  read_us : float;         (** base random-read service latency per block *)
+  write_us : float;        (** program latency charged after the transfer *)
+  seq_read_mbps : float;
+  seq_write_mbps : float;  (** append workloads *)
+  rand_write_mbps : float; (** in-place writes; small ones pay a full page *)
+  jitter : float;          (** relative stddev of service time *)
+}
+
+val dct983 : profile
+(** Samsung DCT983 960 GB NVMe — the paper's JBOF drive (~400 K 4 KB
+    random-read IOPS, ~1 GB/s sequential write). *)
+
+val sandisk_sd : profile
+(** The Raspberry Pi's SD card behind its shared USB2 bus. *)
+
+val instant : ?capacity_bytes:int -> unit -> profile
+(** Zero-latency device for timing-independent unit tests. *)
+
+val with_capacity : profile -> int -> profile
+
+(** Sparse chunked byte store backing a device (exposed for tests). *)
+module Storage : sig
+  type t
+
+  val create : unit -> t
+  val write : t -> off:int -> bytes -> unit
+  val read : t -> off:int -> len:int -> bytes
+  val resident_bytes : t -> int
+end
+
+type stats = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t
+
+val create : ?rng:Leed_sim.Rng.t -> profile -> t
+val profile : t -> profile
+val stats : t -> stats
+val capacity : t -> int
+
+val inflight : t -> int
+(** Outstanding commands, queued or executing. *)
+
+val queued : t -> int
+
+val read : t -> off:int -> len:int -> bytes
+(** Blocking random read; service = base latency + transfer time. *)
+
+val write_seq : t -> off:int -> bytes -> unit
+(** Sequential append write: priced at the drive's sequential bandwidth. *)
+
+val write_rand : t -> off:int -> bytes -> unit
+(** Random in-place write: priced at the (much lower) random-write
+    bandwidth, with a full-flash-page floor for small writes. *)
+
+val reboot : t -> t
+(** Crash simulation: persistent contents survive, volatile queueing and
+    counters reset. *)
+
+val utilisation : t -> float

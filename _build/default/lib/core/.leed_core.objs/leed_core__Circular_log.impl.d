@@ -1,0 +1,1 @@
+lib/core/circular_log.ml: Blockdev Bytes Leed_blockdev List Printf

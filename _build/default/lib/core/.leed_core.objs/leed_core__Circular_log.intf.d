@@ -1,0 +1,1 @@
+lib/core/circular_log.mli: Leed_blockdev

@@ -1,0 +1,1 @@
+lib/core/client.ml: Hashtbl Leed_netsim Leed_sim Leed_workload List Messages Netsim Option Queue Ring Sim

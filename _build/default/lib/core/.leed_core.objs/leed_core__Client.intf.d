@@ -1,0 +1,1 @@
+lib/core/client.mli: Leed_netsim Leed_workload Messages Ring

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Client Control Engine Leed_netsim Leed_platform List Messages Netsim Node Option Platform Printf Store

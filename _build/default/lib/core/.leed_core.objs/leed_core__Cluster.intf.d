@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Client Control Engine Leed_netsim Leed_platform Messages Node

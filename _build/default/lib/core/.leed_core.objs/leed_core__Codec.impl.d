@@ -1,0 +1,1 @@
+lib/core/codec.ml: Bytes Char Int32 Int64 List Printf String

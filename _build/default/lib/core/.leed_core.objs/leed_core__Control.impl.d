@@ -1,0 +1,1 @@
+lib/core/control.ml: Client Engine Hashtbl Leed_netsim Leed_sim List Messages Netsim Node Ring Sim

@@ -1,0 +1,1 @@
+lib/core/control.mli: Client Leed_netsim Messages Node Ring

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Blockdev Circular_log Float Hashtbl Leed_blockdev Leed_platform Leed_sim List Option Platform Printf Queue Rng Segtbl Sim Store

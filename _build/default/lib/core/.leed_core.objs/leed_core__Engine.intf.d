@@ -1,0 +1,1 @@
+lib/core/engine.mli: Leed_platform Leed_sim Store

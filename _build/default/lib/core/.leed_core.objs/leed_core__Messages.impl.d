@@ -1,0 +1,1 @@
+lib/core/messages.ml: Bytes List Ring String

@@ -1,0 +1,1 @@
+lib/core/node.ml: Engine Hashtbl Leed_netsim Leed_platform Leed_sim List Messages Netsim Option Platform Printf Ring Rng Sim Store

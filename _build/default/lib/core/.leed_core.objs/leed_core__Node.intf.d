@@ -1,0 +1,1 @@
+lib/core/node.mli: Engine Leed_netsim Leed_platform Messages Ring

@@ -1,0 +1,1 @@
+lib/core/ring.ml: Array Codec Hashtbl List Printf

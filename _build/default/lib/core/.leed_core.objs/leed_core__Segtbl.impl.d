@@ -1,0 +1,1 @@
+lib/core/segtbl.ml: Array Leed_sim List Queue Sim

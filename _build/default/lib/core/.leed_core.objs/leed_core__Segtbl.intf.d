@@ -1,0 +1,1 @@
+lib/core/segtbl.mli: Queue

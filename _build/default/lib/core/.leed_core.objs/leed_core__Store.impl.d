@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Bytes Circular_log Codec Hashtbl Histogram Leed_sim Leed_stats List Printf Segtbl Sim String Summary

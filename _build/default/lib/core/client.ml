@@ -1,0 +1,233 @@
+(* LEED front-end client library (§3.1.2, §3.5).
+
+   Implements Algorithm 1's load-aware scheduling: every back-end response
+   piggybacks the target partition's available token count; a request is
+   issued only when the cached token balance covers its cost *or* no
+   command is outstanding toward that partition (the Nagle-like probe rule,
+   Alg. 1 L9-13). With CRRS (§3.7) reads go to the chain replica holding
+   the most tokens instead of always the tail.
+
+   Both mechanisms can be disabled for the ablation experiments (Fig. 7,
+   Fig. 8). *)
+
+open Leed_sim
+open Leed_netsim
+module Rpc = Netsim.Rpc
+
+exception Unavailable of string
+
+type config = {
+  r : int;
+  flow_control : bool; (* §3.5 token gating *)
+  crrs : bool;         (* §3.7 replica reads *)
+  tenant : int;        (* §3.5 weighted token share *)
+  retry_limit : int;
+  retry_backoff : float;
+  rpc_timeout : float;
+}
+
+let default_config =
+  {
+    r = 3;
+    flow_control = true;
+    crrs = true;
+    tenant = 0;
+    retry_limit = 8;
+    retry_backoff = 0.002;
+    rpc_timeout = 0.5;
+  }
+
+type vstate = {
+  mutable tokens : int; (* last piggybacked availability *)
+  mutable outstanding : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+type t = {
+  config : config;
+  rpc : (Messages.request, Messages.response) Rpc.t;
+  ring : Ring.t;
+  peer : int -> (Messages.request, Messages.response) Rpc.t;
+  refresh : unit -> Ring.snapshot;
+  vstates : (Ring.vnode, vstate) Hashtbl.t;
+  mutable nacks : int;
+  mutable retries : int;
+  mutable throttled : float; (* cumulative seconds spent waiting for tokens *)
+}
+
+let create ?(config = default_config) ~fabric ~name ~peer ~refresh () =
+  let rpc = Rpc.create fabric ~name ~gbps:100. in
+  Rpc.client rpc;
+  let t =
+    {
+      config;
+      rpc;
+      ring = Ring.create ();
+      peer;
+      refresh;
+      vstates = Hashtbl.create 64;
+      nacks = 0;
+      retries = 0;
+      throttled = 0.;
+    }
+  in
+  Ring.install t.ring (refresh ());
+  t
+
+let ring t = t.ring
+let nacks t = t.nacks
+let retries t = t.retries
+let throttled_time t = t.throttled
+
+let vstate t vn =
+  match Hashtbl.find_opt t.vstates vn with
+  | Some v -> v
+  | None ->
+      let v = { tokens = 4; outstanding = 0; waiters = Queue.create () } in
+      Hashtbl.replace t.vstates vn v;
+      v
+
+let credit t vn tokens =
+  let v = vstate t vn in
+  v.tokens <- tokens;
+  (* Wake token waiters so they re-evaluate the admission rule. *)
+  while not (Queue.is_empty v.waiters) do
+    (Queue.pop v.waiters) ()
+  done
+
+(* Algorithm 1's admission decision: block until the target offers enough
+   tokens, or force one probe command when nothing is outstanding. *)
+let admit t vn cost =
+  if not t.config.flow_control then ()
+  else begin
+    let v = vstate t vn in
+    let t0 = Sim.now () in
+    let rec wait () =
+      if v.tokens >= cost then v.tokens <- v.tokens - cost
+      else if v.outstanding = 0 then v.tokens <- 0 (* Alg. 1 L12: probe *)
+      else begin
+        Sim.suspend (fun resume -> Queue.push (fun () -> resume ()) v.waiters);
+        wait ()
+      end
+    in
+    wait ();
+    t.throttled <- t.throttled +. (Sim.now () -. t0)
+  end
+
+let release_waiters t vn =
+  let v = vstate t vn in
+  while not (Queue.is_empty v.waiters) do
+    (Queue.pop v.waiters) ()
+  done
+
+let refresh_ring t =
+  Ring.install t.ring (t.refresh ())
+
+(* Issue one RPC toward a vnode with flow-control accounting. *)
+let issue t (e : Ring.entry) req =
+  let vn = e.Ring.owner in
+  let cost =
+    match req with
+    | Messages.Write _ -> 3
+    | Messages.Get _ -> 2
+    | Messages.Version_query _ | Messages.Copy_put _ | Messages.Ring_update _ | Messages.Ping _ -> 0
+  in
+  admit t vn cost;
+  let v = vstate t vn in
+  v.outstanding <- v.outstanding + 1;
+  let resp =
+    Rpc.call_timeout t.rpc ~dst:(t.peer vn.Ring.node) ~size:(Messages.request_size req)
+      ~timeout:t.config.rpc_timeout req
+  in
+  v.outstanding <- v.outstanding - 1;
+  (match resp with
+  | Some (Messages.Value { tokens; _ })
+  | Some (Messages.Ok { tokens })
+  | Some (Messages.Version { tokens; _ }) ->
+      credit t vn tokens
+  | Some (Messages.Nack _) | None -> release_waiters t vn);
+  resp
+
+(* Pick the GET target: with CRRS, the replica advertising the most
+   tokens; otherwise (classic chain replication) the tail. *)
+let read_target t chain =
+  match chain with
+  | [] -> None
+  | _ ->
+      if t.config.crrs then begin
+        let best = ref None in
+        List.iter
+          (fun (e : Ring.entry) ->
+            let tok = (vstate t e.Ring.owner).tokens in
+            match !best with
+            | None -> best := Some (e, tok)
+            | Some (_, bt) -> if tok > bt then best := Some (e, tok))
+          chain;
+        Option.map fst !best
+      end
+      else (match List.rev chain with e :: _ -> Some e | [] -> None)
+
+let rec with_retries t n f =
+  if n > t.config.retry_limit then raise (Unavailable "retry limit exceeded")
+  else
+    match f () with
+    | Some r -> r
+    | None ->
+        t.retries <- t.retries + 1;
+        Sim.delay t.config.retry_backoff;
+        refresh_ring t;
+        with_retries t (n + 1) f
+
+let get t key =
+  with_retries t 0 (fun () ->
+      let chain = Ring.chain t.ring ~r:t.config.r key in
+      match read_target t chain with
+      | None -> None
+      | Some e -> (
+          let req =
+            Messages.Get { vn = e.Ring.owner; key; shipped = false; tenant = t.config.tenant }
+          in
+          match issue t e req with
+          | Some (Messages.Value { value; _ }) -> Some value
+          | Some (Messages.Ok _) | Some (Messages.Version _) -> Some None
+          | Some (Messages.Nack _) ->
+              t.nacks <- t.nacks + 1;
+              None
+          | None -> None))
+
+let write t key value =
+  with_retries t 0 (fun () ->
+      let chain = Ring.chain t.ring ~r:t.config.r key in
+      match chain with
+      | [] -> None
+      | head :: _ -> (
+          let req =
+            Messages.Write
+              {
+                vn = head.Ring.owner;
+                key;
+                value;
+                hop = 0;
+                version = Ring.version t.ring;
+                tenant = t.config.tenant;
+              }
+          in
+          match issue t head req with
+          | Some (Messages.Ok _) -> Some ()
+          | Some (Messages.Value _) | Some (Messages.Version _) -> Some ()
+          | Some (Messages.Nack _) ->
+              t.nacks <- t.nacks + 1;
+              None
+          | None -> None))
+
+let put t key value = write t key (Some value)
+let del t key = write t key None
+
+(* Convenience dispatcher for workload drivers. *)
+let execute t (op : Leed_workload.Workload.op) =
+  match op with
+  | Leed_workload.Workload.Read key -> ignore (get t key)
+  | Leed_workload.Workload.Update (key, v) | Leed_workload.Workload.Insert (key, v) -> put t key v
+  | Leed_workload.Workload.Read_modify_write (key, v) ->
+      ignore (get t key);
+      put t key v

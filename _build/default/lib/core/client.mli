@@ -1,0 +1,60 @@
+(** LEED front-end client library (paper §3.1.2, §3.5).
+
+    Implements Algorithm 1's load-aware scheduling: every back-end
+    response piggybacks the target partition's available token count; a
+    request is issued only when the cached balance covers its cost *or*
+    nothing is outstanding toward that partition (the Nagle-like probe
+    rule). With CRRS (§3.7) reads go to the chain replica advertising the
+    most tokens instead of always the tail. Both mechanisms can be
+    disabled for the Figure 7/8 ablations. *)
+
+exception Unavailable of string
+(** Raised when the retry budget is exhausted (e.g. the whole chain is
+    unreachable). *)
+
+type config = {
+  r : int;
+  flow_control : bool; (** §3.5 token gating *)
+  crrs : bool;         (** §3.7 replica reads *)
+  tenant : int;        (** §3.5 weighted token share this client draws from *)
+  retry_limit : int;
+  retry_backoff : float;
+  rpc_timeout : float;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
+  name:string ->
+  peer:(int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) ->
+  refresh:(unit -> Ring.snapshot) ->
+  unit ->
+  t
+(** [peer] resolves a physical node id to its RPC endpoint; [refresh]
+    reads the control plane's current ring (the etcd watch). *)
+
+val ring : t -> Ring.t
+(** The client's local ring view. *)
+
+val nacks : t -> int
+val retries : t -> int
+
+val throttled_time : t -> float
+(** Cumulative seconds spent blocked by Algorithm 1's token gate. *)
+
+val get : t -> string -> bytes option
+(** Read from the best clean replica (or the tail without CRRS); a dirty
+    replica ships the request to the tail transparently. *)
+
+val put : t -> string -> bytes -> unit
+(** Write through the chain head; returns after the tail commits and the
+    backward acknowledgments drain (per-key strong consistency). *)
+
+val del : t -> string -> unit
+
+val execute : t -> Leed_workload.Workload.op -> unit
+(** Dispatcher for workload drivers (RMW = get + put). *)

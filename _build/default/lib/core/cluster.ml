@@ -1,0 +1,121 @@
+(* Whole-cluster assembly (Figure 2-a): back-end SmartNIC JBOFs, the
+   control-plane manager, and front-end clients on one switched fabric.
+   This is the top-level entry point of the library: build a cluster, get
+   clients, issue requests. *)
+
+open Leed_netsim
+module Rpc = Netsim.Rpc
+open Leed_platform
+
+type config = {
+  nnodes : int;
+  r : int;
+  engine_config : Engine.config;
+  client_config : Client.config;
+  platform : Platform.t;
+  base_latency_us : float;
+  read_mode : Node.read_mode; (* CRRS shipping vs CRAQ-style version query *)
+}
+
+let default_config =
+  {
+    nnodes = 3;
+    r = 3;
+    engine_config = Engine.default_config;
+    client_config = Client.default_config;
+    platform = Platform.smartnic_jbof;
+    base_latency_us = 3.0;
+    read_mode = Node.Ship;
+  }
+
+type t = {
+  config : config;
+  fabric : (Messages.request, Messages.response) Rpc.wire Netsim.fabric;
+  control : Control.t;
+  mutable nodes : Node.t list;
+  mutable clients : Client.t list;
+  mutable next_node_id : int;
+  mutable next_client_id : int;
+}
+
+let create ?(config = default_config) () =
+  let fabric = Netsim.fabric ~base_latency_us:config.base_latency_us () in
+  let control = Control.create ~r:config.r fabric in
+  let t =
+    {
+      config;
+      fabric;
+      control;
+      nodes = [];
+      clients = [];
+      next_node_id = 0;
+      next_client_id = 0;
+    }
+  in
+  for _ = 1 to config.nnodes do
+    let n =
+      Node.create ~read_mode:config.read_mode ~id:t.next_node_id ~platform:config.platform
+        ~fabric ~engine_config:config.engine_config ~r:config.r ()
+    in
+    t.next_node_id <- t.next_node_id + 1;
+    Node.start n;
+    Control.register_bootstrap_node control n;
+    t.nodes <- t.nodes @ [ n ]
+  done;
+  Control.finish_bootstrap control;
+  Control.start control;
+  t
+
+let control t = t.control
+let nodes t = t.nodes
+let node t id = Control.node t.control id
+let fabric t = t.fabric
+
+(* A new front-end client with its own NIC endpoint and ring watch. *)
+let client ?(config : Client.config option) t =
+  let cfg = Option.value config ~default:t.config.client_config in
+  let c =
+    Client.create ~config:cfg ~fabric:t.fabric
+      ~name:(Printf.sprintf "client%d" t.next_client_id)
+      ~peer:(Control.peer_resolver t.control)
+      ~refresh:(fun () -> Control.snapshot t.control)
+      ()
+  in
+  t.next_client_id <- t.next_client_id + 1;
+  Control.register_client t.control c;
+  t.clients <- t.clients @ [ c ];
+  c
+
+(* Grow the cluster: full §3.8.1 join protocol (JOINING → COPY → RUNNING).
+   Returns the number of key-value pairs copied. *)
+let add_node t =
+  let n =
+    Node.create ~read_mode:t.config.read_mode ~id:t.next_node_id ~platform:t.config.platform
+      ~fabric:t.fabric ~engine_config:t.config.engine_config ~r:t.config.r ()
+  in
+  t.next_node_id <- t.next_node_id + 1;
+  Node.start n;
+  let copied = Control.join t.control n in
+  t.nodes <- t.nodes @ [ n ];
+  (n, copied)
+
+(* Graceful departure (§3.8.1). *)
+let remove_node t id =
+  let copied = Control.leave t.control id in
+  t.nodes <- List.filter (fun n -> Node.id n <> id) t.nodes;
+  copied
+
+(* Fail-stop crash (§3.8.2): the node's NIC goes dark; the heartbeat
+   monitor notices and repairs the chains. *)
+let crash_node t id =
+  Node.crash (node t id)
+
+(* Aggregate count of objects across all stores (for capacity checks). *)
+let total_objects t =
+  List.fold_left
+    (fun acc n ->
+      Array.fold_left
+        (fun acc p -> acc + Store.objects (Engine.store p))
+        acc
+        (Engine.partitions (Node.engine n)))
+    0 t.nodes

@@ -1,0 +1,50 @@
+(** Whole-cluster assembly (paper Figure 2-a): back-end SmartNIC JBOFs,
+    the control-plane manager, and front-end clients on one switched
+    fabric. The top-level entry point of the library. *)
+
+type config = {
+  nnodes : int;
+  r : int;
+  engine_config : Engine.config;
+  client_config : Client.config;
+  platform : Leed_platform.Platform.t;
+  base_latency_us : float;
+  read_mode : Node.read_mode;
+      (** CRRS request shipping (default) vs the CRAQ-style version-query
+          alternative of §3.7 *)
+}
+
+val default_config : config
+(** 3 SmartNIC JBOFs, R = 3, CRRS and flow control enabled. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Build and start the cluster: nodes bootstrapped with their vnodes
+    RUNNING, heartbeat monitoring live. *)
+
+val control : t -> Control.t
+val nodes : t -> Node.t list
+val node : t -> int -> Node.t
+
+val fabric :
+  t -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric
+
+val client : ?config:Client.config -> t -> Client.t
+(** A new front-end client with its own NIC endpoint and ring watch. *)
+
+val add_node : t -> Node.t * int
+(** Grow the cluster through the full §3.8.1 join protocol
+    (JOINING → COPY → RUNNING); returns the node and the number of
+    key-value pairs it received. *)
+
+val remove_node : t -> int -> int
+(** Graceful departure (§3.8.1); returns the pairs copied to rebuild the
+    affected chains. *)
+
+val crash_node : t -> int -> unit
+(** Fail-stop crash (§3.8.2): the NIC goes dark; the heartbeat monitor
+    detects the failure and repairs the chains from surviving replicas. *)
+
+val total_objects : t -> int
+(** Live objects summed over every store (R replicas each). *)

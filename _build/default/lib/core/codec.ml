@@ -1,0 +1,181 @@
+(* Binary layout of the LEED data store (§3.2.2, §3.2.3).
+
+   Key log entries are *segments*: arrays of fixed-size buckets. A bucket
+   holds a 4-byte bucket index (key-hash check), chain length/position,
+   head/tail recovery hints, and a sequence of key items. A key item is
+   (key, key length, value length, value offset) extended — for the data
+   swapping mechanism of §3.6 — with the SSD identifier holding the value.
+
+   Value log entries carry enough framing (segment id + key) for the value
+   compactor to decide liveness by consulting the owning bucket. *)
+
+let bucket_size = 512
+let bucket_header_size = 40
+let item_fixed_size = 14 (* klen(1) vlen(4) voff(8) vdev(1) *)
+let bucket_magic = 0xB5
+let value_magic = 0x5E
+let value_header_size = 20
+
+(* FNV-1a 64-bit over the key with a SplitMix64 avalanche finalizer:
+   plain FNV disperses the short, near-identical keys of a key-value
+   workload poorly (consecutive ids land on near-consecutive ring points),
+   so the final mix is load-bearing for consistent hashing balance. *)
+let hash_key (k : string) : int =
+  let prime = 0x100000001b3L and offset = 0xcbf29ce484222325L in
+  let h = ref offset in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) k;
+  let z = !h in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* keep 62 bits so it is a non-negative OCaml int *)
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let segment_of_key ~nsegments key = hash_key key mod nsegments
+
+let bucket_index_of_key key = hash_key key land 0xFFFFFFFF
+
+(* --- key items --- *)
+
+type item = {
+  key : string;
+  vlen : int;  (* 0 = deletion marker (§3.3) *)
+  voff : int;  (* logical offset into the value log *)
+  vdev : int;  (* SSD id of the log holding the value; -1 = value inline/absent *)
+}
+
+let item_size it = item_fixed_size + String.length it.key
+
+let is_tombstone it = it.vlen = 0
+
+(* --- buckets --- *)
+
+type bucket = {
+  bindex : int;           (* 4-byte key-hash check field *)
+  chain_len : int;        (* number of buckets in this segment *)
+  chain_pos : int;        (* position of this bucket within the chain *)
+  seg_id : int;           (* owning segment (recovery) *)
+  log_head : int;         (* key log head at write time (recovery hint) *)
+  log_tail : int;
+  items : item list;
+}
+
+let items_capacity ~key_size =
+  (bucket_size - bucket_header_size) / (item_fixed_size + key_size)
+
+let bucket_bytes_used b =
+  bucket_header_size + List.fold_left (fun acc it -> acc + item_size it) 0 b.items
+
+let bucket_fits b = bucket_bytes_used b <= bucket_size
+
+let set_u8 b off v = Bytes.set_uint8 b off (v land 0xFF)
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_u8 = Bytes.get_uint8
+let get_u16 = Bytes.get_uint16_le
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let encode_bucket b =
+  if not (bucket_fits b) then
+    invalid_arg
+      (Printf.sprintf "Codec.encode_bucket: %d bytes exceed bucket size %d" (bucket_bytes_used b)
+         bucket_size);
+  let out = Bytes.make bucket_size '\000' in
+  set_u8 out 0 bucket_magic;
+  set_u8 out 1 b.chain_len;
+  set_u8 out 2 b.chain_pos;
+  set_u16 out 4 (List.length b.items);
+  set_u32 out 6 b.bindex;
+  set_u64 out 10 b.seg_id;
+  set_u64 out 18 b.log_head;
+  set_u64 out 26 b.log_tail;
+  let pos = ref bucket_header_size in
+  List.iter
+    (fun it ->
+      let klen = String.length it.key in
+      set_u8 out !pos klen;
+      set_u32 out (!pos + 1) it.vlen;
+      set_u64 out (!pos + 5) it.voff;
+      set_u8 out (!pos + 13) (if it.vdev < 0 then 0xFF else it.vdev);
+      Bytes.blit_string it.key 0 out (!pos + item_fixed_size) klen;
+      pos := !pos + item_fixed_size + klen)
+    b.items;
+  out
+
+exception Corrupt of string
+
+let decode_bucket ?(off = 0) buf =
+  if get_u8 buf off <> bucket_magic then raise (Corrupt "bucket magic mismatch");
+  let chain_len = get_u8 buf (off + 1) in
+  let chain_pos = get_u8 buf (off + 2) in
+  let nitems = get_u16 buf (off + 4) in
+  let bindex = get_u32 buf (off + 6) in
+  let seg_id = get_u64 buf (off + 10) in
+  let log_head = get_u64 buf (off + 18) in
+  let log_tail = get_u64 buf (off + 26) in
+  let pos = ref (off + bucket_header_size) in
+  let items = ref [] in
+  for _ = 1 to nitems do
+    let klen = get_u8 buf !pos in
+    let vlen = get_u32 buf (!pos + 1) in
+    let voff = get_u64 buf (!pos + 5) in
+    let vdev = get_u8 buf (!pos + 13) in
+    let vdev = if vdev = 0xFF then -1 else vdev in
+    let key = Bytes.sub_string buf (!pos + item_fixed_size) klen in
+    items := { key; vlen; voff; vdev } :: !items;
+    pos := !pos + item_fixed_size + klen
+  done;
+  { bindex; chain_len; chain_pos; seg_id; log_head; log_tail; items = List.rev !items }
+
+(* --- segments: contiguous arrays of buckets (§3.2.2: "the data structure
+   of a segment is changed to an array of buckets when writing") --- *)
+
+let encode_segment (buckets : bucket list) =
+  let n = List.length buckets in
+  let out = Bytes.create (n * bucket_size) in
+  List.iteri (fun i b -> Bytes.blit (encode_bucket { b with chain_len = n; chain_pos = i }) 0 out (i * bucket_size) bucket_size) buckets;
+  out
+
+let decode_segment buf =
+  let n = Bytes.length buf / bucket_size in
+  List.init n (fun i -> decode_bucket ~off:(i * bucket_size) buf)
+
+let segment_bytes ~chain_len = chain_len * bucket_size
+
+(* --- value log entries --- *)
+
+type value_entry = { ve_seg : int; ve_key : string; ve_value : bytes }
+
+let value_entry_size ve = value_header_size + String.length ve.ve_key + Bytes.length ve.ve_value
+
+let encode_value_entry ve =
+  let klen = String.length ve.ve_key and vlen = Bytes.length ve.ve_value in
+  let out = Bytes.create (value_header_size + klen + vlen) in
+  set_u8 out 0 value_magic;
+  set_u8 out 1 klen;
+  set_u32 out 2 vlen;
+  set_u64 out 6 ve.ve_seg;
+  (* bytes 14..19 reserved *)
+  set_u32 out 14 0;
+  set_u16 out 18 0;
+  Bytes.blit_string ve.ve_key 0 out value_header_size klen;
+  Bytes.blit ve.ve_value 0 out (value_header_size + klen) vlen;
+  out
+
+(* Decode the header given the first [value_header_size] bytes; returns
+   (seg_id, klen, vlen) so the compactor can size the full read. *)
+let decode_value_header buf =
+  if get_u8 buf 0 <> value_magic then raise (Corrupt "value magic mismatch");
+  let klen = get_u8 buf 1 in
+  let vlen = get_u32 buf 2 in
+  let seg_id = get_u64 buf 6 in
+  (seg_id, klen, vlen)
+
+let decode_value_entry buf =
+  let seg_id, klen, vlen = decode_value_header buf in
+  if Bytes.length buf < value_header_size + klen + vlen then raise (Corrupt "truncated value entry");
+  let key = Bytes.sub_string buf value_header_size klen in
+  let value = Bytes.sub buf (value_header_size + klen) vlen in
+  { ve_seg = seg_id; ve_key = key; ve_value = value }

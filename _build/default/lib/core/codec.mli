@@ -1,0 +1,75 @@
+(** Binary layout of the LEED data store (paper §3.2.2–§3.2.3).
+
+    Key-log entries are {e segments}: contiguous arrays of fixed-size
+    buckets ("the data structure of a segment is changed to an array of
+    buckets when writing"). A bucket carries a 4-byte index for key-hash
+    matching, chain length/position, head/tail recovery hints, and a
+    sequence of key items; a key item is (key, key length, value length,
+    value offset) extended with the SSD id holding the value — the §3.6
+    swap metadata. Value-log entries carry framing (segment id + key) so
+    the value compactor can decide liveness from the owning bucket. *)
+
+val bucket_size : int
+(** 512 B — "whose size is limited to the SSD block size". *)
+
+val bucket_header_size : int
+val item_fixed_size : int
+val value_header_size : int
+
+exception Corrupt of string
+
+val hash_key : string -> int
+(** FNV-1a 64 with a SplitMix64 avalanche finalizer (the finalizer is
+    load-bearing: plain FNV clusters near-identical keys on the ring). *)
+
+val segment_of_key : nsegments:int -> string -> int
+val bucket_index_of_key : string -> int
+
+(** {1 Key items} *)
+
+type item = {
+  key : string;
+  vlen : int;  (** 0 marks a deletion (§3.3) *)
+  voff : int;  (** logical offset into the value log *)
+  vdev : int;  (** SSD id of the log holding the value; -1 = absent *)
+}
+
+val item_size : item -> int
+val is_tombstone : item -> bool
+
+(** {1 Buckets and segments} *)
+
+type bucket = {
+  bindex : int;     (** 4-byte key-hash check field *)
+  chain_len : int;
+  chain_pos : int;
+  seg_id : int;     (** owning segment (recovery) *)
+  log_head : int;   (** key-log head at write time (recovery hint) *)
+  log_tail : int;
+  items : item list;
+}
+
+val items_capacity : key_size:int -> int
+val bucket_bytes_used : bucket -> int
+val bucket_fits : bucket -> bool
+val encode_bucket : bucket -> bytes
+val decode_bucket : ?off:int -> bytes -> bucket
+
+val encode_segment : bucket list -> bytes
+(** Renumbers chain_len/chain_pos over the list. *)
+
+val decode_segment : bytes -> bucket list
+val segment_bytes : chain_len:int -> int
+
+(** {1 Value-log entries} *)
+
+type value_entry = { ve_seg : int; ve_key : string; ve_value : bytes }
+
+val value_entry_size : value_entry -> int
+val encode_value_entry : value_entry -> bytes
+
+val decode_value_header : bytes -> int * int * int
+(** (seg_id, klen, vlen) from the first {!value_header_size} bytes, so a
+    scanner can size the full read. *)
+
+val decode_value_entry : bytes -> value_entry

@@ -1,0 +1,261 @@
+(* Control-plane manager (§3.1.2, §3.8): the etcd-backed service that owns
+   the authoritative ring, monitors node health with heartbeats, and
+   orchestrates membership changes with the COPY primitive.
+
+   The etcd quorum itself is modeled as a reliable service: broadcasts to
+   back-end nodes travel over the simulated network (Ring_update RPCs), so
+   the inconsistent-view window the paper measures in Fig. 9 (NACK-induced
+   degradation at the end of a join) emerges naturally; client watches are
+   delivered with jitter. *)
+
+open Leed_sim
+open Leed_netsim
+module Rpc = Netsim.Rpc
+
+type node_state = { node : Node.t; mutable missed : int; mutable alive : bool }
+
+type t = {
+  ring : Ring.t; (* authoritative *)
+  r : int;
+  rpc : (Messages.request, Messages.response) Rpc.t; (* manager's probe endpoint *)
+  nodes : (int, node_state) Hashtbl.t;
+  mutable clients : Client.t list;
+  heartbeat_period : float;
+  miss_limit : int;
+  mutable on_failure : int -> unit;
+  mutable running : bool;
+  mutable joins : int;
+  mutable leaves : int;
+  mutable failures_handled : int;
+}
+
+let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) fabric =
+  let rpc = Rpc.create fabric ~name:"control-plane" ~gbps:10. in
+  Rpc.client rpc;
+  {
+    ring = Ring.create ();
+    r;
+    rpc;
+    nodes = Hashtbl.create 8;
+    clients = [];
+    heartbeat_period;
+    miss_limit;
+    on_failure = (fun _ -> ());
+    running = false;
+    joins = 0;
+    leaves = 0;
+    failures_handled = 0;
+  }
+
+let ring t = t.ring
+let r t = t.r
+let snapshot t = Ring.snapshot t.ring
+let register_client t c = t.clients <- c :: t.clients
+let set_on_failure t f = t.on_failure <- f
+
+let node t id = (Hashtbl.find t.nodes id).node
+let node_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let peer_resolver t id = Node.rpc (node t id)
+
+(* Broadcast the ring: nodes over the network (real Ring_update RPCs),
+   clients via their etcd watch (modeled as a jittered install). *)
+let broadcast t =
+  let snap = Ring.snapshot t.ring in
+  Hashtbl.iter
+    (fun _ ns ->
+      if ns.alive then
+        Sim.spawn (fun () ->
+            let req = Messages.Ring_update snap in
+            ignore
+              (Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
+                 ~timeout:0.5 req)))
+    t.nodes;
+  List.iteri
+    (fun i c ->
+      Sim.spawn (fun () ->
+          Sim.delay (0.0005 *. float_of_int (1 + (i mod 4)));
+          Ring.install (Client.ring c) snap))
+    t.clients
+
+(* Register a node with its vnodes directly RUNNING — cluster bootstrap. *)
+let register_bootstrap_node t (n : Node.t) =
+  Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Node.set_peer_resolver n (peer_resolver t);
+  for vidx = 0 to Engine.npartitions (Node.engine n) - 1 do
+    let e = Ring.add t.ring { Ring.node = Node.id n; vidx } in
+    e.Ring.vstate <- Ring.Running
+  done;
+  Ring.install (Node.ring n) (Ring.snapshot t.ring)
+
+(* After all bootstrap nodes are registered: sync every view. *)
+let finish_bootstrap t =
+  Hashtbl.iter (fun _ ns -> Ring.install (Node.ring ns.node) (Ring.snapshot t.ring)) t.nodes;
+  broadcast t
+
+(* --- COPY orchestration helpers --- *)
+
+(* Stream one arc from a source vnode to a destination vnode, with
+   concurrent writes forwarded and fenced (§3.8.1). *)
+let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
+  match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
+  | None -> 0
+  | Some sns when not sns.alive -> 0
+  | Some sns ->
+      let dst_node = node t dst.Ring.node in
+      Node.begin_fence dst_node dst.Ring.vidx;
+      Node.add_copy_forward sns.node ~lo ~hi ~dst;
+      let copied = Node.copy_range sns.node ~vidx:src.Ring.owner.Ring.vidx ~lo ~hi ~dst in
+      Node.remove_copy_forward sns.node ~dst;
+      Node.end_fence dst_node dst.Ring.vidx;
+      copied
+
+(* --- node join (§3.8.1) --- *)
+
+let join t (n : Node.t) =
+  Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Node.set_peer_resolver n (peer_resolver t);
+  Ring.install (Node.ring n) (Ring.snapshot t.ring);
+  (* Phase 1: vnodes enter as JOINING (receive COPY traffic only). *)
+  let new_vns =
+    List.init
+      (Engine.npartitions (Node.engine n))
+      (fun vidx ->
+        let e = Ring.add t.ring { Ring.node = Node.id n; vidx } in
+        e.Ring.owner)
+  in
+  broadcast t;
+  (* Phase 2: for every arc the newcomers will serve in the future ring,
+     the arc's current tail COPYs the range over. *)
+  let future = Ring.copy t.ring in
+  List.iter (fun vn -> Ring.set_state future vn Ring.Running) new_vns;
+  let total_copied = ref 0 in
+  List.iter
+    (fun (e : Ring.entry) ->
+      let future_chain = Ring.chain_at future ~r:t.r e.Ring.point in
+      let gained =
+        List.filter (fun (m : Ring.entry) -> List.mem m.Ring.owner new_vns) future_chain
+      in
+      if gained <> [] then begin
+        let lo, hi = Ring.arc_of future e in
+        match List.rev (Ring.chain_at t.ring ~r:t.r e.Ring.point) with
+        | [] -> ()
+        | src :: _ ->
+            List.iter
+              (fun (m : Ring.entry) ->
+                total_copied := !total_copied + copy_arc t ~src ~dst:m.Ring.owner ~lo ~hi)
+              gained
+      end)
+    (Ring.entries future);
+  (* Phase 3: flip to RUNNING and broadcast; clients may now address it. *)
+  List.iter (fun vn -> Ring.set_state t.ring vn Ring.Running) new_vns;
+  broadcast t;
+  t.joins <- t.joins + 1;
+  !total_copied
+
+(* --- node leave / failure repair (§3.8.1, §3.8.2) --- *)
+
+(* Common tail: the leaver's vnodes no longer serve; every chain it was in
+   gains one new member that must receive the range from a survivor. *)
+let rebuild_chains_without t (old_ring : Ring.t) leaver_id =
+  let total_copied = ref 0 in
+  List.iter
+    (fun (e : Ring.entry) ->
+      let old_chain = Ring.chain_at old_ring ~r:t.r e.Ring.point in
+      let involved =
+        List.exists (fun (m : Ring.entry) -> m.Ring.owner.Ring.node = leaver_id) old_chain
+      in
+      if involved then begin
+        let new_chain = Ring.chain_at t.ring ~r:t.r e.Ring.point in
+        let fresh =
+          List.filter
+            (fun (m : Ring.entry) ->
+              not
+                (List.exists
+                   (fun (o : Ring.entry) -> o.Ring.owner = m.Ring.owner)
+                   old_chain))
+            new_chain
+        in
+        if fresh <> [] then begin
+          let lo, hi = Ring.arc_of old_ring e in
+          (* Source: a surviving member of the old chain (prefer its tail,
+             which always holds committed data). *)
+          let survivors =
+            List.filter (fun (m : Ring.entry) -> m.Ring.owner.Ring.node <> leaver_id) old_chain
+          in
+          match List.rev survivors with
+          | [] -> ()
+          | src :: _ ->
+              List.iter
+                (fun (m : Ring.entry) ->
+                  total_copied := !total_copied + copy_arc t ~src ~dst:m.Ring.owner ~lo ~hi)
+                fresh
+        end
+      end)
+    (Ring.entries old_ring);
+  !total_copied
+
+let leave t leaver_id =
+  let old_ring = Ring.copy t.ring in
+  (* Mark LEAVING: clients stop addressing it immediately; replica count
+     temporarily drops to R-1. *)
+  List.iter
+    (fun (e : Ring.entry) ->
+      if e.Ring.owner.Ring.node = leaver_id then Ring.set_state t.ring e.Ring.owner Ring.Leaving)
+    (Ring.entries t.ring);
+  broadcast t;
+  let copied = rebuild_chains_without t old_ring leaver_id in
+  (* Permanently delete the vnodes. *)
+  List.iter
+    (fun (e : Ring.entry) ->
+      if e.Ring.owner.Ring.node = leaver_id then Ring.remove t.ring e.Ring.owner)
+    (Ring.entries old_ring);
+  broadcast t;
+  Hashtbl.remove t.nodes leaver_id;
+  t.leaves <- t.leaves + 1;
+  copied
+
+let handle_failure t dead_id =
+  (match Hashtbl.find_opt t.nodes dead_id with
+  | Some ns -> ns.alive <- false
+  | None -> ());
+  t.failures_handled <- t.failures_handled + 1;
+  t.on_failure dead_id;
+  ignore (leave t dead_id)
+
+(* --- heartbeats (§3.8.2) --- *)
+
+let probe_round t =
+  let checks =
+    Hashtbl.fold
+      (fun id ns acc ->
+        if not ns.alive then acc
+        else
+          (fun () ->
+            let req = Messages.Ping { node = -1 } in
+            match
+              Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
+                ~timeout:(t.heartbeat_period /. 2.) req
+            with
+            | Some _ -> ns.missed <- 0
+            | None ->
+                ns.missed <- ns.missed + 1;
+                if ns.missed >= t.miss_limit then Sim.spawn (fun () -> handle_failure t id))
+          :: acc)
+      t.nodes []
+  in
+  Sim.fork_join checks
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Sim.every ~period:t.heartbeat_period (fun () ->
+        if t.running then probe_round t;
+        t.running)
+  end
+
+let stop t = t.running <- false
+
+type stats = { n_joins : int; n_leaves : int; n_failures_handled : int }
+
+let stats t = { n_joins = t.joins; n_leaves = t.leaves; n_failures_handled = t.failures_handled }

@@ -1,0 +1,64 @@
+(** Control-plane manager (paper §3.1.2, §3.8): the etcd-backed service
+    owning the authoritative ring, monitoring node health with heartbeat
+    probes, and orchestrating membership changes with the COPY primitive.
+
+    Broadcasts to back-end nodes travel over the simulated network, so the
+    inconsistent-view window the paper measures in Figure 9 emerges
+    naturally; client watches are delivered with jitter. *)
+
+type t
+
+val create :
+  ?r:int ->
+  ?heartbeat_period:float ->
+  ?miss_limit:int ->
+  (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
+  t
+
+val ring : t -> Ring.t
+(** The authoritative ring. *)
+
+val r : t -> int
+val snapshot : t -> Ring.snapshot
+val register_client : t -> Client.t -> unit
+
+val set_on_failure : t -> (int -> unit) -> unit
+(** Hook invoked when a node is declared dead, before chain repair. *)
+
+val node : t -> int -> Node.t
+val node_ids : t -> int list
+val peer_resolver : t -> int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t
+
+val broadcast : t -> unit
+(** Push the current ring to every node (Ring_update RPCs) and client
+    (jittered watch delivery). *)
+
+val register_bootstrap_node : t -> Node.t -> unit
+(** Insert a node with its vnodes directly RUNNING — cluster bootstrap
+    only; follow with {!finish_bootstrap}. *)
+
+val finish_bootstrap : t -> unit
+
+val join : t -> Node.t -> int
+(** Full §3.8.1 join: vnodes enter JOINING, every affected arc's current
+    tail COPYs its range over (with write forwarding and fencing), then
+    the vnodes flip to RUNNING. Returns pairs copied. *)
+
+val leave : t -> int -> int
+(** Graceful departure: mark LEAVING (clients stop addressing it), copy
+    each affected arc from a surviving chain member to the member that
+    newly joined the chain, then delete the vnodes. Returns pairs
+    copied. *)
+
+val handle_failure : t -> int -> unit
+(** Fail-stop repair: mark dead and rebuild chains from survivors. *)
+
+val start : t -> unit
+(** Start the periodic heartbeat prober; {!handle_failure} fires after
+    [miss_limit] consecutive misses. *)
+
+val stop : t -> unit
+
+type stats = { n_joins : int; n_leaves : int; n_failures_handled : int }
+
+val stats : t -> stats

@@ -1,0 +1,393 @@
+(* Intra-JBOF I/O execution engine (§3.4) and write-imbalance data
+   swapping (§3.6).
+
+   The engine owns every SSD of a JBOF: a static core↔SSD mapping, and per
+   partition an FCFS waiting queue plus an active set bounded by *tokens* —
+   the SSD's serving capability translated from the measured per-IO latency
+   (adaptively: the token capacity shrinks when the drive slows down under
+   compaction or interference). A request is admitted when its token cost
+   fits, runs the store command on the SSD's pinned core, and releases its
+   tokens on completion.
+
+   Data swapping redirects an overloaded SSD's PUTs to the least-loaded
+   co-located SSD's swap region: the command moves to the *other* SSD's
+   queue and executes against the other SSD's swap log while the home
+   store's segment table tracks the foreign location. Merge-back happens in
+   the store's compactor; once no segment table references a swap region,
+   the engine resets it. *)
+
+open Leed_sim
+open Leed_blockdev
+open Leed_platform
+
+type cmd = Get of string | Put of string * bytes | Del of string
+
+type outcome = Found of bytes | Missing | Done
+
+(* Token cost of a command = its NVMe access count (§3.3). *)
+let token_cost = function Get _ -> 2 | Put _ -> 3 | Del _ -> 2
+
+type config = {
+  partitions_per_ssd : int;
+  swap_enabled : bool;
+  swap_threshold : int;   (* queued-token gap that triggers redirection *)
+  token_min : int;
+  token_max : int;
+  waiting_cap : int;      (* shallow waiting queue bound (§3.4) *)
+  store_config : Store.config;
+  klog_frac : float;      (* fraction of a partition given to the key log *)
+  swap_frac : float;      (* fraction of each SSD reserved as swap region *)
+}
+
+let default_config =
+  {
+    partitions_per_ssd = 2;
+    swap_enabled = true;
+    swap_threshold = 24;
+    token_min = 8;
+    token_max = 96;
+    waiting_cap = 256;
+    store_config = Store.default_config;
+    klog_frac = 0.3;
+    swap_frac = 0.1;
+  }
+
+type pending = {
+  cmd : cmd;
+  tokens : int;
+  part : partition;
+  (* destination logs when the command was swapped to a foreign SSD *)
+  target : (Circular_log.t * Circular_log.t) option;
+  completion : outcome Sim.Ivar.t;
+  enqueued_at : float;
+}
+
+and partition = {
+  pid : int; (* partition index within the JBOF *)
+  sched : ssd_sched;
+  store : Store.t;
+  waiting : pending Queue.t;
+  mutable queued_tokens : int;
+}
+
+and ssd_sched = {
+  dev_idx : int;
+  dev : Blockdev.t;
+  core : Sim.Resource.t;
+  mutable partitions : partition array;
+  swap_log : Circular_log.t;
+  foreign : pending Queue.t; (* swapped-in commands from other SSDs *)
+  mutable foreign_tokens : int;
+  mutable active_tokens : int;
+  mutable capacity : int;
+  mutable ewma_access_us : float;
+  wake : unit Sim.Mailbox.t;
+  mutable rr : int; (* round-robin cursor over partitions *)
+  mutable executed : int;
+  mutable swapped_out : int;
+  mutable swapped_in : int;
+  (* swapped commands accepted but not yet completed on this SSD: the swap
+     region must not be reset while any exist *)
+  mutable swap_inflight : int;
+}
+
+type t = {
+  platform : Platform.t;
+  config : config;
+  ssds : ssd_sched array;
+  parts : partition array; (* all partitions, index = pid *)
+  mutable running : bool;
+  (* weighted token allocation among co-located tenants (§3.5): tenant id
+     -> weight; unknown tenants get weight 1 *)
+  tenant_weights : (int, float) Hashtbl.t;
+}
+
+let partitions t = t.parts
+let partition t pid = t.parts.(pid)
+let npartitions t = Array.length t.parts
+let ssds t = t.ssds
+let store p = p.store
+
+(* --- construction --- *)
+
+let base_capacity platform =
+  (* Token pool ≈ 2× the drive's internal read parallelism: a GET holds its
+     2 tokens across two *serial* accesses, so saturating the device's
+     units needs twice as many tokens as units. *)
+  2 * platform.Platform.ssd.Blockdev.read_concurrency
+
+let create ?(config = default_config) ?(rng = Rng.create 11) platform =
+  let nssd = platform.Platform.ssd_count in
+  let devs = Array.init nssd (fun _ -> Blockdev.create ~rng:(Rng.split rng) platform.Platform.ssd) in
+  let cap_dev = platform.Platform.ssd.Blockdev.capacity_bytes in
+  let swap_bytes = int_of_float (config.swap_frac *. float_of_int cap_dev) in
+  let part_bytes = (cap_dev - swap_bytes) / config.partitions_per_ssd in
+  let ssds =
+    Array.init nssd (fun d ->
+        {
+          dev_idx = d;
+          dev = devs.(d);
+          core = Platform.Cpu.pinned_core platform d;
+          partitions = [||];
+          swap_log =
+            Circular_log.create
+              ~name:(Printf.sprintf "ssd%d.swap" d)
+              ~dev:devs.(d) ~dev_id:d
+              ~base:(cap_dev - swap_bytes)
+              ~size:swap_bytes;
+          foreign = Queue.create ();
+          foreign_tokens = 0;
+          active_tokens = 0;
+          capacity = max config.token_min (min config.token_max (base_capacity platform));
+          ewma_access_us = platform.Platform.ssd.Blockdev.read_us;
+          wake = Sim.Mailbox.create ();
+          rr = 0;
+          executed = 0;
+          swapped_out = 0;
+          swapped_in = 0;
+          swap_inflight = 0;
+        })
+  in
+  let mk_partition pid =
+    let d = pid mod nssd in
+    let slot = pid / nssd in
+    let s = ssds.(d) in
+    let base = slot * part_bytes in
+    let ksize = int_of_float (config.klog_frac *. float_of_int part_bytes) in
+    let klog =
+      Circular_log.create ~name:(Printf.sprintf "p%d.klog" pid) ~dev:s.dev ~dev_id:d ~base ~size:ksize
+    in
+    let vlog =
+      Circular_log.create
+        ~name:(Printf.sprintf "p%d.vlog" pid)
+        ~dev:s.dev ~dev_id:d ~base:(base + ksize) ~size:(part_bytes - ksize)
+    in
+    let st = Store.create ~config:config.store_config ~name:(Printf.sprintf "store%d" pid) ~klog ~vlog () in
+    Store.set_resolver st (fun dev -> ssds.(dev).swap_log);
+    Store.set_charge st (fun cycles -> Platform.Cpu.execute_on platform s.core ~cycles);
+    { pid; sched = s; store = st; waiting = Queue.create (); queued_tokens = 0 }
+  in
+  let parts = Array.init (nssd * config.partitions_per_ssd) mk_partition in
+  Array.iter
+    (fun (s : ssd_sched) ->
+      s.partitions <- Array.of_list (List.filter (fun p -> p.sched == s) (Array.to_list parts)))
+    ssds;
+  { platform; config; ssds; parts; running = false; tenant_weights = Hashtbl.create 8 }
+
+(* --- load signals --- *)
+
+(* Tokens committed on an SSD: executing + queued, home and swapped-in. *)
+let ssd_load (s : ssd_sched) =
+  s.active_tokens + s.foreign_tokens
+  + Array.fold_left (fun acc p -> acc + p.queued_tokens) 0 s.partitions
+
+(* Advertised serving availability of a partition (§3.5): its SSD's spare
+   token capacity split across the SSD's partitions. *)
+let available_tokens p =
+  let s = p.sched in
+  let spare = s.capacity - ssd_load s in
+  max 0 (spare / max 1 (Array.length s.partitions))
+
+(* Weighted multi-tenant allocation (§3.5): the spare tokens of a
+   partition are divided among co-located tenants in proportion to their
+   configured weights. *)
+let set_tenant_weight t ~tenant ~weight =
+  if weight <= 0. then invalid_arg "Engine.set_tenant_weight: weight must be positive";
+  Hashtbl.replace t.tenant_weights tenant weight
+
+let tenant_weight t tenant =
+  Option.value ~default:1.0 (Hashtbl.find_opt t.tenant_weights tenant)
+
+let available_tokens_for t ~tenant p =
+  let total =
+    if Hashtbl.length t.tenant_weights = 0 then 1.0
+    else Hashtbl.fold (fun _ w acc -> acc +. w) t.tenant_weights 0.
+  in
+  let share = tenant_weight t tenant /. Float.max total (tenant_weight t tenant) in
+  int_of_float (float_of_int (available_tokens p) *. share)
+
+let waiting_depth p = Queue.length p.waiting
+
+(* --- execution --- *)
+
+let run_pending t (s : ssd_sched) (pend : pending) =
+  let exec_start = Sim.now () in
+  let st = pend.part.store in
+  let outcome =
+    match pend.cmd with
+    | Get k -> ( match Store.get st k with Some v -> Found v | None -> Missing)
+    | Put (k, v) ->
+        Store.put ?target:pend.target st k v;
+        Done
+    | Del k ->
+        Store.del st k;
+        Done
+  in
+  s.executed <- s.executed + 1;
+  (* Adapt the token capacity from the measured per-IO *service* latency
+     (§3.4): a slowed drive (compaction, interference) shrinks the pool,
+     recovery grows it back. Queueing delay is deliberately excluded to
+     keep the feedback loop stable. *)
+  let sample_us = Sim.to_us ((Sim.now () -. exec_start) /. float_of_int pend.tokens) in
+  s.ewma_access_us <- (0.9 *. s.ewma_access_us) +. (0.1 *. sample_us);
+  let base = t.platform.Platform.ssd.Blockdev.read_us in
+  let scaled =
+    int_of_float (float_of_int (base_capacity t.platform) *. (base /. max base s.ewma_access_us))
+  in
+  s.capacity <- max t.config.token_min (min t.config.token_max scaled);
+  outcome
+
+let launch t (s : ssd_sched) (pend : pending) =
+  s.active_tokens <- s.active_tokens + pend.tokens;
+  Sim.spawn (fun () ->
+      let outcome = run_pending t s pend in
+      s.active_tokens <- s.active_tokens - pend.tokens;
+      Sim.Ivar.fill pend.completion outcome;
+      Sim.Mailbox.send s.wake ())
+
+let admit t (s : ssd_sched) =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* Swapped-in commands take the "active queue" path directly (§3.6). *)
+    (match Queue.peek_opt s.foreign with
+    | Some pend when pend.tokens <= s.capacity - s.active_tokens ->
+        ignore (Queue.pop s.foreign);
+        s.foreign_tokens <- s.foreign_tokens - pend.tokens;
+        launch t s pend;
+        progress := true
+    | _ -> ());
+    (* Round-robin across this SSD's home partitions, FCFS within each. *)
+    let n = Array.length s.partitions in
+    let tried = ref 0 in
+    while !tried < n do
+      let p = s.partitions.(s.rr) in
+      s.rr <- (s.rr + 1) mod n;
+      incr tried;
+      match Queue.peek_opt p.waiting with
+      | Some pend when pend.tokens <= s.capacity - s.active_tokens ->
+          ignore (Queue.pop p.waiting);
+          p.queued_tokens <- p.queued_tokens - pend.tokens;
+          launch t s pend;
+          progress := true
+      | _ -> ()
+    done
+  done
+
+let sched_loop t (s : ssd_sched) =
+  while t.running do
+    admit t s;
+    Sim.Mailbox.recv s.wake
+  done
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Array.iter (fun s -> Sim.spawn (fun () -> sched_loop t s)) t.ssds;
+    Array.iter (fun p -> Store.run_compactor p.store) t.parts;
+    (* Swap-region reclamation: reset a swap log once (1) no segment table
+       references it, (2) no swapped command toward it is in flight, and
+       (3) no reader currently holds a pin into it. The compactor's
+       merge-back clears references over time. *)
+    Sim.every ~period:0.05 (fun () ->
+        Array.iter
+          (fun (s : ssd_sched) ->
+            if Circular_log.used s.swap_log > 0 then begin
+              let referenced =
+                Array.exists
+                  (fun p ->
+                    Store.home_dev p.store <> s.dev_idx
+                    && List.exists
+                         (fun seg ->
+                           (Segtbl.entry (Store.segtbl p.store) seg).Segtbl.dev = s.dev_idx)
+                         (Segtbl.swapped_out (Store.segtbl p.store)))
+                  t.parts
+              in
+              if
+                (not referenced)
+                && s.swap_inflight = 0
+                && Queue.is_empty s.foreign
+                && Circular_log.pinned s.swap_log = 0
+              then begin
+                let reclaim = Circular_log.committed_tail s.swap_log - Circular_log.head s.swap_log in
+                if reclaim > 0 then Circular_log.advance_head s.swap_log reclaim
+              end
+            end)
+          t.ssds;
+        t.running)
+  end
+
+let stop t = t.running <- false
+
+(* --- submission (§3.4 / §3.6) --- *)
+
+exception Overloaded of int (* partition id whose waiting queue is full *)
+
+(* Pick the least-loaded co-located SSD if the home SSD is overloaded by
+   more than the configured gap. *)
+let swap_candidate t (home : ssd_sched) =
+  if (not t.config.swap_enabled) || Array.length t.ssds < 2 then None
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun s ->
+        if s.dev_idx <> home.dev_idx then
+          match !best with
+          | None -> best := Some s
+          | Some b -> if ssd_load s < ssd_load b then best := Some s)
+      t.ssds;
+    match !best with
+    | Some other when ssd_load home - ssd_load other >= t.config.swap_threshold -> Some other
+    | _ -> None
+  end
+
+let submit t ~pid cmd =
+  let p = t.parts.(pid) in
+  let home = p.sched in
+  let tokens = token_cost cmd in
+  let completion = Sim.Ivar.create () in
+  let is_put = match cmd with Put _ -> true | Get _ | Del _ -> false in
+  (match (is_put, swap_candidate t home) with
+  | true, Some other ->
+      (* Redirect the write: foreign queue, foreign logs (§3.6). *)
+      let pend =
+        {
+          cmd;
+          tokens;
+          part = p;
+          target = Some (other.swap_log, other.swap_log);
+          completion;
+          enqueued_at = Sim.now ();
+        }
+      in
+      home.swapped_out <- home.swapped_out + 1;
+      other.swapped_in <- other.swapped_in + 1;
+      other.swap_inflight <- other.swap_inflight + 1;
+      Sim.Ivar.on_fill completion (fun _ -> other.swap_inflight <- other.swap_inflight - 1);
+      Queue.push pend other.foreign;
+      other.foreign_tokens <- other.foreign_tokens + tokens;
+      Sim.Mailbox.send other.wake ()
+  | _ ->
+      if Queue.length p.waiting >= t.config.waiting_cap then raise (Overloaded pid);
+      let pend = { cmd; tokens; part = p; target = None; completion; enqueued_at = Sim.now () } in
+      Queue.push pend p.waiting;
+      p.queued_tokens <- p.queued_tokens + tokens;
+      Sim.Mailbox.send home.wake ());
+  Sim.Ivar.read completion
+
+type ssd_stats = {
+  executed : int;
+  swapped_out : int;
+  swapped_in : int;
+  capacity : int;
+  ewma_access_us : float;
+}
+
+let ssd_stats (s : ssd_sched) =
+  {
+    executed = s.executed;
+    swapped_out = s.swapped_out;
+    swapped_in = s.swapped_in;
+    capacity = s.capacity;
+    ewma_access_us = s.ewma_access_us;
+  }

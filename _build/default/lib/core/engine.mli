@@ -1,0 +1,90 @@
+(** Intra-JBOF I/O execution engine (paper §3.4) and write-imbalance data
+    swapping (§3.6).
+
+    The engine owns one SmartNIC JBOF: its SSDs, the static core↔SSD
+    mapping, and per partition an FCFS waiting queue plus an active set
+    bounded by tokens — the SSD's serving capability, adapted from the
+    measured per-IO service latency. A command is admitted when its token
+    cost fits, runs on the SSD's pinned core, and releases its tokens on
+    completion.
+
+    Data swapping redirects an overloaded SSD's PUTs to the least-loaded
+    co-located SSD's swap region; the engine resets a swap region once no
+    segment table references it, nothing toward it is in flight, and no
+    reader pins it. *)
+
+type cmd = Get of string | Put of string * bytes | Del of string
+
+type outcome = Found of bytes | Missing | Done
+
+val token_cost : cmd -> int
+(** A command's cost = its NVMe access count (§3.3): GET 2, PUT 3, DEL 2. *)
+
+type config = {
+  partitions_per_ssd : int;
+  swap_enabled : bool;
+  swap_threshold : int;   (** queued-token gap that triggers redirection *)
+  token_min : int;
+  token_max : int;
+  waiting_cap : int;      (** shallow waiting-queue bound (§3.4) *)
+  store_config : Store.config;
+  klog_frac : float;      (** fraction of a partition given to the key log *)
+  swap_frac : float;      (** fraction of each SSD reserved as swap region *)
+}
+
+val default_config : config
+
+type partition
+type ssd_sched
+type t
+
+val create : ?config:config -> ?rng:Leed_sim.Rng.t -> Leed_platform.Platform.t -> t
+
+val start : t -> unit
+(** Spawn the per-SSD schedulers, the stores' compactors, and the
+    swap-region reclaimer. *)
+
+val stop : t -> unit
+
+val partitions : t -> partition array
+val partition : t -> int -> partition
+val npartitions : t -> int
+val ssds : t -> ssd_sched array
+val store : partition -> Store.t
+
+val ssd_load : ssd_sched -> int
+(** Tokens committed on an SSD: executing + queued, home and swapped-in. *)
+
+val available_tokens : partition -> int
+(** The §3.5 flow-control signal: the SSD's spare token capacity divided
+    across its partitions, piggybacked to clients. *)
+
+val set_tenant_weight : t -> tenant:int -> weight:float -> unit
+(** Configure the §3.5 weighted allocation among co-located tenants;
+    unregistered tenants weigh 1. *)
+
+val tenant_weight : t -> int -> float
+
+val available_tokens_for : t -> tenant:int -> partition -> int
+(** A tenant's weighted share of the partition's available tokens — what
+    gets piggybacked to that tenant's clients. *)
+
+val waiting_depth : partition -> int
+
+exception Overloaded of int
+(** Raised by {!submit} when the partition's waiting queue is full; the
+    node turns this into a NACK. *)
+
+val submit : t -> pid:int -> cmd -> outcome
+(** Enqueue a command on partition [pid] and block until it completes.
+    Overloaded PUTs may be swapped to another SSD (§3.6). *)
+
+type ssd_stats = {
+  executed : int;
+  swapped_out : int;
+  swapped_in : int;
+  capacity : int;
+  ewma_access_us : float;
+}
+
+val ssd_stats : ssd_sched -> ssd_stats

@@ -1,0 +1,382 @@
+(* A LEED back-end node: one SmartNIC JBOF running the I/O engine, its
+   virtual nodes, and the CRRS chain-replication protocol (§3.7).
+
+   Request handling:
+   - Writes enter at the chain head and propagate forward; every replica
+     sets the key's dirty mark, applies the write, and forwards; the tail
+     is the commitment point; acknowledgments flow backward clearing dirty
+     marks (the blocking RPC return path *is* the backward ack).
+   - Reads are served by any replica whose dirty mark for the key is clear;
+     a dirty replica ships the read to the tail, which always holds the
+     committed value.
+   - The hop counter in a write is checked against the receiver's own ring
+     view: a mismatch (membership change in flight) NACKs back to the
+     client for retry (§3.8.1). *)
+
+open Leed_sim
+open Leed_netsim
+module Rpc = Netsim.Rpc
+open Leed_platform
+
+type vnode_state = {
+  vn : Ring.vnode;
+  pid : int; (* engine partition backing this vnode *)
+  (* count of in-flight (uncommitted) writes per key — the dirty map *)
+  dirty : (string, int) Hashtbl.t;
+  (* keys freshly written via chain forwarding while a COPY is in
+     progress: bulk-copy values must not overwrite them (§3.8.1) *)
+  copy_fence : (string, unit) Hashtbl.t;
+  mutable fence_active : bool;
+}
+
+(* How a dirty replica resolves a read (§3.7): ship the whole request to
+   the tail (CRRS, the paper's choice) or ask the tail whether the write
+   has committed and serve locally if so (the CRAQ-style alternative the
+   paper measured as generating more cross-JBOF traffic). *)
+type read_mode = Ship | Version_query
+
+type t = {
+  id : int;
+  platform : Platform.t;
+  engine : Engine.t;
+  rpc : (Messages.request, Messages.response) Rpc.t;
+  ring : Ring.t; (* local view, refreshed by control-plane broadcasts *)
+  r : int;
+  vnodes : (int, vnode_state) Hashtbl.t; (* vidx -> state *)
+  net_cpu : Sim.Resource.t; (* the cores polling the RDMA RX queues (§3.4) *)
+  mutable peer : int -> (Messages.request, Messages.response) Rpc.t;
+  mutable up : bool;
+  (* forwarding rules active during COPY: writes committed in (lo, hi]
+     are also forwarded to [dst] *)
+  mutable copy_forwards : (int * int * Ring.vnode) list;
+  read_mode : read_mode;
+  mutable nacks : int;
+  mutable shipped_reads : int;
+  mutable served_reads : int;
+  mutable version_queries : int;
+}
+
+(* Cycles to pull a request out of the RDMA stack and dispatch it. *)
+let rx_cycles = 2500.
+
+let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
+  let engine = Engine.create ~config:engine_config ~rng:(Rng.create (1000 + id)) platform in
+  let rpc = Rpc.create fabric ~name:(Printf.sprintf "jbof%d" id) ~gbps:platform.Platform.nic_gbps in
+  let nparts = Engine.npartitions engine in
+  let vnodes = Hashtbl.create nparts in
+  for vidx = 0 to nparts - 1 do
+    Hashtbl.replace vnodes vidx
+      {
+        vn = { Ring.node = id; vidx };
+        pid = vidx;
+        dirty = Hashtbl.create 256;
+        copy_fence = Hashtbl.create 64;
+        fence_active = false;
+      }
+  done;
+  {
+    id;
+    platform;
+    engine;
+    rpc;
+    ring = Ring.create ();
+    r;
+    vnodes;
+    net_cpu =
+      Sim.Resource.create
+        ~name:(Printf.sprintf "jbof%d.netcpu" id)
+        ~capacity:(max 1 (platform.Platform.cpu.Platform.cores - platform.Platform.ssd_count - 1))
+        ();
+    peer = (fun _ -> failwith "Node.peer unset");
+    up = true;
+    copy_forwards = [];
+    read_mode;
+    nacks = 0;
+    shipped_reads = 0;
+    served_reads = 0;
+    version_queries = 0;
+  }
+
+let id t = t.id
+let engine t = t.engine
+let rpc t = t.rpc
+let ring t = t.ring
+let set_peer_resolver t f = t.peer <- f
+let vnode t vidx = Hashtbl.find t.vnodes vidx
+
+let vnode_opt t vidx = Hashtbl.find_opt t.vnodes vidx
+
+let install_ring t snap = Ring.install t.ring snap
+
+(* --- dirty map --- *)
+
+let dirty_incr vs key =
+  Hashtbl.replace vs.dirty key (1 + Option.value ~default:0 (Hashtbl.find_opt vs.dirty key))
+
+let dirty_decr vs key =
+  match Hashtbl.find_opt vs.dirty key with
+  | Some 1 | None -> Hashtbl.remove vs.dirty key
+  | Some n -> Hashtbl.replace vs.dirty key (n - 1)
+
+let is_dirty vs key = Hashtbl.mem vs.dirty key
+
+(* --- helpers --- *)
+
+let charge_rx t =
+  Platform.Cpu.execute_on t.platform t.net_cpu ~cycles:rx_cycles
+
+let tokens_for ?(tenant = 0) t vs =
+  Engine.available_tokens_for t.engine ~tenant (Engine.partition t.engine vs.pid)
+
+(* Validate that this node is position [hop] of the key's chain in the
+   local ring view; returns the chain on success. *)
+let validate_chain t ~key ~hop ~vn =
+  let chain = Ring.chain t.ring ~r:t.r key in
+  match List.nth_opt chain hop with
+  | Some e when e.Ring.owner = vn && vn.Ring.node = t.id -> Some chain
+  | _ -> None
+
+(* --- COPY fencing (§3.8.1): while a COPY streams into a vnode, writes
+   arriving through chain forwarding are newer than any bulk-copied value;
+   the fence records them so stale copies are dropped. --- *)
+
+let begin_fence t vidx =
+  let vs = vnode t vidx in
+  vs.fence_active <- true
+
+let end_fence t vidx =
+  let vs = vnode t vidx in
+  vs.fence_active <- false;
+  Hashtbl.reset vs.copy_fence
+
+(* --- COPY forwarding (§3.8.1) --- *)
+
+let add_copy_forward t ~lo ~hi ~dst = t.copy_forwards <- (lo, hi, dst) :: t.copy_forwards
+
+let remove_copy_forward t ~dst =
+  t.copy_forwards <- List.filter (fun (_, _, d) -> d <> dst) t.copy_forwards
+
+let forward_copies t ~key ~value =
+  List.iter
+    (fun (lo, hi, dst) ->
+      if Ring.key_in_arc ~lo ~hi key then begin
+        let req = Messages.Copy_put { vn = dst; key; value } in
+        match
+          Rpc.call_timeout t.rpc ~dst:(t.peer dst.Ring.node) ~size:(Messages.request_size req)
+            ~timeout:0.5 req
+        with
+        | Some _ | None -> ()
+      end)
+    t.copy_forwards
+
+(* --- request handlers --- *)
+
+let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
+  ignore version;
+  match vnode_opt t vn.Ring.vidx with
+  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
+  | Some vs -> (
+      match validate_chain t ~key ~hop ~vn with
+      | None ->
+          t.nacks <- t.nacks + 1;
+          Messages.Nack (Messages.Stale_view (Ring.version t.ring))
+      | Some chain ->
+          let is_tail = hop = List.length chain - 1 in
+          dirty_incr vs key;
+          let ok = ref true in
+          let apply () =
+            let cmd =
+              match value with
+              | Some v -> Engine.Put (key, v)
+              | None -> Engine.Del key
+            in
+            match Engine.submit t.engine ~pid:vs.pid cmd with
+            | Engine.Done | Engine.Found _ | Engine.Missing -> ()
+            | exception Engine.Overloaded _ -> ok := false
+          in
+          let forward () =
+            if not is_tail then begin
+              match List.nth_opt chain (hop + 1) with
+              | None -> ok := false
+              | Some next ->
+                  let req =
+                    Messages.Write
+                      {
+                        vn = next.Ring.owner;
+                        key;
+                        value;
+                        hop = hop + 1;
+                        version = Ring.version t.ring;
+                        tenant;
+                      }
+                  in
+                  let resp =
+                    Rpc.call_timeout t.rpc
+                      ~dst:(t.peer next.Ring.owner.Ring.node)
+                      ~size:(Messages.request_size req) ~timeout:0.5 req
+                  in
+                  (match resp with Some (Messages.Ok _) -> () | _ -> ok := false)
+            end
+          in
+          (* Apply locally and propagate down-chain concurrently; the reply
+             (backward ack) leaves only when both are done. *)
+          Sim.fork_join [ apply; forward ];
+          dirty_decr vs key;
+          if !ok then begin
+            if is_tail && vs.fence_active then Hashtbl.replace vs.copy_fence key ();
+            if is_tail then (
+              match value with
+              | Some v -> forward_copies t ~key ~value:v
+              | None -> ());
+            Messages.Ok { tokens = tokens_for ~tenant t vs }
+          end
+          else begin
+            t.nacks <- t.nacks + 1;
+            Messages.Nack Messages.Not_serving
+          end)
+
+let serve_local_read t vs ~key ~tenant =
+  t.served_reads <- t.served_reads + 1;
+  match Engine.submit t.engine ~pid:vs.pid (Engine.Get key) with
+  | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
+  | Engine.Missing -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
+  | Engine.Done -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
+  | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
+
+let ship_to_tail t ~key ~tenant (te : Ring.entry) =
+  t.shipped_reads <- t.shipped_reads + 1;
+  let req = Messages.Get { vn = te.Ring.owner; key; shipped = true; tenant } in
+  let resp =
+    Rpc.call_timeout t.rpc
+      ~dst:(t.peer te.Ring.owner.Ring.node)
+      ~size:(Messages.request_size req) ~timeout:0.5 req
+  in
+  match resp with Some r -> r | None -> Messages.Nack Messages.Not_serving
+
+(* CRAQ-style resolution (§3.7's alternative): ask the tail whether the
+   key's latest write has committed; if it has, the local copy is the
+   committed one and can be served without moving the value across the
+   fabric. A still-dirty tail falls back to shipping. *)
+let resolve_by_version t vs ~key ~tenant (te : Ring.entry) =
+  t.version_queries <- t.version_queries + 1;
+  let req = Messages.Version_query { vn = te.Ring.owner; key } in
+  match
+    Rpc.call_timeout t.rpc
+      ~dst:(t.peer te.Ring.owner.Ring.node)
+      ~size:(Messages.request_size req) ~timeout:0.5 req
+  with
+  | Some (Messages.Version { dirty = false; _ }) -> serve_local_read t vs ~key ~tenant
+  | Some _ -> ship_to_tail t ~key ~tenant te
+  | None -> Messages.Nack Messages.Not_serving
+
+let handle_get t ~vn ~key ~shipped ~tenant =
+  match vnode_opt t vn.Ring.vidx with
+  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
+  | Some vs ->
+      let chain = Ring.chain t.ring ~r:t.r key in
+      let tail_entry = match List.rev chain with e :: _ -> Some e | [] -> None in
+      let am_tail = match tail_entry with Some e -> e.Ring.owner = vn | None -> false in
+      if (not shipped) && is_dirty vs key && not am_tail then begin
+        match tail_entry with
+        | None -> Messages.Nack Messages.Not_serving
+        | Some te -> (
+            match t.read_mode with
+            | Ship -> ship_to_tail t ~key ~tenant te
+            | Version_query -> resolve_by_version t vs ~key ~tenant te)
+      end
+      else serve_local_read t vs ~key ~tenant
+
+let handle_copy_put t ~vn ~key ~value =
+  match vnode_opt t vn.Ring.vidx with
+  | None -> Messages.Nack Messages.Not_serving
+  | Some vs ->
+      if vs.fence_active && Hashtbl.mem vs.copy_fence key then
+        (* A forwarded write already delivered a newer value. *)
+        Messages.Ok { tokens = tokens_for t vs }
+      else begin
+        match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, value)) with
+        | _ -> Messages.Ok { tokens = tokens_for t vs }
+        | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
+      end
+
+let handle_version_query t ~vn ~key =
+  match vnode_opt t vn.Ring.vidx with
+  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
+  | Some vs -> Messages.Version { dirty = is_dirty vs key; tokens = tokens_for t vs }
+
+let handle t (req : Messages.request) : Messages.response =
+  charge_rx t;
+  match req with
+  | Messages.Get { vn; key; shipped; tenant } -> handle_get t ~vn ~key ~shipped ~tenant
+  | Messages.Write { vn; key; value; hop; version; tenant } ->
+      handle_write t ~vn ~key ~value ~hop ~version ~tenant
+  | Messages.Version_query { vn; key } -> handle_version_query t ~vn ~key
+  | Messages.Copy_put { vn; key; value } -> handle_copy_put t ~vn ~key ~value
+  | Messages.Ring_update snap ->
+      install_ring t snap;
+      Messages.Ok { tokens = 0 }
+  | Messages.Ping { node = _ } -> Messages.Ok { tokens = 0 }
+
+let start t =
+  Engine.start t.engine;
+  Rpc.serve t.rpc ~resp_size:Messages.response_size (fun _rpc ~src:_ req -> handle t req)
+
+(* Fail-stop crash: the NIC goes silent; engine state survives in DRAM/
+   flash but nothing is served. *)
+let crash t =
+  t.up <- false;
+  Rpc.set_down t.rpc
+
+let recover_network t =
+  t.up <- true;
+  Rpc.set_up t.rpc
+
+let is_up t = t.up
+
+(* --- COPY source side (§3.8): stream every live pair of [vidx] whose key
+   falls in (lo, hi] to the destination vnode. Returns pairs copied. *)
+
+let copy_range t ~vidx ~lo ~hi ~(dst : Ring.vnode) =
+  let vs = vnode t vidx in
+  let st = Engine.store (Engine.partition t.engine vs.pid) in
+  (* Bulk transfer: up to [window] Copy_puts in flight — COPY is meant to
+     move data fast, at the cost of competing with foreground traffic
+     (the Figure 9 dips). *)
+  let window = Sim.Resource.create ~name:"copy.window" ~capacity:32 () in
+  let copied = ref 0 and pending = ref 0 in
+  let drained = Sim.Ivar.create () in
+  let fold_done = ref false in
+  Store.fold_live st ~init:() ~f:(fun () key value ->
+      if Ring.key_in_arc ~lo ~hi key then begin
+        Sim.Resource.acquire window;
+        incr pending;
+        Sim.spawn (fun () ->
+            let req = Messages.Copy_put { vn = dst; key; value } in
+            (match
+               Rpc.call_timeout t.rpc ~dst:(t.peer dst.Ring.node) ~size:(Messages.request_size req)
+                 ~timeout:1.0 req
+             with
+            | Some (Messages.Ok _) -> incr copied
+            | Some _ | None -> ());
+            Sim.Resource.release window;
+            decr pending;
+            if !fold_done && !pending = 0 then Sim.Ivar.fill drained ())
+      end);
+  fold_done := true;
+  if !pending > 0 then Sim.Ivar.read drained;
+  !copied
+
+type stats = {
+  n_nacks : int;
+  n_shipped_reads : int;
+  n_served_reads : int;
+  n_version_queries : int;
+}
+
+let stats t =
+  {
+    n_nacks = t.nacks;
+    n_shipped_reads = t.shipped_reads;
+    n_served_reads = t.served_reads;
+    n_version_queries = t.version_queries;
+  }

@@ -1,0 +1,84 @@
+(** A LEED back-end node (paper §3.7, §3.8): one SmartNIC JBOF running the
+    I/O engine, its virtual nodes, and CRRS chain replication.
+
+    Writes enter at the chain head and propagate forward; every replica
+    sets the key's dirty mark, applies the write, and forwards; the tail
+    is the commitment point and the blocking RPC return path is the
+    backward acknowledgment that clears dirty marks. Reads are served by
+    any replica whose dirty mark is clear; a dirty replica ships the read
+    to the tail. The hop counter of a write is validated against the
+    receiver's own ring view; mismatches NACK back to the client. *)
+
+type vnode_state
+
+(** How a dirty replica resolves a read (§3.7): [Ship] the whole request
+    to the tail (CRRS, the paper's choice), or [Version_query] the tail
+    CRAQ-style and serve locally when the write has committed — the
+    alternative the paper measured as generating more cross-JBOF
+    traffic. *)
+type read_mode = Ship | Version_query
+
+type t
+
+val create :
+  ?read_mode:read_mode ->
+  id:int ->
+  platform:Leed_platform.Platform.t ->
+  fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
+  engine_config:Engine.config ->
+  r:int ->
+  unit ->
+  t
+
+val id : t -> int
+val engine : t -> Engine.t
+val rpc : t -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t
+
+val ring : t -> Ring.t
+(** The node's local ring view (refreshed by control-plane broadcasts). *)
+
+val set_peer_resolver : t -> (int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) -> unit
+
+val vnode : t -> int -> vnode_state
+val install_ring : t -> Ring.snapshot -> unit
+
+val handle : t -> Messages.request -> Messages.response
+(** The request dispatcher (exposed for tests). *)
+
+val start : t -> unit
+(** Start the engine and serve RPCs. *)
+
+val crash : t -> unit
+(** Fail-stop: the NIC goes silent; flash contents survive. *)
+
+val recover_network : t -> unit
+val is_up : t -> bool
+
+(** {1 COPY support (§3.8.1)} *)
+
+val begin_fence : t -> int -> unit
+(** While a COPY streams into a vnode, writes arriving through chain
+    forwarding are newer than any bulk-copied value; the fence records
+    them so stale copies are dropped. *)
+
+val end_fence : t -> int -> unit
+
+val add_copy_forward : t -> lo:int -> hi:int -> dst:Ring.vnode -> unit
+(** While active, writes this node commits in (lo, hi] are also forwarded
+    to [dst] (the joining/repairing vnode). *)
+
+val remove_copy_forward : t -> dst:Ring.vnode -> unit
+
+val copy_range : t -> vidx:int -> lo:int -> hi:int -> dst:Ring.vnode -> int
+(** Stream every live pair of [vidx] whose key falls in (lo, hi] to [dst]
+    as a pipelined bulk transfer (COPY competes with foreground traffic —
+    the Figure 9 dips). Returns pairs copied. *)
+
+type stats = {
+  n_nacks : int;
+  n_shipped_reads : int;
+  n_served_reads : int;
+  n_version_queries : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,93 @@
+(* In-memory segment table (§3.2.3): the only per-key-range metadata LEED
+   keeps in the SmartNIC's constrained DRAM. One entry per segment: K bits
+   of chain length, a 4-byte offset into the key log, one lock bit — and,
+   for the data-swapping extension of §3.6, the id of the SSD currently
+   holding the segment. Everything else lives on flash.
+
+   The lock bit serialises PUT/DEL/value-compaction/COPY on a segment; the
+   simulator gives it a FIFO waiter queue so blocking is fair. *)
+
+open Leed_sim
+
+type entry = {
+  mutable dev : int;        (* SSD id of the log holding the segment *)
+  mutable off : int;        (* logical offset of the segment in that key log *)
+  mutable chain_len : int;  (* 0 = segment not yet materialised on flash *)
+  mutable locked : bool;
+  mutable waiters : (unit -> unit) Queue.t;
+}
+
+type t = {
+  nsegments : int;
+  entries : entry array;
+  home_dev : int;
+  (* modeled DRAM bytes per entry: 4 B offset + K bits chain + lock bit +
+     SSD id — 6 B, matching the paper's budget arithmetic. *)
+  entry_bytes : int;
+}
+
+let create ?(entry_bytes = 6) ~nsegments ~home_dev () =
+  if nsegments <= 0 then invalid_arg "Segtbl.create: nsegments must be positive";
+  {
+    nsegments;
+    entries =
+      Array.init nsegments (fun _ ->
+          { dev = home_dev; off = -1; chain_len = 0; locked = false; waiters = Queue.create () });
+    home_dev;
+    entry_bytes;
+  }
+
+let nsegments t = t.nsegments
+let entry t seg = t.entries.(seg)
+let is_materialised e = e.chain_len > 0
+
+(* Modeled DRAM footprint (what an 8 GB Stingray would actually spend). *)
+let modeled_bytes t = t.nsegments * t.entry_bytes
+
+let update t ~seg ~dev ~off ~chain_len =
+  let e = t.entries.(seg) in
+  e.dev <- dev;
+  e.off <- off;
+  e.chain_len <- chain_len
+
+(* --- segment lock (the "one lock bit" of §3.2.2) --- *)
+
+let lock t seg =
+  let e = t.entries.(seg) in
+  if not e.locked then e.locked <- true
+  else Sim.suspend (fun resume -> Queue.push (fun () -> resume ()) e.waiters)
+
+let unlock t seg =
+  let e = t.entries.(seg) in
+  if not e.locked then invalid_arg "Segtbl.unlock: not locked";
+  if Queue.is_empty e.waiters then e.locked <- false
+  else
+    (* Hand the lock to the oldest waiter without releasing it. *)
+    (Queue.pop e.waiters) ()
+
+let try_lock t seg =
+  let e = t.entries.(seg) in
+  if e.locked then false
+  else begin
+    e.locked <- true;
+    true
+  end
+
+let is_locked t seg = t.entries.(seg).locked
+
+let with_lock t seg f =
+  lock t seg;
+  match f () with
+  | v ->
+      unlock t seg;
+      v
+  | exception e ->
+      unlock t seg;
+      raise e
+
+(* Live segments currently stored on a foreign SSD (swap regions awaiting
+   merge-back, §3.6). *)
+let swapped_out t =
+  let acc = ref [] in
+  Array.iteri (fun i e -> if e.chain_len > 0 && e.dev <> t.home_dev then acc := i :: !acc) t.entries;
+  List.rev !acc

@@ -1,0 +1,720 @@
+(* The LEED per-partition data store (§3.2, §3.3).
+
+   One store owns a key range on one SSD partition, holding a circular key
+   log (segments = arrays of ≤512 B buckets) and a circular value log, with
+   only the segment table resident in DRAM. Command costs in NVMe accesses
+   match the paper: GET = 2 (segment read + value read), PUT = 3 with the
+   segment read and value append overlapped, DEL = 2.
+
+   The store can execute a PUT against *foreign* logs (another SSD's swap
+   region) — that is the §3.6 data-swapping hook driven by the I/O engine —
+   and its compactor merges swapped segments back home. *)
+
+open Leed_sim
+open Leed_stats
+
+type config = {
+  nsegments : int;
+  key_size_hint : int;
+  compact_trigger : float; (* log occupancy that wakes the compactor *)
+  compact_target : float;  (* occupancy the compactor drives down to *)
+  subcompactions : int;    (* S-way intra-parallelism (§3.3.1) *)
+  prefetch : bool;         (* prefetch window N+1 during compaction N *)
+  compaction_window : int; (* bytes examined per compaction round *)
+  max_value_size : int;
+}
+
+let default_config =
+  {
+    nsegments = 4096;
+    key_size_hint = 16;
+    compact_trigger = 0.85;
+    compact_target = 0.60;
+    subcompactions = 4;
+    prefetch = true;
+    compaction_window = 256 * 1024;
+    max_value_size = 1 lsl 20;
+  }
+
+(* CPU cycle costs of the software path (A72-equivalent cycles); the
+   simulation charges these on the core mapped to the store's SSD. *)
+module Costs = struct
+  let hash_lookup = 600.
+  let bucket_search_per_item = 60.
+  let encode_per_item = 80.
+  let decode_per_item = 70.
+  let command_setup = 800.
+end
+
+type op_kind = Get | Put | Del
+
+type op_stats = {
+  latency : Histogram.t;
+  ssd_time : Summary.t;
+  cpu_time : Summary.t;
+  mutable count : int;
+  mutable nvme_accesses : int;
+}
+
+let make_op_stats () =
+  {
+    latency = Histogram.create ();
+    ssd_time = Summary.create ();
+    cpu_time = Summary.create ();
+    count = 0;
+    nvme_accesses = 0;
+  }
+
+type t = {
+  name : string;
+  config : config;
+  segtbl : Segtbl.t;
+  klog : Circular_log.t;
+  vlog : Circular_log.t;
+  home_dev : int;
+  (* resolve a foreign (dev, kind) to the log holding swapped data; wired
+     by the JBOF node. *)
+  mutable resolve : int -> Circular_log.t;
+  (* charge CPU cycles on the owning core; wired by the I/O engine. *)
+  mutable charge : float -> unit;
+  get_stats : op_stats;
+  put_stats : op_stats;
+  del_stats : op_stats;
+  mutable compactions : int;
+  mutable compacted_bytes : int;
+  mutable objects : int; (* live (non-tombstone) items *)
+  prefetch_cache : (int, bytes) Hashtbl.t; (* klog loff -> segment bytes *)
+  mutable swapped_puts : int;
+  mutable merged_back : int;
+}
+
+let create ?(config = default_config) ~name ~klog ~vlog () =
+  let home_dev = Circular_log.dev_id klog in
+  {
+    name;
+    config;
+    segtbl = Segtbl.create ~nsegments:config.nsegments ~home_dev ();
+    klog;
+    vlog;
+    home_dev;
+    resolve =
+      (fun dev ->
+        if dev = home_dev then klog
+        else failwith (Printf.sprintf "%s: no resolver for foreign dev %d" name dev));
+    charge = (fun _ -> ());
+    get_stats = make_op_stats ();
+    put_stats = make_op_stats ();
+    del_stats = make_op_stats ();
+    compactions = 0;
+    compacted_bytes = 0;
+    objects = 0;
+    prefetch_cache = Hashtbl.create 64;
+    swapped_puts = 0;
+    merged_back = 0;
+  }
+
+let set_resolver t f = t.resolve <- f
+let set_charge t f = t.charge <- f
+let name t = t.name
+let segtbl t = t.segtbl
+let klog t = t.klog
+let vlog t = t.vlog
+let home_dev t = t.home_dev
+let objects t = t.objects
+let stats t = function Get -> t.get_stats | Put -> t.put_stats | Del -> t.del_stats
+
+(* Modeled DRAM footprint of the in-memory index — the Challenge-1 number
+   (bytes per object must stay below ~0.5). *)
+let index_bytes t = Segtbl.modeled_bytes t.segtbl
+let index_bytes_per_object t =
+  if t.objects = 0 then 0. else float_of_int (index_bytes t) /. float_of_int t.objects
+
+(* --- operation context: attribute wall time to SSD vs CPU (Fig. 11) --- *)
+
+type opctx = { mutable ssd : float; mutable cpu : float; mutable accesses : int }
+
+let timed_ssd ctx f =
+  let t0 = Sim.now () in
+  let r = f () in
+  ctx.ssd <- ctx.ssd +. (Sim.now () -. t0);
+  ctx.accesses <- ctx.accesses + 1;
+  r
+
+let charge ctx t cycles =
+  let t0 = Sim.now () in
+  t.charge cycles;
+  ctx.cpu <- ctx.cpu +. (Sim.now () -. t0)
+
+let finish ctx t kind t0 =
+  let st = stats t kind in
+  st.count <- st.count + 1;
+  st.nvme_accesses <- st.nvme_accesses + ctx.accesses;
+  Histogram.record st.latency (Sim.now () -. t0);
+  Summary.add st.ssd_time ctx.ssd;
+  Summary.add st.cpu_time ctx.cpu
+
+(* --- segment I/O --- *)
+
+let log_for t dev = if dev = t.home_dev then t.klog else t.resolve dev
+
+(* Read a whole segment (chain of buckets) as its item list. *)
+let read_segment ctx t (e : Segtbl.entry) =
+  let log = log_for t e.Segtbl.dev in
+  let len = Codec.segment_bytes ~chain_len:e.Segtbl.chain_len in
+  let buf =
+    match Hashtbl.find_opt t.prefetch_cache e.Segtbl.off with
+    | Some b when e.Segtbl.dev = t.home_dev && Bytes.length b = len -> b
+    | _ ->
+        Circular_log.with_pin log (fun () ->
+            timed_ssd ctx (fun () -> Circular_log.read log ~loff:e.Segtbl.off ~len))
+  in
+  let buckets = Codec.decode_segment buf in
+  let items = List.concat_map (fun b -> b.Codec.items) buckets in
+  charge ctx t (Costs.decode_per_item *. float_of_int (List.length items));
+  items
+
+(* Split an item list into bucket-sized groups and append the segment.
+
+   Invariant maintained here: a segment written to the *home* key log never
+   references foreign (swapped, §3.6) values — they are pulled home first.
+   This is what lets the JBOF reset a swap region once no segment table
+   points into it. *)
+let write_segment ctx t ~seg ~items ~(target : Circular_log.t) =
+  let items =
+    if Circular_log.dev_id target <> t.home_dev then items
+    else
+      List.map
+        (fun it ->
+          if it.Codec.vdev <> t.home_dev && not (Codec.is_tombstone it) then begin
+            let flog = t.resolve it.Codec.vdev in
+            let len = Codec.value_header_size + String.length it.Codec.key + it.Codec.vlen in
+            let buf =
+              Circular_log.with_pin flog (fun () ->
+                  timed_ssd ctx (fun () -> Circular_log.read flog ~loff:it.Codec.voff ~len))
+            in
+            let voff = timed_ssd ctx (fun () -> Circular_log.append t.vlog buf) in
+            { it with Codec.voff; vdev = t.home_dev }
+          end
+          else it)
+        items
+  in
+  charge ctx t (Costs.encode_per_item *. float_of_int (List.length items));
+  let capacity = Codec.bucket_size - Codec.bucket_header_size in
+  let rec split acc cur cur_bytes = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | it :: rest ->
+        let sz = Codec.item_size it in
+        if cur <> [] && cur_bytes + sz > capacity then split (List.rev cur :: acc) [ it ] sz rest
+        else split acc (it :: cur) (cur_bytes + sz) rest
+  in
+  let groups = match split [] [] 0 items with [] -> [ [] ] | gs -> gs in
+  let chain_len = List.length groups in
+  let bindex = match items with [] -> 0 | it :: _ -> Codec.bucket_index_of_key it.Codec.key in
+  let buckets =
+    List.mapi
+      (fun i group ->
+        {
+          Codec.bindex;
+          chain_len;
+          chain_pos = i;
+          seg_id = seg;
+          log_head = Circular_log.head target;
+          log_tail = Circular_log.tail target;
+          items = group;
+        })
+      groups
+  in
+  let data = Codec.encode_segment buckets in
+  let off = timed_ssd ctx (fun () -> Circular_log.append target data) in
+  Segtbl.update t.segtbl ~seg ~dev:(Circular_log.dev_id target) ~off ~chain_len;
+  off
+
+(* --- GET (§3.3): SegTbl lookup → key log read → value log read --- *)
+
+let get t key =
+  let t0 = Sim.now () in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  charge ctx t (Costs.command_setup +. Costs.hash_lookup);
+  let seg = Codec.segment_of_key ~nsegments:t.config.nsegments key in
+  (* A GET holds no lock, so a concurrent compaction can relocate what its
+     snapshot points at; stale entries stay readable until the log wraps
+     over them, and the rare torn read is detected (Corrupt / range check)
+     and retried through the segment table. *)
+  let rec attempt tries =
+    let e = Segtbl.entry t.segtbl seg in
+    if not (Segtbl.is_materialised e) then None
+    else
+      match
+        let items = read_segment ctx t e in
+        charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length items));
+        match List.find_opt (fun it -> String.equal it.Codec.key key) items with
+        | None -> None
+        | Some it when Codec.is_tombstone it -> None
+        | Some it ->
+            let vlog = if it.Codec.vdev = t.home_dev then t.vlog else t.resolve it.Codec.vdev in
+            let len = Codec.value_header_size + String.length key + it.Codec.vlen in
+            let buf =
+              Circular_log.with_pin vlog (fun () ->
+                  timed_ssd ctx (fun () -> Circular_log.read vlog ~loff:it.Codec.voff ~len))
+            in
+            let ve = Codec.decode_value_entry buf in
+            if not (String.equal ve.Codec.ve_key key) then raise (Codec.Corrupt "key mismatch");
+            Some ve.Codec.ve_value
+      with
+      | result -> result
+      | exception (Codec.Corrupt _ | Invalid_argument _) when tries < 4 ->
+          Sim.yield ();
+          attempt (tries + 1)
+  in
+  let result = attempt 0 in
+  finish ctx t Get t0;
+  result
+
+(* Backpressure when a log is out of space: PUTs "are served slowly if the
+   new log entry generation speed cannot catch up" (§3.3.1) — the caller
+   stalls until the compactor frees room. *)
+let wait_for_space t log need =
+  let tries = ref 0 in
+  while Circular_log.free log < need do
+    incr tries;
+    if !tries > 50_000 then
+      failwith (Printf.sprintf "%s: log %s permanently full" t.name (Circular_log.name log));
+    Sim.delay (Sim.us 200.)
+  done
+
+(* --- PUT (§3.3): segment read ∥ value append, then segment append ---
+
+   [target] overrides the destination logs for swapped writes (§3.6):
+   both the value entry and the updated segment land on the foreign SSD's
+   swap log. *)
+
+let put ?target t key value =
+  if Bytes.length value > t.config.max_value_size then invalid_arg "Store.put: value too large";
+  if Bytes.length value = 0 then invalid_arg "Store.put: empty value (reserved as tombstone)";
+  let t0 = Sim.now () in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  charge ctx t (Costs.command_setup +. Costs.hash_lookup);
+  let seg = Codec.segment_of_key ~nsegments:t.config.nsegments key in
+  let klog_target, vlog_target =
+    match target with Some (k, v) -> (k, v) | None -> (t.klog, t.vlog) in
+  if Circular_log.dev_id klog_target <> t.home_dev then t.swapped_puts <- t.swapped_puts + 1;
+  (* The headroom beyond the entry itself absorbs racing writers and the
+     value compactor's own relocation appends. *)
+  wait_for_space t vlog_target
+    (Codec.value_header_size + String.length key + Bytes.length value
+   + (2 * t.config.compaction_window));
+  (* Key-log headroom is reserved *before* taking the segment lock: the
+     compactor needs the same lock to free space, so waiting inside it
+     would deadlock. The headroom also covers the compactor's own
+     relocation appends. *)
+  wait_for_space t klog_target
+    (Codec.segment_bytes ~chain_len:8 + t.config.compaction_window);
+  Segtbl.with_lock t.segtbl seg (fun () ->
+      let e = Segtbl.entry t.segtbl seg in
+      (* Overlap the value append with the segment read (the paper's
+         latency optimisation: PUT adds only ~10 us over GET). *)
+      let voff = ref (-1) in
+      let items = ref [] in
+      Sim.fork_join
+        [
+          (fun () ->
+            let ve = { Codec.ve_seg = seg; ve_key = key; ve_value = value } in
+            voff := timed_ssd ctx (fun () -> Circular_log.append vlog_target (Codec.encode_value_entry ve)));
+          (fun () -> if Segtbl.is_materialised e then items := read_segment ctx t e);
+        ];
+      charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length !items));
+      let item =
+        { Codec.key; vlen = Bytes.length value; voff = !voff; vdev = Circular_log.dev_id vlog_target }
+      in
+      let existed = List.exists (fun it -> String.equal it.Codec.key key) !items in
+      let others = List.filter (fun it -> not (String.equal it.Codec.key key)) !items in
+      let items' = item :: others in
+      ignore (write_segment ctx t ~seg ~items:items' ~target:klog_target);
+      (match existed with
+      | true ->
+          (* overwrite of a live or tombstoned item *)
+          if List.exists (fun it -> String.equal it.Codec.key key && Codec.is_tombstone it) !items
+          then t.objects <- t.objects + 1
+      | false -> t.objects <- t.objects + 1));
+  finish ctx t Put t0
+
+(* --- DEL (§3.3): like PUT but only the key log; vlen=0 marks deletion --- *)
+
+let del t key =
+  let t0 = Sim.now () in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  charge ctx t (Costs.command_setup +. Costs.hash_lookup);
+  let seg = Codec.segment_of_key ~nsegments:t.config.nsegments key in
+  wait_for_space t t.klog (Codec.segment_bytes ~chain_len:8 + t.config.compaction_window);
+  Segtbl.with_lock t.segtbl seg (fun () ->
+      let e = Segtbl.entry t.segtbl seg in
+      if Segtbl.is_materialised e then begin
+        let items = read_segment ctx t e in
+        charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length items));
+        match List.find_opt (fun it -> String.equal it.Codec.key key) items with
+        | None -> ()
+        | Some it ->
+            let was_live = not (Codec.is_tombstone it) in
+            let items' =
+              List.map
+                (fun it ->
+                  if String.equal it.Codec.key key then { it with Codec.vlen = 0; voff = 0; vdev = -1 }
+                  else it)
+                items
+            in
+            ignore (write_segment ctx t ~seg ~items:items' ~target:t.klog);
+            if was_live then t.objects <- t.objects - 1
+      end);
+  finish ctx t Del t0
+
+(* ------------------------------------------------------------------ *)
+(* Compaction (§3.3.1). *)
+
+(* Scan the key log window [head, head+window): one bulk device read of
+   the window, parsed in memory; every complete segment frame found is
+   also staged in the prefetch cache so its relocation needs no further
+   device read. Returns frame descriptors (loff, seg_id, chain_len). *)
+let scan_key_window ctx t ~window =
+  let head = Circular_log.head t.klog in
+  let stop = min (Circular_log.committed_tail t.klog) (head + window) in
+  if stop <= head then []
+  else begin
+    let len = stop - head in
+    let buf = timed_ssd ctx (fun () -> Circular_log.read t.klog ~loff:head ~len) in
+    let rec parse pos acc =
+      if pos + Codec.bucket_size > len then List.rev acc
+      else begin
+        let b = Codec.decode_bucket ~off:pos buf in
+        let seg_len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
+        if pos + seg_len > len then List.rev acc (* frame extends past the window *)
+        else begin
+          Hashtbl.replace t.prefetch_cache (head + pos) (Bytes.sub buf pos seg_len);
+          parse (pos + seg_len) ((head + pos, b.Codec.seg_id, b.Codec.chain_len) :: acc)
+        end
+      end
+    in
+    parse 0 []
+  end
+
+(* One key-log compaction round: relocate every live segment in the window
+   to the tail, drop stale copies, purge tombstones, advance the head.
+   Returns the number of bytes reclaimed. *)
+let compact_key_log ?(subcompactions = 0) t =
+  let s = if subcompactions > 0 then subcompactions else t.config.subcompactions in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  let frames = scan_key_window ctx t ~window:t.config.compaction_window in
+  (* Split into S sub-compactions processed in parallel (§3.3.1). *)
+  let groups = Array.make s [] in
+  List.iteri (fun i f -> groups.(i mod s) <- f :: groups.(i mod s)) frames;
+  let window_end = ref (Circular_log.head t.klog) in
+  List.iter (fun (loff, _, cl) -> window_end := max !window_end (loff + Codec.segment_bytes ~chain_len:cl)) frames;
+  let blocked = ref false in
+  let process (loff, seg, chain_len) =
+    let e = Segtbl.entry t.segtbl seg in
+    if e.Segtbl.dev = t.home_dev && e.Segtbl.off = loff && e.Segtbl.chain_len = chain_len then begin
+      (* Live segment: relocate. Skip (leave for the next round) if locked
+         by a PUT/DEL/value compaction — the paper's rule; here we wait
+         since the head must move past it. *)
+      Segtbl.with_lock t.segtbl seg (fun () ->
+          let e = Segtbl.entry t.segtbl seg in
+          if e.Segtbl.dev = t.home_dev && e.Segtbl.off = loff then begin
+            let sub = { ssd = 0.; cpu = 0.; accesses = 0 } in
+            let items = read_segment sub t e in
+            let live = List.filter (fun it -> not (Codec.is_tombstone it)) items in
+            (if live <> [] then
+               try ignore (write_segment sub t ~seg ~items:live ~target:t.klog)
+               with Circular_log.Log_full _ ->
+                 (* Out of room mid-round: leave this segment in place and
+                    do not advance the head past it. *)
+                 blocked := true
+             else Segtbl.update t.segtbl ~seg ~dev:t.home_dev ~off:(-1) ~chain_len:0);
+            t.compacted_bytes <- t.compacted_bytes + Codec.segment_bytes ~chain_len
+          end)
+    end
+    (* else: stale copy, nothing to do. *)
+  in
+  Sim.fork_join
+    (Array.to_list (Array.map (fun group () -> List.iter process (List.rev group)) groups));
+  let reclaimed = if !blocked then 0 else !window_end - Circular_log.head t.klog in
+  if reclaimed > 0 then Circular_log.advance_head t.klog reclaimed;
+  (* Drop prefetched frames the head has moved past; frames prefetched for
+     the next window (higher offsets) stay warm. *)
+  let dead =
+    Hashtbl.fold
+      (fun loff _ acc -> if loff < Circular_log.head t.klog then loff :: acc else acc)
+      t.prefetch_cache []
+  in
+  List.iter (Hashtbl.remove t.prefetch_cache) dead;
+  t.compactions <- t.compactions + 1;
+  reclaimed
+
+(* Background prefetch of the next window's segment frames (§3.3.1: "when
+   executing the Nth compaction, prefetch segments for the N+1th"): one
+   bulk read, parsed defensively — the compactor may advance the head
+   while this read is in flight, in which case the stale bytes are simply
+   dropped (they can only be keyed at offsets nothing live points to). *)
+let prefetch_next_window t =
+  if t.config.prefetch then
+    Sim.spawn (fun () ->
+        let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+        let head = Circular_log.head t.klog in
+        let stop =
+          min (Circular_log.committed_tail t.klog) (head + t.config.compaction_window)
+        in
+        if stop > head then begin
+          match timed_ssd ctx (fun () -> Circular_log.read t.klog ~loff:head ~len:(stop - head)) with
+          | buf -> (
+              let len = Bytes.length buf in
+              let rec parse pos =
+                if pos + Codec.bucket_size <= len then begin
+                  match Codec.decode_bucket ~off:pos buf with
+                  | b ->
+                      let seg_len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
+                      if seg_len > 0 && pos + seg_len <= len then begin
+                        Hashtbl.replace t.prefetch_cache (head + pos) (Bytes.sub buf pos seg_len);
+                        parse (pos + seg_len)
+                      end
+                  | exception Codec.Corrupt _ -> ()
+                end
+              in
+              parse 0)
+          | exception Invalid_argument _ -> () (* head raced past us *)
+        end)
+
+(* One value-log compaction round (§3.3.1, Figure 3-c): group the window's
+   entries by segment, lock each segment once, keep values still referenced
+   by their bucket, rewrite the buckets, advance the head. *)
+let compact_value_log ?(subcompactions = 0) t =
+  let s = if subcompactions > 0 then subcompactions else t.config.subcompactions in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  let head = Circular_log.head t.vlog in
+  let stop = min (Circular_log.committed_tail t.vlog) (head + t.config.compaction_window) in
+  (* Pass 1: one bulk read of the window, parsed in memory. Frames that
+     straddle the window edge wait for the next round. *)
+  let frames, window_buf =
+    if stop <= head then ([], Bytes.empty)
+    else begin
+      let len = stop - head in
+      let buf = timed_ssd ctx (fun () -> Circular_log.read t.vlog ~loff:head ~len) in
+      let rec parse pos acc =
+        if pos + Codec.value_header_size > len then List.rev acc
+        else begin
+          let seg, klen, vlen = Codec.decode_value_header (Bytes.sub buf pos Codec.value_header_size) in
+          let entry_len = Codec.value_header_size + klen + vlen in
+          if pos + entry_len > len then List.rev acc
+          else parse (pos + entry_len) ((head + pos, seg, entry_len) :: acc)
+        end
+      in
+      (parse 0 [], buf)
+    end
+  in
+  let window_end = List.fold_left (fun acc (loff, _, len) -> max acc (loff + len)) head frames in
+  (* Pass 2: group by segment. *)
+  let by_seg = Hashtbl.create 64 in
+  List.iter
+    (fun (loff, seg, len) ->
+      let cur = try Hashtbl.find by_seg seg with Not_found -> [] in
+      Hashtbl.replace by_seg seg ((loff, len) :: cur))
+    frames;
+  let seg_groups = Hashtbl.fold (fun seg entries acc -> (seg, entries) :: acc) by_seg [] in
+  let seg_groups = List.sort (fun (a, _) (b, _) -> compare a b) seg_groups in
+  (* Pass 3: S parallel sub-compactions over the segment groups. *)
+  let groups = Array.make s [] in
+  List.iteri (fun i g -> groups.(i mod s) <- g :: groups.(i mod s)) seg_groups;
+  let blocked = ref false in
+  let process (seg, entries) =
+    Segtbl.with_lock t.segtbl seg (fun () ->
+        let e = Segtbl.entry t.segtbl seg in
+        if Segtbl.is_materialised e then begin
+          let sub = { ssd = 0.; cpu = 0.; accesses = 0 } in
+          let items = read_segment sub t e in
+          let changed = ref false in
+          let items' =
+            List.map
+              (fun it ->
+                if
+                  it.Codec.vdev = Circular_log.dev_id t.vlog
+                  && List.exists (fun (loff, _) -> loff = it.Codec.voff) entries
+                  && not (Codec.is_tombstone it)
+                then begin
+                  (* Live value inside the window: relocate to the tail,
+                     sourcing the bytes from the already-read window. *)
+                  let len = Codec.value_header_size + String.length it.Codec.key + it.Codec.vlen in
+                  let buf = Bytes.sub window_buf (it.Codec.voff - head) len in
+                  match timed_ssd sub (fun () -> Circular_log.append t.vlog buf) with
+                  | voff ->
+                      changed := true;
+                      { it with Codec.voff }
+                  | exception Circular_log.Log_full _ ->
+                      blocked := true;
+                      it
+                end
+                else it)
+              items
+          in
+          if !changed then
+            try ignore (write_segment sub t ~seg ~items:items' ~target:t.klog)
+            with Circular_log.Log_full _ -> blocked := true
+        end)
+  in
+  Sim.fork_join (Array.to_list (Array.map (fun group () -> List.iter process (List.rev group)) groups));
+  let reclaimed = if !blocked then 0 else window_end - Circular_log.head t.vlog in
+  if reclaimed > 0 then Circular_log.advance_head t.vlog reclaimed;
+  t.compactions <- t.compactions + 1;
+  reclaimed
+
+(* Merge swapped-out segments back to the home SSD (§3.6): runs when the
+   home device has spare bandwidth; rewrites segment and values home and
+   releases the swap-region space logically (the swap log reclaims it on
+   its own compaction). *)
+let merge_swapped_back t =
+  let swapped = Segtbl.swapped_out t.segtbl in
+  List.iter
+    (fun seg ->
+      Segtbl.with_lock t.segtbl seg (fun () ->
+          let e = Segtbl.entry t.segtbl seg in
+          if e.Segtbl.dev <> t.home_dev && Segtbl.is_materialised e then begin
+            let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+            let items = read_segment ctx t e in
+            (* write_segment pulls the foreign values home as it goes. *)
+            ignore (write_segment ctx t ~seg ~items ~target:t.klog);
+            t.merged_back <- t.merged_back + 1
+          end))
+    swapped
+
+(* Compaction driver: a background process that keeps both logs under the
+   configured occupancy. *)
+let run_compactor ?(period = 0.005) t =
+  Sim.every ~period (fun () ->
+      (* Interleave key-log and value-log rounds so a churning key log
+         cannot starve value-log reclamation; bound the rounds per wake-up
+         so a log genuinely full of live data does not spin. *)
+      let max_rounds =
+        4
+        + ((Circular_log.size t.klog + Circular_log.size t.vlog)
+          / max 1 t.config.compaction_window)
+      in
+      let klog_needs () =
+        Circular_log.occupancy t.klog > t.config.compact_target
+        && not (Circular_log.is_empty t.klog)
+      in
+      let vlog_needs () =
+        Circular_log.occupancy t.vlog > t.config.compact_target
+        && not (Circular_log.is_empty t.vlog)
+      in
+      (* Trigger on occupancy, or when the write-path headroom is about to
+         engage backpressure (small logs can hit the free-space floor below
+         the occupancy trigger). *)
+      let low_free log = Circular_log.free log < 3 * t.config.compaction_window in
+      if
+        Circular_log.occupancy t.klog > t.config.compact_trigger
+        || Circular_log.occupancy t.vlog > t.config.compact_trigger
+        || low_free t.klog || low_free t.vlog
+      then begin
+        prefetch_next_window t;
+        let rounds = ref 0 in
+        while (klog_needs () || vlog_needs ()) && !rounds < max_rounds do
+          incr rounds;
+          if klog_needs () then ignore (compact_key_log t);
+          if vlog_needs () then ignore (compact_value_log t)
+        done
+      end;
+      if Segtbl.swapped_out t.segtbl <> [] then merge_swapped_back t;
+      true)
+
+(* --- recovery (§3.8): rebuild the DRAM segment table by scanning the key
+   log; the newest copy of each segment wins because the scan runs in
+   append order. --- *)
+
+let recover t =
+  let loff = ref (Circular_log.head t.klog) in
+  let stop = Circular_log.committed_tail t.klog in
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  let objects = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  while !loff < stop do
+    let hdr = timed_ssd ctx (fun () -> Circular_log.read t.klog ~loff:!loff ~len:Codec.bucket_size) in
+    let b = Codec.decode_bucket hdr in
+    let len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
+    Segtbl.update t.segtbl ~seg:b.Codec.seg_id ~dev:t.home_dev ~off:!loff ~chain_len:b.Codec.chain_len;
+    Hashtbl.replace seen b.Codec.seg_id !loff;
+    loff := !loff + len
+  done;
+  (* Count live objects from the final segment copies. *)
+  Hashtbl.iter
+    (fun seg _ ->
+      let e = Segtbl.entry t.segtbl seg in
+      if Segtbl.is_materialised e then begin
+        let items = read_segment ctx t e in
+        List.iter (fun it -> if not (Codec.is_tombstone it) then incr objects) items
+      end)
+    seen;
+  t.objects <- !objects
+
+(* Iterate every live (key, value) pair, locking each segment while it is
+   visited — the substrate of the COPY primitive (§3.8): COPY is mutually
+   exclusive with PUT/DEL on the same segment, so copied pairs are
+   immutable during their transfer. *)
+let fold_live ?(parallel = 8) t ~init ~f =
+  let acc = ref init in
+  let nsegs = Segtbl.nsegments t.segtbl in
+  (* COPY is a bulk operation: scan [parallel] segments at a time, each
+     visit reading its values with the device's internal parallelism, then
+     hand the pairs out in order. *)
+  let visit seg collected () =
+    Segtbl.with_lock t.segtbl seg (fun () ->
+        let e = Segtbl.entry t.segtbl seg in
+        if Segtbl.is_materialised e then begin
+          let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+          let items = read_segment ctx t e in
+          let live = List.filter (fun it -> not (Codec.is_tombstone it)) items in
+          let fetched =
+            List.map
+              (fun it ->
+                let vlog = if it.Codec.vdev = t.home_dev then t.vlog else t.resolve it.Codec.vdev in
+                let len = Codec.value_header_size + String.length it.Codec.key + it.Codec.vlen in
+                (it, vlog, len, ref Bytes.empty))
+              live
+          in
+          Sim.fork_join
+            (List.map
+               (fun (it, vlog, len, slot) () ->
+                 slot :=
+                   Circular_log.with_pin vlog (fun () ->
+                       timed_ssd ctx (fun () -> Circular_log.read vlog ~loff:it.Codec.voff ~len)))
+               fetched);
+          collected :=
+            List.map
+              (fun ((it : Codec.item), _, _, slot) ->
+                (it.Codec.key, (Codec.decode_value_entry !slot).Codec.ve_value))
+              fetched
+        end)
+  in
+  let seg = ref 0 in
+  while !seg < nsegs do
+    let batch = min parallel (nsegs - !seg) in
+    let slots = Array.init batch (fun _ -> ref []) in
+    Sim.fork_join (List.init batch (fun i -> visit (!seg + i) slots.(i)));
+    Array.iter (fun slot -> List.iter (fun (k, v) -> acc := f !acc k v) !slot) slots;
+    seg := !seg + batch
+  done;
+  !acc
+
+type counters = {
+  gets : int;
+  puts : int;
+  dels : int;
+  compaction_runs : int;
+  swapped : int;
+  merged : int;
+}
+
+let counters t =
+  {
+    gets = t.get_stats.count;
+    puts = t.put_stats.count;
+    dels = t.del_stats.count;
+    compaction_runs = t.compactions;
+    swapped = t.swapped_puts;
+    merged = t.merged_back;
+  }

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Blockdev Bytes Leed_blockdev Leed_platform Leed_sim Leed_stats List Platform Printf Sim

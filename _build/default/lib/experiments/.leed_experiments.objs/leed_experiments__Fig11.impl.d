@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Codec Engine Exp_common Leed_core Leed_sim Leed_stats Leed_workload List Printf Rng Sim Store Workload

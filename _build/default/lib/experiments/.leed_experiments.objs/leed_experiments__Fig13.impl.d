@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Blockdev Circular_log Exp_common Leed_blockdev Leed_core Leed_platform Leed_sim Leed_stats Leed_workload List Platform Printf Rng Sim Store Workload Zipf

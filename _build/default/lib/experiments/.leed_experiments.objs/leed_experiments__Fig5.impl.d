@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Exp_common Leed_platform Leed_sim Leed_stats Leed_workload List Platform Printf Rng Sim Workload

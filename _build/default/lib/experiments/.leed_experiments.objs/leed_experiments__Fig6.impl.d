@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Exp_common Leed_sim Leed_stats Leed_workload List Printf Rng Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Exp_common Leed_core Leed_sim Leed_stats Leed_workload List Printf Rng Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Blockdev Client Cluster Exp_common Fun Hashtbl Leed_blockdev Leed_core Leed_platform Leed_sim Leed_stats Leed_workload List Option Platform Printf Rng Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Blockdev Leed_blockdev Leed_platform Leed_stats Platform Printf

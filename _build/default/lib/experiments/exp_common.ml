@@ -1,0 +1,189 @@
+(* Shared infrastructure for the paper-reproduction experiments.
+
+   Scaling: the paper loads 1.6 B objects per store onto 4×960 GB of
+   flash; the simulation preserves every *ratio* that matters (index bytes
+   per object, accesses per command, device service times, CPU cycles per
+   op, power per platform) while scaling object counts and device capacity
+   down so a full figure regenerates in seconds. Absolute throughput is
+   therefore lower than the testbed's; who-wins and by-roughly-what-factor
+   is preserved. *)
+
+open Leed_sim
+open Leed_core
+open Leed_platform
+open Leed_workload
+module Driver = Workload.Driver
+open Leed_baselines
+open Leed_blockdev
+
+(* --- scaled platforms --- *)
+
+let scale_ssd ?(capacity = 512 * 1024 * 1024) profile = Blockdev.with_capacity profile capacity
+
+let leed_platform ?(ssd_capacity = 512 * 1024 * 1024) () =
+  { Platform.smartnic_jbof with Platform.ssd = scale_ssd ~capacity:ssd_capacity Blockdev.dct983 }
+
+let server_platform ?(ssd_capacity = 512 * 1024 * 1024) () =
+  { Platform.server_jbof with Platform.ssd = scale_ssd ~capacity:ssd_capacity Blockdev.dct983 }
+
+let pi_platform ?(sd_capacity = 128 * 1024 * 1024) () =
+  { Platform.embedded_node with Platform.ssd = scale_ssd ~capacity:sd_capacity Blockdev.sandisk_sd }
+
+(* Store sizing for scaled runs: enough segments that chains stay short at
+   the experiment object counts. *)
+let store_config ?(nsegments = 4096) ?(subcompactions = 4) ?(prefetch = true)
+    ?(compaction_window = 256 * 1024) () =
+  { Store.default_config with Store.nsegments; subcompactions; prefetch; compaction_window }
+
+let engine_config ?(partitions_per_ssd = 2) ?(swap = true) ?(swap_threshold = 24) ?store_cfg () =
+  {
+    Engine.default_config with
+    Engine.partitions_per_ssd;
+    swap_enabled = swap;
+    swap_threshold;
+    store_config = Option.value store_cfg ~default:(store_config ());
+  }
+
+(* --- LEED cluster builder --- *)
+
+type leed_setup = { cluster : Cluster.t; clients : Client.t list }
+
+let make_leed ?(nnodes = 3) ?(r = 3) ?(nclients = 4) ?(crrs = true) ?(flow_control = true)
+    ?(swap = true) ?engine_cfg ?platform () =
+  let platform = Option.value platform ~default:(leed_platform ()) in
+  let engine_cfg = Option.value engine_cfg ~default:(engine_config ~swap ()) in
+  let client_config = { Client.default_config with Client.r; crrs; flow_control } in
+  let config =
+    { Cluster.default_config with Cluster.nnodes; r; engine_config = engine_cfg; client_config; platform }
+  in
+  let cluster = Cluster.create ~config () in
+  let clients = List.init nclients (fun _ -> Cluster.client cluster) in
+  { cluster; clients }
+
+(* Round-robin an op stream over the front-end endpoints. *)
+let rr_execute clients =
+  let arr = Array.of_list clients in
+  let i = ref 0 in
+  fun op ->
+    let c = arr.(!i mod Array.length arr) in
+    incr i;
+    Client.execute c op
+
+let preload_leed setup ~nkeys ~value_size =
+  let c = List.hd setup.clients in
+  Sim.fork_join
+    (List.init 8 (fun w () ->
+         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
+         for id = lo to hi do
+           Client.put c (Workload.key_of_id id)
+             (Workload.value_for ~id ~version:0 ~size:value_size)
+         done))
+
+(* --- measurement --- *)
+
+type measured = {
+  label : string;
+  throughput : float; (* ops/s *)
+  avg_lat : float;    (* seconds *)
+  p99 : float;
+  p999 : float;
+  ops : int;
+}
+
+let of_driver label (r : Driver.result) =
+  {
+    label;
+    throughput = r.Driver.throughput;
+    avg_lat = Leed_stats.Histogram.mean r.Driver.latency;
+    p99 = Leed_stats.Histogram.percentile r.Driver.latency 0.99;
+    p999 = Leed_stats.Histogram.percentile r.Driver.latency 0.999;
+    ops = r.Driver.ops;
+  }
+
+let measure_closed ~label ~clients ~duration ~gen ~execute () =
+  of_driver label (Driver.closed_loop ~clients ~duration ~gen ~execute ())
+
+let measure_open ~label ~rate ~duration ~gen ~execute () =
+  of_driver label (Driver.open_loop ~rate ~duration ~gen ~execute ())
+
+(* --- energy: the paper's measured wall power per platform --- *)
+
+let cluster_watts platform nnodes = float_of_int nnodes *. Platform.wall_power platform ~util:1.0
+
+let queries_per_joule ~throughput ~watts = throughput /. watts
+
+(* --- FAWN / KVell comparison clusters --- *)
+
+type fawn_setup = { fcluster : Fawn_cluster.t; fclients : Fawn_cluster.client list }
+
+let make_fawn ?(nnodes = 10) ?(r = 3) ?(nclients = 4) ?(dram_for_index = 16 * 1024 * 1024) () =
+  let fcluster = Fawn_cluster.create ~r ~nnodes ~dram_for_index () in
+  let fclients = List.init nclients (fun i -> Fawn_cluster.client fcluster (Printf.sprintf "fe%d" i)) in
+  { fcluster; fclients }
+
+let fawn_execute setup =
+  let arr = Array.of_list setup.fclients in
+  let i = ref 0 in
+  fun op ->
+    let c = arr.(!i mod Array.length arr) in
+    incr i;
+    Fawn_cluster.execute c op
+
+let preload_fawn setup ~nkeys ~value_size =
+  let c = List.hd setup.fclients in
+  Sim.fork_join
+    (List.init 8 (fun w () ->
+         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
+         for id = lo to hi do
+           ignore
+             (Fawn_cluster.put c (Workload.key_of_id id)
+                (Workload.value_for ~id ~version:0 ~size:value_size))
+         done))
+
+type kvell_setup = { kcluster : Kvell_cluster.t; kclients : Kvell_cluster.client list }
+
+let make_kvell ?(nnodes = 3) ?(r = 3) ?(nclients = 4) ?(object_size = 1024) ?platform () =
+  let platform = Option.value platform ~default:(server_platform ()) in
+  let store_config =
+    {
+      Kvell_store.default_config with
+      Kvell_store.nworkers = 32;
+      slot_size = object_size + 64;
+      dram_budget = 8 * 1024 * 1024;
+      (* The Xeon's OoO core + cache hierarchy favours B-tree walks beyond
+         the generic per-cycle factor; calibrated so Server-KVell peaks a
+         few x above SmartNIC-LEED as in Fig. 6. *)
+      index_cycles = 40_000.;
+    }
+  in
+  let kcluster = Kvell_cluster.create ~r ~nnodes ~platform ~store_config () in
+  let kclients = List.init nclients (fun i -> Kvell_cluster.client kcluster (Printf.sprintf "fe%d" i)) in
+  { kcluster; kclients }
+
+let kvell_execute setup =
+  let arr = Array.of_list setup.kclients in
+  let i = ref 0 in
+  fun op ->
+    let c = arr.(!i mod Array.length arr) in
+    incr i;
+    Kvell_cluster.execute c op
+
+let preload_kvell setup ~nkeys ~value_size =
+  let c = List.hd setup.kclients in
+  Sim.fork_join
+    (List.init 8 (fun w () ->
+         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
+         for id = lo to hi do
+           Kvell_cluster.put c (Workload.key_of_id id)
+             (Workload.value_for ~id ~version:0 ~size:value_size)
+         done))
+
+(* Default scaled experiment sizes. *)
+let default_nkeys = 10_000
+let default_duration = 0.25
+let default_clients = 96
+
+(* Global knob for quick runs: multiplies every measurement window
+   (`bench fast` sets it below 1). *)
+let time_scale = ref 1.0
+let dur x = x *. !time_scale

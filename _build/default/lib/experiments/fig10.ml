@@ -1,0 +1,98 @@
+(* Figure 10: the intra-JBOF data swapping mechanism under write
+   imbalance. Write-only Zipf workload on a single JBOF, skew swept;
+   higher skew concentrates PUTs on one SSD, and swapping redirects the
+   burst to unloaded co-located drives. Throughput, average and
+   99.9th-percentile latency, swap on vs off, 256 B and 1 KB objects.
+
+   Scaling note: with the paper's 1.6 B keys, Zipf-0.99 makes whole *SSDs*
+   hot while no single key exceeds ~1% of traffic. A scaled-down keyspace
+   would instead bottleneck on one key's segment lock, which is not the
+   mechanism under test — so the skew is applied at partition granularity
+   (Zipf over partitions, uniform keys within), reproducing the same
+   SSD-level imbalance the testbed saw. *)
+
+open Leed_sim
+open Leed_core
+open Leed_workload
+
+let skews = [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.95; 0.99 ]
+let nkeys = 4_000
+
+let measure_point ~swap ~object_size ~skew =
+  Sim.run (fun () ->
+      let platform = Exp_common.leed_platform () in
+      let cfg = Exp_common.engine_config ~swap ~swap_threshold:16 () in
+      let e = Engine.create ~config:cfg platform in
+      Engine.start e;
+      let vsize = object_size - Workload.key_size in
+      let npart = Engine.npartitions e in
+      let pid_of key = Codec.hash_key key mod npart in
+      Sim.fork_join
+        (List.init 16 (fun w () ->
+             let lo = w * nkeys / 16 and hi = ((w + 1) * nkeys / 16) - 1 in
+             for id = lo to hi do
+               let k = Workload.key_of_id id in
+               ignore
+                 (Engine.submit e ~pid:(pid_of k)
+                    (Engine.Put (k, Workload.value_for ~id ~version:0 ~size:vsize)))
+             done));
+      (* Partition the keyspace by home partition once, then sample:
+         partition ~ Zipf(skew), key uniform within it. *)
+      let by_part = Array.make npart [] in
+      for id = 0 to nkeys - 1 do
+        let k = Workload.key_of_id id in
+        by_part.(pid_of k) <- id :: by_part.(pid_of k)
+      done;
+      let by_part = Array.map Array.of_list by_part in
+      let zipf = Zipf.create ~theta:skew ~n:npart (Rng.create 81) in
+      let rng = Rng.create 82 in
+      let lat = Leed_stats.Histogram.create () in
+      let n = ref 0 in
+      let t0 = Sim.now () in
+      let stop = t0 +. Exp_common.dur 0.12 in
+      let worker () =
+        while Sim.now () < stop do
+          let part = by_part.(Zipf.next zipf) in
+          let id = part.(Rng.int rng (Array.length part)) in
+          let k = Workload.key_of_id id in
+          let s0 = Sim.now () in
+          (match
+             Engine.submit e ~pid:(pid_of k)
+               (Engine.Put (k, Workload.value_for ~id ~version:1 ~size:vsize))
+           with
+          | _ -> ()
+          | exception Engine.Overloaded _ -> Sim.delay (Sim.us 200.));
+          Leed_stats.Histogram.record lat (Sim.now () -. s0);
+          incr n
+        done
+      in
+      Sim.fork_join (List.init 128 (fun _ () -> worker ()));
+      let thr = float_of_int !n /. (Sim.now () -. t0) in
+      let swaps =
+        Array.fold_left (fun acc s -> acc + (Engine.ssd_stats s).Engine.swapped_out) 0 (Engine.ssds e)
+      in
+      (thr, Leed_stats.Histogram.mean lat, Leed_stats.Histogram.percentile lat 0.999, swaps))
+
+let run_size ~object_size =
+  let points swap = List.map (fun skew -> measure_point ~swap ~object_size ~skew) skews in
+  let with_ds = points true and without = points false in
+  let col f pts = List.map f pts in
+  Leed_stats.Report.series
+    ~title:(Printf.sprintf "Figure 10 (%dB): data swapping on/off under write-only Zipf" object_size)
+    ~x_label:"skew"
+    ~xs:(List.map string_of_float skews)
+    [
+      ("thr-KQPS w/DS", col (fun (t, _, _, _) -> t /. 1e3) with_ds);
+      ("thr-KQPS w/oDS", col (fun (t, _, _, _) -> t /. 1e3) without);
+      ("avg-ms w/DS", col (fun (_, a, _, _) -> a *. 1e3) with_ds);
+      ("avg-ms w/oDS", col (fun (_, a, _, _) -> a *. 1e3) without);
+      ("p999-ms w/DS", col (fun (_, _, p, _) -> p *. 1e3) with_ds);
+      ("p999-ms w/oDS", col (fun (_, _, p, _) -> p *. 1e3) without);
+      ("swaps", col (fun (_, _, _, s) -> float_of_int s) with_ds);
+    ]
+
+let run () =
+  run_size ~object_size:256;
+  run_size ~object_size:1024;
+  print_endline
+    "paper: at skew 0.99 swapping adds 15.4%/17.2% throughput (256B/1KB); avg/p99.9 latency improve 28.6%/32.1% across skewed cases"

@@ -1,0 +1,101 @@
+(* Figure 5: energy efficiency (K queries per Joule) of the three
+   persistent KV systems — Embedded-FAWN (10 Pi nodes, 42 W),
+   Server-KVell (3 Xeon JBOFs, 756 W), SmartNIC-LEED (3 Stingray JBOFs,
+   157.5 W) — across the six YCSB workloads, for 256 B and 1 KB objects.
+   Replication factor 3 everywhere; saturated closed-loop throughput
+   divided by the paper's measured wall power. *)
+
+open Leed_sim
+open Leed_platform
+open Leed_workload
+
+let nkeys = 8_000
+
+type system_run = { name : string; watts : float; measure : Workload.mix -> int -> float }
+
+let leed_system () =
+  let setup = Exp_common.make_leed ~nclients:6 () in
+  Exp_common.preload_leed setup ~nkeys ~value_size:1008;
+  let execute = Exp_common.rr_execute setup.Exp_common.clients in
+  {
+    name = "SmartNIC-LEED";
+    watts = Exp_common.cluster_watts Platform.smartnic_jbof 3;
+    measure =
+      (fun mix object_size ->
+        let gen = Workload.generator ~object_size mix ~nkeys (Rng.create 21) in
+        let m =
+          Exp_common.measure_closed ~label:mix.Workload.label ~clients:192
+            ~duration:(Exp_common.dur 0.12) ~gen ~execute ()
+        in
+        m.Exp_common.throughput);
+  }
+
+let kvell_system () =
+  let setup = Exp_common.make_kvell ~nclients:6 ~object_size:1024 () in
+  Exp_common.preload_kvell setup ~nkeys ~value_size:1008;
+  let execute = Exp_common.kvell_execute setup in
+  {
+    name = "Server-KVell";
+    watts = Exp_common.cluster_watts Platform.server_jbof 3;
+    measure =
+      (fun mix object_size ->
+        let gen = Workload.generator ~object_size mix ~nkeys (Rng.create 22) in
+        let m =
+          (* KVell's batched workers need deep client concurrency to reach
+             their (much higher) saturation point. *)
+          Exp_common.measure_closed ~label:mix.Workload.label ~clients:640
+            ~duration:(Exp_common.dur 0.1) ~gen ~execute ()
+        in
+        m.Exp_common.throughput);
+  }
+
+let fawn_system () =
+  let setup = Exp_common.make_fawn ~nnodes:10 ~nclients:6 () in
+  Exp_common.preload_fawn setup ~nkeys:2_000 ~value_size:1008;
+  let execute = Exp_common.fawn_execute setup in
+  {
+    name = "Embedded-FAWN";
+    watts = Exp_common.cluster_watts Platform.embedded_node 10;
+    measure =
+      (fun mix object_size ->
+        let gen = Workload.generator ~object_size mix ~nkeys:2_000 (Rng.create 23) in
+        let m =
+          Exp_common.measure_closed ~label:mix.Workload.label ~clients:40
+            ~duration:(Exp_common.dur 1.0) ~gen ~execute ()
+        in
+        m.Exp_common.throughput);
+  }
+
+let run_size ~object_size =
+  Sim.run (fun () ->
+      let systems = [ fawn_system (); kvell_system (); leed_system () ] in
+      let mixes = Workload.all_ycsb () in
+      let rows =
+        List.map
+          (fun (sys : system_run) ->
+            ( sys.name,
+              List.map
+                (fun mix -> sys.measure mix object_size /. sys.watts /. 1e3)
+                mixes ))
+          systems
+      in
+      Leed_stats.Report.series
+        ~title:
+          (Printf.sprintf "Figure 5 (%dB): energy efficiency (KQueries/Joule)" object_size)
+        ~x_label:"workload"
+        ~xs:(List.map (fun m -> m.Workload.label) mixes)
+        rows;
+      (* headline ratios *)
+      let avg r = List.fold_left ( +. ) 0. r /. float_of_int (List.length r) in
+      match rows with
+      | [ (_, fawn); (_, kvell); (_, leed) ] ->
+          Printf.printf "avg LEED/KVell = %.1fx (paper %s), LEED/FAWN = %.1fx (paper %s)\n"
+            (avg leed /. avg kvell)
+            (if object_size = 256 then "4.2x" else "3.8x")
+            (avg leed /. avg fawn)
+            (if object_size = 256 then "17.5x" else "19.1x")
+      | _ -> ())
+
+let run () =
+  run_size ~object_size:256;
+  run_size ~object_size:1024

@@ -1,0 +1,85 @@
+(* Figures 6 and 14: average latency vs throughput for the six YCSB
+   workloads — Embedded-FAWN(10), Embedded-FAWN(100) (the paper's ideal
+   10x linear-scaling extrapolation), Server-KVell, and SmartNIC-LEED.
+   Open-loop rate sweeps at fractions of each system's saturation. *)
+
+open Leed_sim
+open Leed_workload
+
+let nkeys = 8_000
+let fractions = [ 0.25; 0.5; 0.75; 0.95 ]
+
+type sweep_point = { thr : float; avg_ms : float }
+
+(* Find saturation closed-loop, then sweep open-loop rates. *)
+let sweep ~gen_of ~execute ~clients () =
+  let sat =
+    let m =
+      Exp_common.measure_closed ~label:"sat" ~clients ~duration:(Exp_common.dur 0.1)
+        ~gen:(gen_of 0) ~execute ()
+    in
+    m.Exp_common.throughput
+  in
+  List.mapi
+    (fun i frac ->
+      let rate = frac *. sat in
+      let m =
+        Exp_common.measure_open ~label:"pt" ~rate ~duration:(Exp_common.dur 0.12)
+          ~gen:(gen_of (i + 1)) ~execute ()
+      in
+      { thr = m.Exp_common.throughput; avg_ms = m.Exp_common.avg_lat *. 1e3 })
+    fractions
+
+let run_workload ~object_size (mix : Workload.mix) =
+  (* Each system in its own simulation world. *)
+  let leed =
+    Sim.run (fun () ->
+        let setup = Exp_common.make_leed ~nclients:6 () in
+        Exp_common.preload_leed setup ~nkeys ~value_size:(object_size - Workload.key_size);
+        let execute = Exp_common.rr_execute setup.Exp_common.clients in
+        sweep
+          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys (Rng.create (100 + i)))
+          ~execute ~clients:192 ())
+  in
+  let kvell =
+    Sim.run (fun () ->
+        let setup = Exp_common.make_kvell ~nclients:6 ~object_size () in
+        Exp_common.preload_kvell setup ~nkeys ~value_size:(object_size - Workload.key_size);
+        let execute = Exp_common.kvell_execute setup in
+        sweep
+          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys (Rng.create (200 + i)))
+          ~execute ~clients:640 ())
+  in
+  let fawn =
+    Sim.run (fun () ->
+        let setup = Exp_common.make_fawn ~nnodes:10 ~nclients:6 () in
+        Exp_common.preload_fawn setup ~nkeys:2_000 ~value_size:(object_size - Workload.key_size);
+        let execute = Exp_common.fawn_execute setup in
+        sweep
+          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys:2_000 (Rng.create (300 + i)))
+          ~execute ~clients:40 ())
+  in
+  let fmt p = Printf.sprintf "%.0fK@%.2fms" (p.thr /. 1e3) p.avg_ms in
+  let fmt100 p = Printf.sprintf "%.0fK@%.2fms" (p.thr /. 1e2) p.avg_ms in
+  Leed_stats.Report.table
+    ~title:(Printf.sprintf "%s (%dB): throughput@latency per offered-load step" mix.Workload.label object_size)
+    ~columns:[ "load"; "FAWN(10)"; "FAWN(100)"; "Server-KVell"; "SmartNIC-LEED" ]
+    (List.mapi
+       (fun i frac ->
+         [
+           Printf.sprintf "%.0f%%" (100. *. frac);
+           fmt (List.nth fawn i);
+           (* FAWN(100): the paper assumes ideal 10x linear scaling with no
+              latency increase. *)
+           fmt100 (List.nth fawn i);
+           fmt (List.nth kvell i);
+           fmt (List.nth leed i);
+         ])
+       fractions)
+
+let run_size ~object_size =
+  List.iter (run_workload ~object_size) (Workload.all_ycsb ());
+  print_endline
+    "paper (1KB): KVell peaks ~2.9x LEED's throughput; near saturation LEED's avg latency is ~28.5% lower than KVell, ~47.9% lower than FAWN(100)"
+
+let run () = run_size ~object_size:1024

@@ -1,0 +1,1 @@
+lib/netsim/netsim.ml: Hashtbl Leed_sim Queue Sim

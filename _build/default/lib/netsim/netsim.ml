@@ -1,0 +1,211 @@
+(* Simulated RDMA-style network fabric.
+
+   Endpoints on a fabric exchange typed messages through a ToR switch
+   model: a transfer holds the sender's NIC for size/bandwidth, crosses the
+   switch (fixed base latency covering the RDMA verb processing the paper's
+   stack pays per message), then holds the receiver's NIC. Endpoints can be
+   marked down, silently dropping traffic — that is how node failures are
+   injected for §3.8 experiments. *)
+
+open Leed_sim
+
+type 'p endpoint = {
+  name : string;
+  id : int;
+  gbps : float;
+  nic : Sim.Resource.t;
+  mutable receiver : ('p envelope -> unit) option;
+  mutable up : bool;
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
+  backlog : 'p envelope Queue.t; (* messages arriving before a receiver is set *)
+}
+
+and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 'p }
+
+type 'p fabric = {
+  base_latency : float;
+  mutable next_id : int;
+  mutable endpoints : 'p endpoint list;
+}
+
+let fabric ?(base_latency_us = 3.0) () =
+  { base_latency = Sim.us base_latency_us; next_id = 0; endpoints = [] }
+
+let endpoint fab ~name ~gbps =
+  let id = fab.next_id in
+  fab.next_id <- id + 1;
+  let ep =
+    {
+      name;
+      id;
+      gbps;
+      nic = Sim.Resource.create ~name:(name ^ ".nic") ~capacity:1 ();
+      receiver = None;
+      up = true;
+      sent_msgs = 0;
+      sent_bytes = 0;
+      recv_msgs = 0;
+      recv_bytes = 0;
+      backlog = Queue.create ();
+    }
+  in
+  fab.endpoints <- ep :: fab.endpoints;
+  ep
+
+let name ep = ep.name
+let is_up ep = ep.up
+
+let set_down ep = ep.up <- false
+
+let set_up ep = ep.up <- true
+
+let set_receiver ep f =
+  ep.receiver <- Some f;
+  (* Drain anything that arrived before the receiver was installed. *)
+  while not (Queue.is_empty ep.backlog) do
+    f (Queue.pop ep.backlog)
+  done
+
+let deliver env =
+  let ep = env.dst in
+  if ep.up then begin
+    ep.recv_msgs <- ep.recv_msgs + 1;
+    ep.recv_bytes <- ep.recv_bytes + env.size;
+    match ep.receiver with
+    | Some f -> f env
+    | None -> Queue.push env ep.backlog
+  end
+
+let wire_time size gbps = float_of_int (size * 8) /. (gbps *. 1e9)
+
+(* Fire-and-forget message send. Blocks the caller for the sender-side NIC
+   occupancy only; the flight and receive side proceed asynchronously. *)
+let send fab ~src ~dst ~size payload =
+  if not src.up then ()
+  else begin
+    src.sent_msgs <- src.sent_msgs + 1;
+    src.sent_bytes <- src.sent_bytes + size;
+    Sim.Resource.with_ src.nic (fun () -> Sim.delay (wire_time size src.gbps));
+    let env = { src; dst; size; payload } in
+    Sim.after fab.base_latency (fun () ->
+        if dst.up then
+          Sim.spawn (fun () ->
+              Sim.Resource.with_ dst.nic (fun () -> Sim.delay (wire_time size dst.gbps));
+              deliver env))
+  end
+
+(* Non-blocking variant for callers that must not stall (e.g. replica
+   forwarding inside a request handler). *)
+let post fab ~src ~dst ~size payload = Sim.spawn (fun () -> send fab ~src ~dst ~size payload)
+
+type stats = { msgs_out : int; bytes_out : int; msgs_in : int; bytes_in : int }
+
+let stats ep =
+  { msgs_out = ep.sent_msgs; bytes_out = ep.sent_bytes; msgs_in = ep.recv_msgs; bytes_in = ep.recv_bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Request/response RPC with piggyback support, built on the fabric.
+
+   The response path models the paper's one-sided RDMA WRITE with an IMM
+   field: the requester pre-allocates the completion slot (here: an Ivar
+   keyed by request id), so a response needs no handler logic at the
+   requester. *)
+
+module Rpc = struct
+  type ('q, 'r) wire = Req of int * 'q | Resp of int * 'r
+
+  type ('q, 'r) t = {
+    fab : ('q, 'r) wire fabric;
+    ep : ('q, 'r) wire endpoint;
+    pending : (int, ('q, 'r) pending_slot) Hashtbl.t;
+    mutable next_req : int;
+    mutable handler : (('q, 'r) t -> src:('q, 'r) wire endpoint -> 'q -> 'r) option;
+    mutable resp_size : 'r -> int;
+  }
+
+  and ('q, 'r) pending_slot = 'r Sim.Ivar.t
+
+  let create fab ~name ~gbps =
+    let t =
+      {
+        fab;
+        ep = endpoint fab ~name ~gbps;
+        pending = Hashtbl.create 64;
+        next_req = 0;
+        handler = None;
+        resp_size = (fun _ -> 64);
+      }
+    in
+    t
+
+  let endpoint t = t.ep
+  let name t = t.ep.name
+
+  (* Install the request handler. Each incoming request runs in its own
+     process, so handlers may block on storage. *)
+  let serve t ?(resp_size = fun _ -> 64) handler =
+    t.handler <- Some handler;
+    t.resp_size <- resp_size;
+    set_receiver t.ep (fun env ->
+        match env.payload with
+        | Req (id, q) ->
+            Sim.spawn (fun () ->
+                match t.handler with
+                | None -> ()
+                | Some h ->
+                    let r = h t ~src:env.src q in
+                    (* id -1 marks a one-way notify: no response expected. *)
+                    if id >= 0 then
+                      send t.fab ~src:t.ep ~dst:env.src ~size:(t.resp_size r) (Resp (id, r)))
+        | Resp (id, r) -> (
+            match Hashtbl.find_opt t.pending id with
+            | Some iv ->
+                Hashtbl.remove t.pending id;
+                if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv r
+            | None -> ()))
+
+  (* Endpoints that only issue calls still need the response receiver. *)
+  let client t =
+    set_receiver t.ep (fun env ->
+        match env.payload with
+        | Req _ -> ()
+        | Resp (id, r) -> (
+            match Hashtbl.find_opt t.pending id with
+            | Some iv ->
+                Hashtbl.remove t.pending id;
+                if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv r
+            | None -> ()))
+
+  let call t ~dst ~size q =
+    let id = t.next_req in
+    t.next_req <- id + 1;
+    let iv = Sim.Ivar.create () in
+    Hashtbl.replace t.pending id iv;
+    send t.fab ~src:t.ep ~dst:dst.ep ~size (Req (id, q));
+    Sim.Ivar.read iv
+
+  (* [None] on timeout (e.g. the destination died). The pending slot is
+     dropped so a late response is ignored. *)
+  let call_timeout t ~dst ~size ~timeout q =
+    let id = t.next_req in
+    t.next_req <- id + 1;
+    let iv = Sim.Ivar.create () in
+    Hashtbl.replace t.pending id iv;
+    send t.fab ~src:t.ep ~dst:dst.ep ~size (Req (id, q));
+    match Sim.Ivar.read_timeout iv timeout with
+    | Some _ as r -> r
+    | None ->
+        Hashtbl.remove t.pending id;
+        None
+
+  (* One-way notification to a peer's handler; no response expected. The
+     request id -1 is never awaited. *)
+  let notify t ~dst ~size q = post t.fab ~src:t.ep ~dst:dst.ep ~size (Req (-1, q))
+
+  let set_down t = set_down t.ep
+  let set_up t = set_up t.ep
+  let is_up t = is_up t.ep
+end

@@ -1,0 +1,72 @@
+(** Simulated RDMA-style network fabric.
+
+    Endpoints on a fabric exchange typed messages through a ToR-switch
+    model: a transfer holds the sender's NIC for size/bandwidth, crosses
+    the switch (a fixed base latency standing in for per-message RDMA verb
+    processing), then holds the receiver's NIC. Endpoints can be marked
+    down, silently dropping traffic — how node failures are injected. *)
+
+type 'p endpoint
+
+and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 'p }
+
+type 'p fabric
+
+val fabric : ?base_latency_us:float -> unit -> 'p fabric
+val endpoint : 'p fabric -> name:string -> gbps:float -> 'p endpoint
+val name : 'p endpoint -> string
+
+val is_up : 'p endpoint -> bool
+val set_down : 'p endpoint -> unit
+val set_up : 'p endpoint -> unit
+
+val set_receiver : 'p endpoint -> ('p envelope -> unit) -> unit
+(** Install the delivery callback; anything that arrived earlier is
+    drained from the backlog. *)
+
+val send : 'p fabric -> src:'p endpoint -> dst:'p endpoint -> size:int -> 'p -> unit
+(** Fire-and-forget: blocks the caller for the sender-side NIC occupancy
+    only; flight and receive proceed asynchronously. *)
+
+val post : 'p fabric -> src:'p endpoint -> dst:'p endpoint -> size:int -> 'p -> unit
+(** Fully non-blocking variant. *)
+
+type stats = { msgs_out : int; bytes_out : int; msgs_in : int; bytes_in : int }
+
+val stats : 'p endpoint -> stats
+
+(** Request/response RPC with piggyback support. The response path models
+    the paper's one-sided RDMA WRITE + IMM: the requester pre-allocates
+    the completion slot, keyed by request id. *)
+module Rpc : sig
+  type ('q, 'r) wire = Req of int * 'q | Resp of int * 'r
+
+  type ('q, 'r) t
+
+  val create : ('q, 'r) wire fabric -> name:string -> gbps:float -> ('q, 'r) t
+  val endpoint : ('q, 'r) t -> ('q, 'r) wire endpoint
+  val name : ('q, 'r) t -> string
+
+  val serve :
+    ('q, 'r) t -> ?resp_size:('r -> int) -> (('q, 'r) t -> src:('q, 'r) wire endpoint -> 'q -> 'r) -> unit
+  (** Install the request handler; each incoming request runs in its own
+      process, so handlers may block on storage or downstream RPCs. *)
+
+  val client : ('q, 'r) t -> unit
+  (** Endpoints that only issue calls still need the response receiver. *)
+
+  val call : ('q, 'r) t -> dst:('q, 'r) t -> size:int -> 'q -> 'r
+  (** Blocking call; responses are matched by request id, so calls from
+      one endpoint may complete out of order. *)
+
+  val call_timeout : ('q, 'r) t -> dst:('q, 'r) t -> size:int -> timeout:float -> 'q -> 'r option
+  (** [None] on timeout (e.g. a dead destination); a late response is
+      dropped. *)
+
+  val notify : ('q, 'r) t -> dst:('q, 'r) t -> size:int -> 'q -> unit
+  (** One-way message to the peer's handler; no response is generated. *)
+
+  val set_down : ('q, 'r) t -> unit
+  val set_up : ('q, 'r) t -> unit
+  val is_up : ('q, 'r) t -> bool
+end

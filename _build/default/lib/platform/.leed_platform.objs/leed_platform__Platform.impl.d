@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Leed_blockdev Leed_sim Printf Sim

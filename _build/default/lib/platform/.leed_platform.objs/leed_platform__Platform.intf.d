@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Leed_blockdev Leed_sim

@@ -1,0 +1,67 @@
+(* Binary min-heap of timestamped events.
+
+   Ordering is (time, seq): events at equal times fire in insertion order,
+   which keeps every simulation deterministic. *)
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = { mutable arr : event array; mutable len : int }
+
+let dummy = { time = 0.; seq = 0; run = (fun () -> ()) }
+
+let create () = { arr = Array.make 64 dummy; len = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let arr = Array.make (2 * Array.length h.arr) dummy in
+  Array.blit h.arr 0 arr 0 h.len;
+  h.arr <- arr
+
+let add h ev =
+  if h.len = Array.length h.arr then grow h;
+  let rec up i =
+    if i = 0 then h.arr.(0) <- ev
+    else
+      let p = (i - 1) / 2 in
+      if before ev h.arr.(p) then begin
+        h.arr.(i) <- h.arr.(p);
+        up p
+      end
+      else h.arr.(i) <- ev
+  in
+  let i = h.len in
+  h.len <- h.len + 1;
+  up i
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    let last = h.arr.(h.len) in
+    h.arr.(h.len) <- dummy;
+    if h.len > 0 then begin
+      h.arr.(0) <- last;
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = ref i in
+        if l < h.len && before h.arr.(l) h.arr.(!m) then m := l;
+        if r < h.len && before h.arr.(r) h.arr.(!m) then m := r;
+        if !m <> i then begin
+          let tmp = h.arr.(i) in
+          h.arr.(i) <- h.arr.(!m);
+          h.arr.(!m) <- tmp;
+          down !m
+        end
+      in
+      down 0
+    end;
+    Some top
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.arr.(0).time

@@ -1,0 +1,64 @@
+(* Deterministic splittable PRNG (SplitMix64).
+
+   Every stochastic component of the simulator draws from its own [t],
+   split off a root seed, so adding a new random consumer never perturbs
+   the streams seen by existing ones. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+(* Uniform in [0, 1). 53 significant bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(* Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value is a non-negative OCaml int; modulo bias is
+     negligible for bound << 2^62 and the simulator does not need
+     cryptographic quality. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Exponential with the given mean; used for open-loop arrival processes. *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+(* Truncated normal via Box-Muller, clamped at [lo]; used for service-time
+   jitter around a mean latency. *)
+let normal t ~mean ~stddev =
+  let u1 = max epsilon_float (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,36 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    Each stochastic component of the simulator owns a [t] split from a root
+    seed, so streams are independent and adding consumers never perturbs
+    existing ones. Not cryptographic. *)
+
+type t
+
+val create : int -> t
+(** Seed a fresh generator. *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on non-positive bound. *)
+
+val bool : t -> bool
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for open-loop arrivals. *)
+
+val normal : t -> mean:float -> stddev:float -> float
+(** Normally distributed (Box–Muller); clamp at call sites if needed. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

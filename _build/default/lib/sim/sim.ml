@@ -1,0 +1,307 @@
+(* Discrete-event simulation engine.
+
+   Processes are ordinary OCaml functions that perform effects ([delay],
+   [suspend], [spawn]); a deep effect handler turns each into a coroutine
+   scheduled on a global event heap. Blocking synchronisation primitives
+   (Ivar, Mailbox, Resource) are built on the single [suspend] primitive,
+   whose resume closure is single-shot, making timeouts race-free. *)
+
+exception Deadlock of string
+exception Main_incomplete
+
+type engine = {
+  mutable now : float;
+  mutable seq : int;
+  heap : Event_heap.t;
+  mutable stopped : bool;
+  mutable spawned : int;
+}
+
+let current : engine option ref = ref None
+
+let get_engine () =
+  match !current with
+  | Some e -> e
+  | None -> failwith "Sim: no simulation running (call inside Sim.run)"
+
+let schedule eng ~at run =
+  eng.seq <- eng.seq + 1;
+  Event_heap.add eng.heap { Event_heap.time = at; seq = eng.seq; run }
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let exec : engine -> (unit -> unit) -> unit =
+ fun eng f ->
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay t ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  schedule eng ~at:(eng.now +. t) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let resumed = ref false in
+                  register (fun v ->
+                      if not !resumed then begin
+                        resumed := true;
+                        schedule eng ~at:eng.now (fun () -> continue k v)
+                      end))
+          | _ -> None);
+    }
+
+let now () = (get_engine ()).now
+let delay t = if t > 0. then Effect.perform (Delay t) else ()
+let suspend register = Effect.perform (Suspend register)
+
+(* [spawn] and [after] are not effects: they only mutate the event heap, so
+   they are callable from anywhere — including resume-registration callbacks
+   that run outside any process handler. *)
+let spawn f =
+  let eng = get_engine () in
+  eng.spawned <- eng.spawned + 1;
+  schedule eng ~at:eng.now (fun () -> exec eng f)
+
+(* Run [f] (non-blocking) after [t] seconds without creating a process. *)
+let after t f =
+  let eng = get_engine () in
+  schedule eng ~at:(eng.now +. t) f
+let yield () = Effect.perform (Delay 0.)
+
+let stop () =
+  let eng = get_engine () in
+  eng.stopped <- true
+
+let run ?(until = infinity) (main : unit -> 'a) : 'a =
+  let eng =
+    { now = 0.; seq = 0; heap = Event_heap.create (); stopped = false; spawned = 0 }
+  in
+  let saved = !current in
+  current := Some eng;
+  let result = ref None in
+  let main_done = ref false in
+  schedule eng ~at:0. (fun () ->
+      exec eng (fun () ->
+          result := Some (main ());
+          main_done := true));
+  let finish () = current := saved in
+  (try
+     let continue_loop = ref true in
+     (* The loop ends as soon as the main process has its result: daemon
+        processes (periodic compactors, heartbeats) must not keep the
+        simulation alive forever. *)
+     while !continue_loop && not eng.stopped && not !main_done do
+       match Event_heap.pop eng.heap with
+       | None -> continue_loop := false
+       | Some ev ->
+           if ev.Event_heap.time > until then begin
+             eng.now <- until;
+             continue_loop := false
+           end
+           else begin
+             eng.now <- ev.Event_heap.time;
+             ev.Event_heap.run ()
+           end
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  match !result with
+  | Some v -> v
+  | None ->
+      if until = infinity && not eng.stopped then
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "main process blocked forever at t=%g with %d spawned processes"
+                eng.now eng.spawned))
+      else raise Main_incomplete
+
+(* Time helpers: the simulation clock is in seconds. *)
+let us x = x *. 1e-6
+let ms x = x *. 1e-3
+let to_us t = t *. 1e6
+
+(* ------------------------------------------------------------------ *)
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+        t.state <- Full v;
+        List.iter (fun w -> w v) (List.rev waiters)
+
+  let try_fill t v = match t.state with Full _ -> false | Empty _ -> fill t v; true
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let on_fill t f =
+    match t.state with
+    | Full v -> f v
+    | Empty ws -> t.state <- Empty (f :: ws)
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty _ -> suspend (fun resume -> on_fill t resume)
+
+  (* [None] if the timeout elapses first. *)
+  let read_timeout t timeout =
+    match t.state with
+    | Full v -> Some v
+    | Empty _ ->
+        suspend (fun resume ->
+            on_fill t (fun v -> resume (Some v));
+            after timeout (fun () -> resume None))
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; mutable waiters : ('a -> unit) list }
+
+  let create () = { items = Queue.create (); waiters = [] }
+  let length t = Queue.length t.items
+  let is_empty t = Queue.is_empty t.items
+
+  let send t v =
+    match t.waiters with
+    | [] -> Queue.push v t.items
+    | w :: rest ->
+        t.waiters <- rest;
+        w v
+
+  let try_recv t = if Queue.is_empty t.items then None else Some (Queue.pop t.items)
+
+  let add_waiter t w = t.waiters <- t.waiters @ [ w ]
+
+  let remove_waiter t w = t.waiters <- List.filter (fun w' -> w' != w) t.waiters
+
+  let recv t =
+    match try_recv t with
+    | Some v -> v
+    | None -> suspend (fun resume -> add_waiter t resume)
+
+  let recv_timeout t timeout =
+    match try_recv t with
+    | Some v -> Some v
+    | None ->
+        suspend (fun resume ->
+            let waiter v = resume (Some v) in
+            add_waiter t waiter;
+            after timeout (fun () ->
+                (* If the timeout loses the race this is a no-op thanks to
+                   the single-shot resume; but we must drop the waiter so a
+                   later send is not swallowed. *)
+                remove_waiter t waiter;
+                resume None))
+end
+
+module Resource = struct
+  type waiter = { amount : int; wake : unit -> unit }
+
+  type t = {
+    name : string;
+    capacity : int;
+    mutable in_use : int;
+    queue : waiter Queue.t;
+    (* cumulative busy integral for utilisation reporting *)
+    mutable busy_area : float;
+    mutable last_change : float;
+  }
+
+  let create ?(name = "resource") ~capacity () =
+    if capacity <= 0 then invalid_arg "Resource.create: capacity must be positive";
+    { name; capacity; in_use = 0; queue = Queue.create (); busy_area = 0.; last_change = 0. }
+
+  let account t =
+    let t_now = now () in
+    t.busy_area <- t.busy_area +. (float_of_int t.in_use *. (t_now -. t.last_change));
+    t.last_change <- t_now
+
+  let in_use t = t.in_use
+  let waiting t = Queue.length t.queue
+  let capacity t = t.capacity
+
+  let acquire ?(amount = 1) t =
+    if amount > t.capacity then
+      invalid_arg (Printf.sprintf "Resource.acquire: amount %d > capacity %d (%s)" amount t.capacity t.name);
+    if Queue.is_empty t.queue && t.in_use + amount <= t.capacity then begin
+      account t;
+      t.in_use <- t.in_use + amount
+    end
+    else
+      suspend (fun resume ->
+          Queue.push { amount; wake = (fun () -> resume ()) } t.queue)
+
+  let release ?(amount = 1) t =
+    account t;
+    t.in_use <- t.in_use - amount;
+    if t.in_use < 0 then invalid_arg (Printf.sprintf "Resource.release: %s under-released" t.name);
+    (* Wake waiters strictly in FIFO order while they fit. *)
+    let rec wake () =
+      match Queue.peek_opt t.queue with
+      | Some w when t.in_use + w.amount <= t.capacity ->
+          ignore (Queue.pop t.queue);
+          account t;
+          t.in_use <- t.in_use + w.amount;
+          w.wake ();
+          wake ()
+      | _ -> ()
+    in
+    wake ()
+
+  let with_ ?(amount = 1) t f =
+    acquire ~amount t;
+    match f () with
+    | v ->
+        release ~amount t;
+        v
+    | exception e ->
+        release ~amount t;
+        raise e
+
+  let utilisation t =
+    account t;
+    if now () <= 0. then 0.
+    else t.busy_area /. (float_of_int t.capacity *. now ())
+end
+
+(* Spawn all thunks and block until every one has finished. *)
+let fork_join (fs : (unit -> unit) list) =
+  let n = List.length fs in
+  if n = 0 then ()
+  else begin
+    let done_ = Ivar.create () in
+    let remaining = ref n in
+    List.iter
+      (fun f ->
+        spawn (fun () ->
+            f ();
+            decr remaining;
+            if !remaining = 0 then Ivar.fill done_ ()))
+      fs;
+    Ivar.read done_
+  end
+
+(* Run [f] every [period] until it returns [false]. *)
+let every ~period f =
+  spawn (fun () ->
+      let rec loop () =
+        delay period;
+        if f () then loop ()
+      in
+      loop ())

@@ -1,0 +1,139 @@
+(** Discrete-event simulation engine.
+
+    The simulator provides SimPy-style cooperative processes implemented
+    with OCaml 5 effects: a process is any [unit -> unit] function that may
+    call the blocking operations of this module ({!delay}, {!suspend}, the
+    synchronisation primitives). Time is a [float] number of seconds.
+
+    Determinism: events scheduled for the same instant fire in scheduling
+    order, and all randomness in the wider simulator flows from seeded
+    {!Rng.t} values, so a simulation is reproducible bit-for-bit. *)
+
+exception Deadlock of string
+(** Raised by {!run} when no events remain but the main process has not
+    finished — every remaining process is blocked forever. *)
+
+exception Main_incomplete
+(** Raised by {!run} when the [until] horizon was reached (or {!stop} was
+    called) before the main process produced its result. *)
+
+val run : ?until:float -> (unit -> 'a) -> 'a
+(** [run main] creates a fresh simulation clock at time 0, executes [main]
+    as the root process and drives the event loop until [main]'s result is
+    available and the event heap drains, [until] is reached, or {!stop} is
+    called. Returns [main]'s result. Nested runs are permitted (the outer
+    engine is restored on exit). *)
+
+val now : unit -> float
+(** Current simulation time, in seconds. Must be called inside {!run}. *)
+
+val delay : float -> unit
+(** Block the calling process for the given number of seconds. *)
+
+val spawn : (unit -> unit) -> unit
+(** Start a new process at the current instant. The caller keeps running
+    until it blocks; the child runs once the caller yields. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process and hands [register] a
+    single-shot [resume] closure. The process continues, with the value
+    passed, at the simulation instant when [resume] is first called; later
+    calls are ignored. This is the primitive from which all blocking
+    synchronisation (and race-free timeouts) is built. *)
+
+val after : float -> (unit -> unit) -> unit
+(** [after t f] runs the non-blocking callback [f] in [t] seconds, without
+    creating a process. Unlike {!delay}, usable from any context (including
+    {!suspend} registration callbacks). *)
+
+val yield : unit -> unit
+(** Reschedule the calling process behind every event already queued for
+    the current instant. *)
+
+val stop : unit -> unit
+(** Terminate the event loop after the current event completes. *)
+
+val fork_join : (unit -> unit) list -> unit
+(** Spawn every thunk and block until all have finished. *)
+
+val every : period:float -> (unit -> bool) -> unit
+(** [every ~period f] spawns a process that calls [f] every [period]
+    seconds until [f] returns [false]. *)
+
+(** {1 Time helpers} *)
+
+val us : float -> float
+(** [us x] is [x] microseconds expressed in seconds. *)
+
+val ms : float -> float
+(** [ms x] is [x] milliseconds expressed in seconds. *)
+
+val to_us : float -> float
+(** Convert seconds to microseconds (for reporting). *)
+
+(** {1 Synchronisation} *)
+
+(** Write-once variables. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val fill : 'a t -> 'a -> unit
+  (** Fill the variable and wake all readers. Raises [Invalid_argument] if
+      already filled. *)
+
+  val try_fill : 'a t -> 'a -> bool
+  (** Like {!fill} but returns [false] instead of raising. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+
+  val on_fill : 'a t -> ('a -> unit) -> unit
+  (** Register a callback run at fill time (immediately if already full). *)
+
+  val read : 'a t -> 'a
+  (** Block until filled. *)
+
+  val read_timeout : 'a t -> float -> 'a option
+  (** Block until filled or the timeout elapses, whichever happens first. *)
+end
+
+(** Unbounded FIFO channels with blocking receive. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val send : 'a t -> 'a -> unit
+  (** Never blocks: hands the value to the oldest waiting receiver, or
+      queues it. *)
+
+  val try_recv : 'a t -> 'a option
+  val recv : 'a t -> 'a
+
+  val recv_timeout : 'a t -> float -> 'a option
+  (** [None] if nothing arrives within the timeout. *)
+end
+
+(** Counted resources with FIFO admission (SimPy's [Resource]): models
+    cores, device queue slots, link capacity. *)
+module Resource : sig
+  type t
+
+  val create : ?name:string -> capacity:int -> unit -> t
+  val acquire : ?amount:int -> t -> unit
+  val release : ?amount:int -> t -> unit
+
+  val with_ : ?amount:int -> t -> (unit -> 'a) -> 'a
+  (** Acquire, run, release (also on exception). *)
+
+  val in_use : t -> int
+  val waiting : t -> int
+  val capacity : t -> int
+
+  val utilisation : t -> float
+  (** Time-averaged fraction of capacity in use since the run started. *)
+end

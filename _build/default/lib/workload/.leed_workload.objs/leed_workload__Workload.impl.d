@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Bytes Hashtbl Leed_sim Leed_stats List Printf Rng Sim String Zipf

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Leed_sim Leed_stats

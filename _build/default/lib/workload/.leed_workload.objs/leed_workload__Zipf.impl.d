@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Int64 Leed_sim Rng

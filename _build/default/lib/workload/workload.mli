@@ -1,0 +1,103 @@
+(** YCSB-style workload generation (paper §4.1): the six mixes the paper
+    runs (A, B, C, D, F, WR), uniform/Zipf/latest key distributions,
+    deterministic value payloads so stores can verify reads, and
+    closed-/open-loop client drivers.
+
+    Zipfian sampling runs over a large virtual rank space mapped onto the
+    real keys, so the hottest key keeps the few-percent traffic share it
+    would have at the paper's 1.6 B-object scale (see DESIGN.md). *)
+
+type op =
+  | Read of string
+  | Update of string * bytes
+  | Insert of string * bytes
+  | Read_modify_write of string * bytes
+
+type distribution = Uniform | Zipfian of float | Latest of float
+
+type mix = {
+  label : string;
+  read : float;
+  update : float;
+  insert : float;
+  rmw : float;
+  dist : distribution;
+}
+
+val default_theta : float
+(** 0.99, YCSB's default skew. *)
+
+val ycsb_a : ?theta:float -> unit -> mix
+(** 50% read / 50% update. *)
+
+val ycsb_b : ?theta:float -> unit -> mix
+(** 95% read / 5% update. *)
+
+val ycsb_c : ?theta:float -> unit -> mix
+(** Read-only. *)
+
+val ycsb_d : ?theta:float -> unit -> mix
+(** 95% read-latest / 5% insert. *)
+
+val ycsb_f : ?theta:float -> unit -> mix
+(** 50% read / 50% read-modify-write. *)
+
+val ycsb_wr : ?theta:float -> unit -> mix
+(** Update-only. *)
+
+val all_ycsb : ?theta:float -> unit -> mix list
+
+val write_only : theta:float -> mix
+val read_only : theta:float -> mix
+val read_write : read:float -> theta:float -> mix
+val uniform_mix : read:float -> mix
+
+(** {1 Keys and values} *)
+
+val key_size : int
+(** Fixed key width (16 B) so object sizes are predictable. *)
+
+val key_of_id : int -> string
+val id_of_key : string -> int
+
+val value_for : id:int -> version:int -> size:int -> bytes
+(** Deterministic payload embedding (id, version) for read validation. *)
+
+val value_matches : id:int -> version:int -> bytes -> bool
+
+val virtual_ranks : int
+(** Size of the virtual Zipf rank space (10 M). *)
+
+(** {1 Generators} *)
+
+type gen
+
+val generator : ?object_size:int -> mix -> nkeys:int -> Leed_sim.Rng.t -> gen
+(** [object_size] is the paper's headline size (256 B / 1 KB); the value
+    payload is what remains after the key. *)
+
+val value_size : gen -> int
+val inserted_count : gen -> int
+val current_version : gen -> int -> int
+val next : gen -> op
+
+(** Closed- and open-loop measurement drivers. *)
+module Driver : sig
+  type result = {
+    ops : int;
+    duration : float;
+    throughput : float;
+    latency : Leed_stats.Histogram.t;
+  }
+
+  val closed_loop :
+    clients:int -> duration:float -> gen:gen -> execute:(op -> unit) -> unit -> result
+  (** [clients] workers issuing back-to-back requests for [duration]
+      simulated seconds. *)
+
+  val open_loop :
+    ?drain:float -> rate:float -> duration:float -> gen:gen -> execute:(op -> unit) -> unit -> result
+  (** Poisson arrivals at [rate] for [duration] seconds, each request in
+      its own process; stragglers get [drain] extra seconds and
+      throughput is attributed to the issuing window only. *)
+end

@@ -1,0 +1,52 @@
+(* Zipfian generator using the YCSB/Gray algorithm, plus the scrambled
+   variant that decorrelates rank from key id. *)
+
+open Leed_sim
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  rng : Rng.t;
+}
+
+let zeta n theta =
+  let sum = ref 0. in
+  for i = 1 to n do
+    sum := !sum +. (1. /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let create ?(theta = 0.99) ~n rng =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta <= 0. || theta >= 1. then invalid_arg "Zipf.create: theta must be in (0,1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta = (1. -. ((2. /. float_of_int n) ** (1. -. theta))) /. (1. -. (zeta2 /. zetan)) in
+  { n; theta; alpha; zetan; eta; rng }
+
+(* Rank in [0, n): rank 0 is the hottest. *)
+let next t =
+  let u = Rng.float t.rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let v = float_of_int t.n *. ((t.eta *. u) -. t.eta +. 1.0) ** t.alpha in
+    min (t.n - 1) (int_of_float v)
+
+(* FNV-1a scramble so that hot ranks are spread over the key space — the
+   standard YCSB "scrambled zipfian". *)
+let fnv1a x =
+  let prime = 0x100000001b3L and offset = 0xcbf29ce484222325L in
+  let h = ref offset in
+  for shift = 0 to 7 do
+    let byte = Int64.logand (Int64.shift_right_logical (Int64.of_int x) (shift * 8)) 0xffL in
+    h := Int64.mul (Int64.logxor !h byte) prime
+  done;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let next_scrambled t = fnv1a (next t) mod t.n

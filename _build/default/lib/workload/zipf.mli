@@ -1,0 +1,18 @@
+(** Zipfian rank generator (the YCSB/Gray algorithm).
+
+    Rank 0 is the hottest; [next_scrambled] applies the standard FNV
+    scramble so popularity is decorrelated from key id. *)
+
+type t
+
+val zeta : int -> float -> float
+(** Generalised harmonic number; exposed for tests. *)
+
+val create : ?theta:float -> n:int -> Leed_sim.Rng.t -> t
+(** [theta] in (0, 1), default 0.99 (YCSB's default skew). *)
+
+val next : t -> int
+(** A rank in [0, n); rank 0 is most popular. *)
+
+val next_scrambled : t -> int
+(** The rank pushed through FNV-1a, modulo n. *)

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Blockdev Bytes Char Gen Leed_blockdev Leed_sim List Printf QCheck QCheck_alcotest Sim String

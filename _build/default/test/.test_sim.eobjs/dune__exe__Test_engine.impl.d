@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bytes Engine Leed_blockdev Leed_core Leed_platform Leed_sim Leed_workload List Platform Printf Segtbl Sim Store

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Exp_common Leed_experiments Leed_platform Leed_sim Leed_workload List Printf Rng Sim Table3 Workload

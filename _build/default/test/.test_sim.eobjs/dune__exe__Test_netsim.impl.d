@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Leed_netsim Leed_sim List Netsim Printf Sim

@@ -1,0 +1,1 @@
+test/test_platform_workload.ml: Alcotest Array Bytes Leed_platform Leed_sim Leed_stats Leed_workload List Platform Printf QCheck QCheck_alcotest Rng Sim String Workload Zipf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Event_heap Leed_sim List QCheck QCheck_alcotest Rng Sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen Histogram Leed_stats List QCheck QCheck_alcotest Report Summary

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Blockdev Bytes Char Circular_log Codec Gen Hashtbl Leed_blockdev Leed_core Leed_sim Leed_workload List Option Printf QCheck QCheck_alcotest Queue Segtbl Sim Store String

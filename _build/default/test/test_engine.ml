@@ -1,0 +1,206 @@
+(* Tests for the intra-JBOF I/O engine: token scheduling, adaptive
+   capacity, and the data-swapping mechanism. *)
+
+open Leed_sim
+open Leed_core
+open Leed_platform
+
+let key = Leed_workload.Workload.key_of_id
+
+let small_store_config =
+  { Store.default_config with Store.nsegments = 512; compaction_window = 64 * 1024 }
+
+let test_platform = { Platform.smartnic_jbof with Platform.ssd = { Platform.smartnic_jbof.Platform.ssd with Leed_blockdev.Blockdev.jitter = 0. } }
+
+let make_engine ?(config = { Engine.default_config with Engine.store_config = small_store_config }) () =
+  let e = Engine.create ~config test_platform in
+  Engine.start e;
+  e
+
+let test_basic_ops () =
+  Sim.run (fun () ->
+      let e = make_engine () in
+      (match Engine.submit e ~pid:0 (Engine.Put (key 1, Bytes.of_string "v1")) with
+      | Engine.Done -> ()
+      | _ -> Alcotest.fail "put should be Done");
+      (match Engine.submit e ~pid:0 (Engine.Get (key 1)) with
+      | Engine.Found v -> Alcotest.(check string) "value" "v1" (Bytes.to_string v)
+      | _ -> Alcotest.fail "expected Found");
+      (match Engine.submit e ~pid:0 (Engine.Get (key 2)) with
+      | Engine.Missing -> ()
+      | _ -> Alcotest.fail "expected Missing");
+      (match Engine.submit e ~pid:0 (Engine.Del (key 1)) with
+      | Engine.Done -> ()
+      | _ -> Alcotest.fail "del should be Done");
+      match Engine.submit e ~pid:0 (Engine.Get (key 1)) with
+      | Engine.Missing -> ()
+      | _ -> Alcotest.fail "expected Missing after del")
+
+let test_partitions_isolated () =
+  Sim.run (fun () ->
+      let e = make_engine () in
+      ignore (Engine.submit e ~pid:0 (Engine.Put (key 1, Bytes.of_string "p0")));
+      ignore (Engine.submit e ~pid:1 (Engine.Put (key 1, Bytes.of_string "p1")));
+      (match Engine.submit e ~pid:0 (Engine.Get (key 1)) with
+      | Engine.Found v -> Alcotest.(check string) "p0 value" "p0" (Bytes.to_string v)
+      | _ -> Alcotest.fail "p0 missing");
+      match Engine.submit e ~pid:1 (Engine.Get (key 1)) with
+      | Engine.Found v -> Alcotest.(check string) "p1 value" "p1" (Bytes.to_string v)
+      | _ -> Alcotest.fail "p1 missing")
+
+let test_token_cost () =
+  Alcotest.(check int) "get" 2 (Engine.token_cost (Engine.Get "k"));
+  Alcotest.(check int) "put" 3 (Engine.token_cost (Engine.Put ("k", Bytes.create 1)));
+  Alcotest.(check int) "del" 2 (Engine.token_cost (Engine.Del "k"))
+
+let test_concurrent_load_completes () =
+  Sim.run (fun () ->
+      let e = make_engine () in
+      (* Preload. *)
+      for i = 0 to 63 do
+        ignore (Engine.submit e ~pid:(i mod Engine.npartitions e) (Engine.Put (key i, Bytes.of_string "x")))
+      done;
+      let done_count = ref 0 in
+      Sim.fork_join
+        (List.init 200 (fun i () ->
+             let pid = i mod Engine.npartitions e in
+             match Engine.submit e ~pid (Engine.Get (key (i mod 64))) with
+             | Engine.Found _ | Engine.Missing -> incr done_count
+             | Engine.Done -> ()));
+      Alcotest.(check int) "all completed" 200 !done_count)
+
+let test_available_tokens_drop_under_load () =
+  Sim.run (fun () ->
+      let e = make_engine () in
+      let p = Engine.partition e 0 in
+      let idle = Engine.available_tokens p in
+      Alcotest.(check bool) "idle positive" true (idle > 0);
+      (* Saturate partition 0's SSD. *)
+      for i = 0 to 63 do
+        Sim.spawn (fun () -> ignore (Engine.submit e ~pid:0 (Engine.Put (key i, Bytes.make 4096 'x'))))
+      done;
+      Sim.delay (Sim.us 30.);
+      let busy = Engine.available_tokens p in
+      Alcotest.(check bool)
+        (Printf.sprintf "busy %d < idle %d" busy idle)
+        true (busy < idle);
+      Sim.delay 1.0)
+
+let test_swap_redirects_overloaded_puts () =
+  Sim.run (fun () ->
+      let config =
+        { Engine.default_config with Engine.store_config = small_store_config; swap_threshold = 8 }
+      in
+      let e = Engine.create ~config test_platform in
+      Engine.start e;
+      (* Hammer partition 0 (SSD 0) with writes; SSDs 1-3 stay idle, so the
+         gap opens and swaps must trigger. *)
+      Sim.fork_join
+        (List.init 400 (fun i () ->
+             ignore (Engine.submit e ~pid:0 (Engine.Put (key (i mod 50), Bytes.make 1024 'x')))));
+      let s0 = Engine.ssd_stats (Engine.ssds e).(0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "swapped_out %d > 0" s0.Engine.swapped_out)
+        true
+        (s0.Engine.swapped_out > 0);
+      (* Every key must still be readable (possibly from the swap region). *)
+      for i = 0 to 49 do
+        match Engine.submit e ~pid:0 (Engine.Get (key i)) with
+        | Engine.Found _ -> ()
+        | _ -> Alcotest.failf "key %d unreadable after swapping" i
+      done)
+
+let test_swap_disabled_never_swaps () =
+  Sim.run (fun () ->
+      let config =
+        { Engine.default_config with Engine.store_config = small_store_config; swap_enabled = false }
+      in
+      let e = Engine.create ~config test_platform in
+      Engine.start e;
+      Sim.fork_join
+        (List.init 200 (fun i () ->
+             ignore (Engine.submit e ~pid:0 (Engine.Put (key (i mod 20), Bytes.make 1024 'x')))));
+      let s0 = Engine.ssd_stats (Engine.ssds e).(0) in
+      Alcotest.(check int) "no swaps" 0 s0.Engine.swapped_out)
+
+let test_swap_merges_back () =
+  Sim.run (fun () ->
+      let config =
+        { Engine.default_config with Engine.store_config = small_store_config; swap_threshold = 6 }
+      in
+      let e = Engine.create ~config test_platform in
+      Engine.start e;
+      Sim.fork_join
+        (List.init 300 (fun i () ->
+             ignore (Engine.submit e ~pid:0 (Engine.Put (key (i mod 30), Bytes.make 512 'x')))));
+      let st = Engine.store (Engine.partition e 0) in
+      (* Give the background compactor time to merge the swap region home
+         and the engine to reset the swap logs. *)
+      Sim.delay 2.0;
+      Alcotest.(check (list int)) "no segments remain swapped" [] (Segtbl.swapped_out (Store.segtbl st));
+      (* Values all intact after merge-back. *)
+      for i = 0 to 29 do
+        match Engine.submit e ~pid:0 (Engine.Get (key i)) with
+        | Engine.Found _ -> ()
+        | _ -> Alcotest.failf "key %d lost after merge-back" i
+      done)
+
+let test_adaptive_capacity_shrinks () =
+  Sim.run (fun () ->
+      let e = make_engine () in
+      let s = (Engine.ssds e).(0) in
+      let initial = (Engine.ssd_stats s).Engine.capacity in
+      (* Large values inflate per-IO service time, so capacity must drop. *)
+      Sim.fork_join
+        (List.init 100 (fun i () ->
+             ignore (Engine.submit e ~pid:0 (Engine.Put (key i, Bytes.make 262144 'x')))));
+      let adapted = (Engine.ssd_stats s).Engine.capacity in
+      Alcotest.(check bool)
+        (Printf.sprintf "capacity %d < initial %d" adapted initial)
+        true (adapted < initial))
+
+let test_overload_rejects () =
+  Sim.run (fun () ->
+      let config =
+        {
+          Engine.default_config with
+          Engine.store_config = small_store_config;
+          waiting_cap = 4;
+          swap_enabled = false;
+        }
+      in
+      let e = Engine.create ~config test_platform in
+      Engine.start e;
+      let rejected = ref 0 in
+      for i = 0 to 199 do
+        Sim.spawn (fun () ->
+            match Engine.submit e ~pid:0 (Engine.Put (key i, Bytes.make 4096 'x')) with
+            | _ -> ()
+            | exception Engine.Overloaded _ -> incr rejected)
+      done;
+      Sim.delay 1.0;
+      Alcotest.(check bool) (Printf.sprintf "%d rejected" !rejected) true (!rejected > 0))
+
+let () =
+  Alcotest.run "leed_engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "basic ops" `Quick test_basic_ops;
+          Alcotest.test_case "partitions isolated" `Quick test_partitions_isolated;
+          Alcotest.test_case "token costs" `Quick test_token_cost;
+          Alcotest.test_case "concurrent load completes" `Quick test_concurrent_load_completes;
+          Alcotest.test_case "available tokens drop under load" `Quick test_available_tokens_drop_under_load;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "redirects overloaded puts" `Quick test_swap_redirects_overloaded_puts;
+          Alcotest.test_case "disabled never swaps" `Quick test_swap_disabled_never_swaps;
+          Alcotest.test_case "merges back" `Quick test_swap_merges_back;
+        ] );
+      ( "adaptivity",
+        [
+          Alcotest.test_case "capacity shrinks under slow IO" `Quick test_adaptive_capacity_shrinks;
+          Alcotest.test_case "overload rejects" `Quick test_overload_rejects;
+        ] );
+    ]

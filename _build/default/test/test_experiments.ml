@@ -1,0 +1,89 @@
+(* Smoke tests for the experiment harness: the three system builders
+   produce working clusters and the measurement plumbing returns sane
+   numbers. Windows are tiny — correctness of the pipeline, not
+   statistics, is under test. *)
+
+open Leed_sim
+open Leed_workload
+open Leed_experiments
+
+let test_leed_setup_measures () =
+  let m =
+    Sim.run (fun () ->
+        let s = Exp_common.make_leed ~nclients:2 () in
+        Exp_common.preload_leed s ~nkeys:500 ~value_size:240;
+        let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:500 (Rng.create 1) in
+        Exp_common.measure_closed ~label:"t" ~clients:16 ~duration:0.02
+          ~gen ~execute:(Exp_common.rr_execute s.Exp_common.clients) ())
+  in
+  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 100);
+  Alcotest.(check bool) "throughput" true (m.Exp_common.throughput > 1e4);
+  Alcotest.(check bool) "latency sane" true
+    (m.Exp_common.avg_lat > 1e-5 && m.Exp_common.avg_lat < 1e-2);
+  Alcotest.(check bool) "p999 >= avg" true (m.Exp_common.p999 >= m.Exp_common.avg_lat *. 0.9)
+
+let test_fawn_setup_measures () =
+  let m =
+    Sim.run (fun () ->
+        let s = Exp_common.make_fawn ~nnodes:4 ~nclients:2 () in
+        Exp_common.preload_fawn s ~nkeys:200 ~value_size:240;
+        let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:200 (Rng.create 2) in
+        Exp_common.measure_closed ~label:"t" ~clients:8 ~duration:0.1
+          ~gen ~execute:(Exp_common.fawn_execute s) ())
+  in
+  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 20)
+
+let test_kvell_setup_measures () =
+  let m =
+    Sim.run (fun () ->
+        let s = Exp_common.make_kvell ~nclients:2 ~object_size:256 () in
+        Exp_common.preload_kvell s ~nkeys:500 ~value_size:240;
+        let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:500 (Rng.create 3) in
+        Exp_common.measure_closed ~label:"t" ~clients:32 ~duration:0.02
+          ~gen ~execute:(Exp_common.kvell_execute s) ())
+  in
+  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 100)
+
+let test_open_loop_attribution () =
+  (* Throughput must be attributed to the issuing window, not the drain. *)
+  let m =
+    Sim.run (fun () ->
+        let gen = Workload.generator (Workload.ycsb_c ()) ~nkeys:100 (Rng.create 4) in
+        Exp_common.measure_open ~label:"t" ~rate:10_000. ~duration:0.05
+          ~gen ~execute:(fun _ -> Sim.delay 1e-4) ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "thr %.0f ~ 10K" m.Exp_common.throughput)
+    true
+    (m.Exp_common.throughput > 7_000. && m.Exp_common.throughput < 13_000.)
+
+let test_energy_helpers () =
+  let w = Exp_common.cluster_watts Leed_platform.Platform.smartnic_jbof 3 in
+  Alcotest.(check (float 0.01)) "3 stingrays" 157.5 w;
+  Alcotest.(check (float 1e-9)) "qpj" 2.0 (Exp_common.queries_per_joule ~throughput:315. ~watts:157.5)
+
+let test_capacity_model_ordering () =
+  (* Table 3 capacity model: LEED >> FAWN >> KVell at both object sizes. *)
+  List.iter
+    (fun object_size ->
+      let f = Table3.fawn_capacity ~object_size in
+      let k = Table3.kvell_capacity ~object_size in
+      let l = Table3.leed_capacity ~object_size in
+      Alcotest.(check bool) (Printf.sprintf "%dB: leed %.2f > fawn %.2f > kvell %.2f" object_size l f k)
+        true
+        (l > f && f > k && l > 0.75))
+    [ 256; 1024 ]
+
+let () =
+  Alcotest.run "leed_experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "leed setup measures" `Quick test_leed_setup_measures;
+          Alcotest.test_case "fawn setup measures" `Quick test_fawn_setup_measures;
+          Alcotest.test_case "kvell setup measures" `Quick test_kvell_setup_measures;
+          Alcotest.test_case "open-loop attribution" `Quick test_open_loop_attribution;
+          Alcotest.test_case "energy helpers" `Quick test_energy_helpers;
+          Alcotest.test_case "capacity model ordering" `Quick test_capacity_model_ordering;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for platform/power models and the YCSB workload generators. *)
+
+open Leed_sim
+open Leed_platform
+open Leed_workload
+
+(* --- Platform --- *)
+
+let test_skewness_ordering () =
+  (* Table 1: flash:DRAM skewness — embedded 16-32x, server ~64x,
+     SmartNIC ~512-1024x. The ordering and rough magnitudes must hold. *)
+  let e = Platform.skewness Platform.embedded_node in
+  let s = Platform.skewness Platform.server_jbof in
+  let j = Platform.skewness Platform.smartnic_jbof in
+  Alcotest.(check bool) (Printf.sprintf "embedded %.0f < server %.0f" e s) true (e < s);
+  Alcotest.(check bool) (Printf.sprintf "server %.0f < smartnic %.0f" s j) true (s < j);
+  Alcotest.(check bool) "smartnic skew >= 256" true (j >= 256.)
+
+let test_power_model () =
+  let p = Platform.wall_power Platform.smartnic_jbof ~util:0.5 in
+  (* Polling platform: near max regardless of load. *)
+  Alcotest.(check (float 0.01)) "smartnic polls" 52.5 p;
+  let pi_idle = Platform.wall_power Platform.embedded_node ~util:0. in
+  let pi_busy = Platform.wall_power Platform.embedded_node ~util:1. in
+  Alcotest.(check (float 0.01)) "pi idle" 3.6 pi_idle;
+  Alcotest.(check (float 0.01)) "pi busy" 4.2 pi_busy
+
+let test_cycles_model () =
+  (* The same work takes longer on the Pi than on the Stingray, and longer
+     on the Stingray than on the Xeon. *)
+  let c = 30_000. in
+  let pi = Platform.seconds_of_cycles Platform.embedded_node c in
+  let sn = Platform.seconds_of_cycles Platform.smartnic_jbof c in
+  let xeon = Platform.seconds_of_cycles Platform.server_jbof c in
+  Alcotest.(check bool) "pi slowest" true (pi > sn && sn > xeon)
+
+let test_cpu_pool_contention () =
+  (* 8 cores; 16 jobs of 1 ms of cycles each should take ~2 ms. *)
+  let t =
+    Sim.run (fun () ->
+        let cpu = Platform.Cpu.create Platform.smartnic_jbof in
+        let cycles = 1e-3 *. 3e9 in
+        Sim.fork_join (List.init 16 (fun _ () -> Platform.Cpu.execute cpu ~cycles));
+        Sim.now ())
+  in
+  Alcotest.(check (float 1e-4)) "makespan" 2e-3 t
+
+let test_energy_measure () =
+  let m =
+    Platform.Energy.measure ~platform:Platform.smartnic_jbof ~nodes:3 ~util:1.0 ~duration:10.
+      ~ops:1_000_000
+  in
+  Alcotest.(check (float 0.01)) "watts" 157.5 m.Platform.Energy.watts;
+  Alcotest.(check (float 1.)) "joules" 1575. m.Platform.Energy.joules;
+  Alcotest.(check (float 1.)) "ops/J" (1_000_000. /. 1575.) m.Platform.Energy.ops_per_joule
+
+(* --- Zipf --- *)
+
+let test_zipf_rank0_hottest () =
+  Sim.run (fun () ->
+      let z = Zipf.create ~theta:0.99 ~n:1000 (Rng.create 42) in
+      let counts = Array.make 1000 0 in
+      for _ = 1 to 100_000 do
+        let r = Zipf.next z in
+        counts.(r) <- counts.(r) + 1
+      done;
+      Alcotest.(check bool) "rank 0 most frequent" true (counts.(0) = Array.fold_left max 0 counts);
+      (* Zipf(0.99): rank 0 should take a large share. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "rank0 share %.3f > 0.05" (float_of_int counts.(0) /. 100_000.))
+        true
+        (counts.(0) > 5_000))
+
+let test_zipf_low_theta_flatter () =
+  Sim.run (fun () ->
+      let share theta =
+        let z = Zipf.create ~theta ~n:1000 (Rng.create 7) in
+        let hot = ref 0 in
+        for _ = 1 to 50_000 do
+          if Zipf.next z = 0 then incr hot
+        done;
+        float_of_int !hot /. 50_000.
+      in
+      let low = share 0.1 and high = share 0.99 in
+      Alcotest.(check bool) (Printf.sprintf "0.1 share %.4f < 0.99 share %.4f" low high) true (low < high))
+
+let zipf_in_range =
+  QCheck.Test.make ~name:"zipf ranks within [0,n)" ~count:50
+    QCheck.(pair (int_range 1 10_000) (int_range 0 1000))
+    (fun (n, seed) ->
+      let z = Zipf.create ~theta:0.9 ~n (Rng.create seed) in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let r = Zipf.next z in
+        if r < 0 || r >= n then ok := false;
+        let s = Zipf.next_scrambled z in
+        if s < 0 || s >= n then ok := false
+      done;
+      !ok)
+
+(* --- Workload --- *)
+
+let test_mix_ratios () =
+  Sim.run (fun () ->
+      let g = Workload.generator (Workload.ycsb_b ()) ~nkeys:10_000 (Rng.create 3) in
+      let reads = ref 0 and writes = ref 0 in
+      for _ = 1 to 20_000 do
+        match Workload.next g with
+        | Workload.Read _ -> incr reads
+        | Workload.Update _ | Workload.Insert _ | Workload.Read_modify_write _ -> incr writes
+      done;
+      let frac = float_of_int !reads /. 20_000. in
+      Alcotest.(check bool) (Printf.sprintf "read frac %.3f ~ 0.95" frac) true (frac > 0.93 && frac < 0.97))
+
+let test_ycsb_c_read_only () =
+  Sim.run (fun () ->
+      let g = Workload.generator (Workload.ycsb_c ()) ~nkeys:1000 (Rng.create 3) in
+      for _ = 1 to 1000 do
+        match Workload.next g with
+        | Workload.Read _ -> ()
+        | _ -> Alcotest.fail "YCSB-C must be read-only"
+      done)
+
+let test_ycsb_wr_write_only () =
+  Sim.run (fun () ->
+      let g = Workload.generator (Workload.ycsb_wr ()) ~nkeys:1000 (Rng.create 3) in
+      for _ = 1 to 1000 do
+        match Workload.next g with
+        | Workload.Update _ -> ()
+        | _ -> Alcotest.fail "YCSB-WR must be update-only"
+      done)
+
+let test_value_roundtrip () =
+  let v = Workload.value_for ~id:123 ~version:7 ~size:240 in
+  Alcotest.(check int) "size" 240 (Bytes.length v);
+  Alcotest.(check bool) "matches" true (Workload.value_matches ~id:123 ~version:7 v);
+  Alcotest.(check bool) "wrong version" false (Workload.value_matches ~id:123 ~version:8 v)
+
+let test_key_id_roundtrip () =
+  for id = 0 to 100 do
+    let k = Workload.key_of_id id in
+    Alcotest.(check int) "roundtrip" id (Workload.id_of_key k);
+    Alcotest.(check int) "fixed width" Workload.key_size (String.length k)
+  done
+
+let test_object_size_split () =
+  Sim.run (fun () ->
+      let g = Workload.generator ~object_size:256 (Workload.ycsb_wr ()) ~nkeys:10 (Rng.create 1) in
+      Alcotest.(check int) "value size" (256 - Workload.key_size) (Workload.value_size g);
+      match Workload.next g with
+      | Workload.Update (k, v) ->
+          Alcotest.(check int) "object size" 256 (String.length k + Bytes.length v)
+      | _ -> Alcotest.fail "expected update")
+
+let test_latest_distribution_prefers_recent () =
+  Sim.run (fun () ->
+      let g = Workload.generator (Workload.ycsb_d ()) ~nkeys:10_000 (Rng.create 11) in
+      (* Run some inserts so 'latest' has a moving head. *)
+      let recent_hits = ref 0 and total_reads = ref 0 in
+      for _ = 1 to 20_000 do
+        match Workload.next g with
+        | Workload.Read k ->
+            incr total_reads;
+            let id = Workload.id_of_key k in
+            (* "recent" = within the last 10% of the key space behind the
+               (moving) insertion head *)
+            let head = Workload.inserted_count g mod 10_000 in
+            let dist = ((head - id) mod 10_000 + 10_000) mod 10_000 in
+            if dist < 1000 then incr recent_hits
+        | _ -> ()
+      done;
+      let frac = float_of_int !recent_hits /. float_of_int !total_reads in
+      Alcotest.(check bool) (Printf.sprintf "recent frac %.3f > 0.5" frac) true (frac > 0.5))
+
+let test_closed_loop_driver () =
+  let r =
+    Sim.run (fun () ->
+        let g = Workload.generator (Workload.ycsb_c ()) ~nkeys:100 (Rng.create 5) in
+        Workload.Driver.closed_loop ~clients:4 ~duration:1.0 ~gen:g
+          ~execute:(fun _ -> Sim.delay 0.01)
+          ())
+  in
+  (* 4 clients, 10 ms per op, 1 s => ~400 ops *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ops %d ~ 400" r.Workload.Driver.ops)
+    true
+    (r.Workload.Driver.ops >= 396 && r.Workload.Driver.ops <= 404);
+  Alcotest.(check bool) "latency ~10ms" true
+    (abs_float (Leed_stats.Histogram.mean r.Workload.Driver.latency -. 0.01) < 1e-3)
+
+let test_open_loop_driver () =
+  let r =
+    Sim.run (fun () ->
+        let g = Workload.generator (Workload.ycsb_c ()) ~nkeys:100 (Rng.create 5) in
+        Workload.Driver.open_loop ~rate:1000. ~duration:1.0 ~gen:g
+          ~execute:(fun _ -> Sim.delay 0.001)
+          ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ops %d ~ 1000" r.Workload.Driver.ops)
+    true
+    (r.Workload.Driver.ops > 850 && r.Workload.Driver.ops < 1150)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "leed_platform_workload"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "skewness ordering" `Quick test_skewness_ordering;
+          Alcotest.test_case "power model" `Quick test_power_model;
+          Alcotest.test_case "cycles model" `Quick test_cycles_model;
+          Alcotest.test_case "cpu pool contention" `Quick test_cpu_pool_contention;
+          Alcotest.test_case "energy measure" `Quick test_energy_measure;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "rank0 hottest" `Quick test_zipf_rank0_hottest;
+          Alcotest.test_case "low theta flatter" `Quick test_zipf_low_theta_flatter;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+          Alcotest.test_case "ycsb-c read-only" `Quick test_ycsb_c_read_only;
+          Alcotest.test_case "ycsb-wr write-only" `Quick test_ycsb_wr_write_only;
+          Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "key id roundtrip" `Quick test_key_id_roundtrip;
+          Alcotest.test_case "object size split" `Quick test_object_size_split;
+          Alcotest.test_case "latest prefers recent" `Quick test_latest_distribution_prefers_recent;
+          Alcotest.test_case "closed-loop driver" `Quick test_closed_loop_driver;
+          Alcotest.test_case "open-loop driver" `Quick test_open_loop_driver;
+        ] );
+      qsuite "properties" [ zipf_in_range ];
+    ]

@@ -1,0 +1,525 @@
+(* Tests for the LEED data store: circular log, codecs, segment table, and
+   GET/PUT/DEL/compaction semantics. *)
+
+open Leed_sim
+open Leed_blockdev
+open Leed_core
+
+let instant_dev () = Blockdev.create (Blockdev.instant ())
+
+let make_logs ?(dev_id = 0) ?(ksize = 1 lsl 20) ?(vsize = 1 lsl 22) () =
+  let dev = instant_dev () in
+  let klog = Circular_log.create ~name:"klog" ~dev ~dev_id ~base:0 ~size:ksize in
+  let vlog = Circular_log.create ~name:"vlog" ~dev ~dev_id ~base:ksize ~size:vsize in
+  (dev, klog, vlog)
+
+let small_config =
+  { Store.default_config with Store.nsegments = 64; compaction_window = 16 * 1024 }
+
+let make_store ?(config = small_config) ?name () =
+  let _, klog, vlog = make_logs () in
+  Store.create ~config ~name:(Option.value name ~default:"s0") ~klog ~vlog ()
+
+(* --- circular log --- *)
+
+let test_log_append_read () =
+  Sim.run (fun () ->
+      let _, log, _ = make_logs () in
+      let o1 = Circular_log.append log (Bytes.of_string "hello") in
+      let o2 = Circular_log.append log (Bytes.of_string "world") in
+      Alcotest.(check int) "o1" 0 o1;
+      Alcotest.(check int) "o2" 5 o2;
+      Alcotest.(check string) "r1" "hello" (Bytes.to_string (Circular_log.read log ~loff:o1 ~len:5));
+      Alcotest.(check string) "r2" "world" (Bytes.to_string (Circular_log.read log ~loff:o2 ~len:5)))
+
+let test_log_wraparound () =
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let log = Circular_log.create ~name:"w" ~dev ~dev_id:0 ~base:0 ~size:100 in
+      let _ = Circular_log.append log (Bytes.make 80 'a') in
+      Circular_log.advance_head log 80;
+      (* This append physically wraps: 80..100 then 0..60. *)
+      let o = Circular_log.append log (Bytes.init 80 (fun i -> Char.chr (65 + (i mod 26)))) in
+      Alcotest.(check int) "logical offset" 80 o;
+      let back = Circular_log.read log ~loff:o ~len:80 in
+      Alcotest.(check string) "wrapped data intact"
+        (String.init 80 (fun i -> Char.chr (65 + (i mod 26))))
+        (Bytes.to_string back))
+
+let test_log_full_raises () =
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let log = Circular_log.create ~name:"f" ~dev ~dev_id:0 ~base:0 ~size:10 in
+      let _ = Circular_log.append log (Bytes.make 8 'x') in
+      match Circular_log.append log (Bytes.make 5 'y') with
+      | _ -> Alcotest.fail "expected Log_full"
+      | exception Circular_log.Log_full _ -> ())
+
+let test_log_stale_read_semantics () =
+  (* Flash semantics: entries the head has passed stay readable until the
+     tail wraps over their physical space; beyond that, reads fail. *)
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let log = Circular_log.create ~name:"s" ~dev ~dev_id:0 ~base:0 ~size:100 in
+      let o = Circular_log.append log (Bytes.make 10 'x') in
+      Circular_log.advance_head log 10;
+      (* Still physically intact: readable. *)
+      Alcotest.(check string) "stale but intact" (String.make 10 'x')
+        (Bytes.to_string (Circular_log.read log ~loff:o ~len:10));
+      (* Wrap the tail over it: now rejected. *)
+      let _ = Circular_log.append log (Bytes.make 95 'y') in
+      match Circular_log.read log ~loff:o ~len:10 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_log_occupancy () =
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let log = Circular_log.create ~name:"o" ~dev ~dev_id:0 ~base:0 ~size:100 in
+      Alcotest.(check (float 1e-9)) "empty" 0. (Circular_log.occupancy log);
+      let _ = Circular_log.append log (Bytes.make 25 'x') in
+      Alcotest.(check (float 1e-9)) "quarter" 0.25 (Circular_log.occupancy log);
+      Circular_log.advance_head log 25;
+      Alcotest.(check (float 1e-9)) "drained" 0. (Circular_log.occupancy log);
+      Alcotest.(check int) "free" 100 (Circular_log.free log))
+
+let log_roundtrip_prop =
+  QCheck.Test.make ~name:"log append/read roundtrip with head advances" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (string_of_size (Gen.int_range 1 64)))
+    (fun payloads ->
+      Sim.run (fun () ->
+          let dev = instant_dev () in
+          let log = Circular_log.create ~name:"p" ~dev ~dev_id:0 ~base:0 ~size:4096 in
+          let live = Queue.create () in
+          let ok = ref true in
+          List.iter
+            (fun s ->
+              let data = Bytes.of_string s in
+              (* Free space first if needed. *)
+              while Circular_log.free log < Bytes.length data do
+                let o, d = Queue.pop live in
+                ignore o;
+                Circular_log.advance_head log (String.length d)
+              done;
+              let o = Circular_log.append log data in
+              Queue.push (o, s) live)
+            payloads;
+          Queue.iter
+            (fun (o, s) ->
+              let got = Bytes.to_string (Circular_log.read log ~loff:o ~len:(String.length s)) in
+              if got <> s then ok := false)
+            live;
+          !ok))
+
+(* --- codec --- *)
+
+let test_bucket_roundtrip () =
+  let items =
+    [
+      { Codec.key = "k000000000000001"; vlen = 100; voff = 4096; vdev = 0 };
+      { Codec.key = "k000000000000002"; vlen = 0; voff = 0; vdev = -1 };
+      { Codec.key = "abc"; vlen = 7; voff = 123456789; vdev = 3 };
+    ]
+  in
+  let b =
+    { Codec.bindex = 0xDEADBEEF; chain_len = 2; chain_pos = 1; seg_id = 42;
+      log_head = 1000; log_tail = 2000; items }
+  in
+  let dec = Codec.decode_bucket (Codec.encode_bucket b) in
+  Alcotest.(check int) "bindex" 0xDEADBEEF dec.Codec.bindex;
+  Alcotest.(check int) "chain_len" 2 dec.Codec.chain_len;
+  Alcotest.(check int) "chain_pos" 1 dec.Codec.chain_pos;
+  Alcotest.(check int) "seg" 42 dec.Codec.seg_id;
+  Alcotest.(check int) "log_head" 1000 dec.Codec.log_head;
+  Alcotest.(check int) "items" 3 (List.length dec.Codec.items);
+  List.iter2
+    (fun (a : Codec.item) (b : Codec.item) ->
+      Alcotest.(check string) "key" a.Codec.key b.Codec.key;
+      Alcotest.(check int) "vlen" a.Codec.vlen b.Codec.vlen;
+      Alcotest.(check int) "voff" a.Codec.voff b.Codec.voff;
+      Alcotest.(check int) "vdev" a.Codec.vdev b.Codec.vdev)
+    items dec.Codec.items
+
+let test_value_entry_roundtrip () =
+  let ve = { Codec.ve_seg = 17; ve_key = "k000000000000009"; ve_value = Bytes.of_string "payload!" } in
+  let dec = Codec.decode_value_entry (Codec.encode_value_entry ve) in
+  Alcotest.(check int) "seg" 17 dec.Codec.ve_seg;
+  Alcotest.(check string) "key" ve.Codec.ve_key dec.Codec.ve_key;
+  Alcotest.(check string) "value" "payload!" (Bytes.to_string dec.Codec.ve_value)
+
+let test_corrupt_rejected () =
+  (match Codec.decode_bucket (Bytes.make Codec.bucket_size '\042') with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Codec.Corrupt _ -> ());
+  match Codec.decode_value_header (Bytes.make Codec.value_header_size '\001') with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Codec.Corrupt _ -> ()
+
+let codec_bucket_prop =
+  QCheck.Test.make ~name:"bucket codec roundtrip" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 0 10)
+        (triple (string_of_size (Gen.int_range 1 32)) (int_bound 100000) (int_bound 1_000_000)))
+    (fun raw ->
+      let items =
+        List.map (fun (k, vlen, voff) -> { Codec.key = k; vlen; voff; vdev = 1 }) raw
+      in
+      let b =
+        { Codec.bindex = 7; chain_len = 1; chain_pos = 0; seg_id = 3; log_head = 0; log_tail = 0; items }
+      in
+      if Codec.bucket_fits b then begin
+        let dec = Codec.decode_bucket (Codec.encode_bucket b) in
+        List.length dec.Codec.items = List.length items
+        && List.for_all2
+             (fun (a : Codec.item) (b : Codec.item) ->
+               a.Codec.key = b.Codec.key && a.Codec.vlen = b.Codec.vlen && a.Codec.voff = b.Codec.voff)
+             items dec.Codec.items
+      end
+      else true)
+
+let test_segment_split_merge () =
+  (* 40 items of 16 B keys do not fit one bucket: encode_segment must split
+     into a chain and decode must give them all back. *)
+  Sim.run (fun () ->
+      let st = make_store () in
+      ignore st;
+      let items =
+        List.init 40 (fun i ->
+            { Codec.key = Leed_workload.Workload.key_of_id i; vlen = 10; voff = i * 100; vdev = 0 })
+      in
+      let cap = Codec.items_capacity ~key_size:16 in
+      Alcotest.(check bool) "needs chaining" true (List.length items > cap))
+
+(* --- segtbl --- *)
+
+let test_segtbl_lock_mutex () =
+  Sim.run (fun () ->
+      let tbl = Segtbl.create ~nsegments:4 ~home_dev:0 () in
+      let order = ref [] in
+      Segtbl.lock tbl 1;
+      Sim.spawn (fun () ->
+          Segtbl.lock tbl 1;
+          order := "second" :: !order;
+          Segtbl.unlock tbl 1);
+      Sim.spawn (fun () ->
+          order := "first" :: !order);
+      Sim.delay 0.1;
+      Alcotest.(check (list string)) "only unlocked ran" [ "first" ] !order;
+      Segtbl.unlock tbl 1;
+      Sim.delay 0.1;
+      Alcotest.(check (list string)) "handed over" [ "second"; "first" ] !order)
+
+let test_segtbl_trylock () =
+  Sim.run (fun () ->
+      let tbl = Segtbl.create ~nsegments:2 ~home_dev:0 () in
+      Alcotest.(check bool) "acquired" true (Segtbl.try_lock tbl 0);
+      Alcotest.(check bool) "busy" false (Segtbl.try_lock tbl 0);
+      Segtbl.unlock tbl 0;
+      Alcotest.(check bool) "again" true (Segtbl.try_lock tbl 0))
+
+let test_segtbl_memory_budget () =
+  (* The Challenge-1 arithmetic: with ~16 objects per segment and 6-byte
+     entries, the index must stay under 0.5 B per object. *)
+  let tbl = Segtbl.create ~nsegments:1000 ~home_dev:0 () in
+  let objects = 16_000 in
+  let per_obj = float_of_int (Segtbl.modeled_bytes tbl) /. float_of_int objects in
+  Alcotest.(check bool) (Printf.sprintf "%.3f B/obj < 0.5" per_obj) true (per_obj < 0.5)
+
+(* --- store: basic semantics --- *)
+
+let test_store_put_get () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      Store.put st "k000000000000001" (Bytes.of_string "value-1");
+      (match Store.get st "k000000000000001" with
+      | Some v -> Alcotest.(check string) "value" "value-1" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing");
+      Alcotest.(check (option string)) "absent key" None
+        (Option.map Bytes.to_string (Store.get st "k000000000000002")))
+
+let test_store_overwrite () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      Store.put st "kA" (Bytes.of_string "old");
+      Store.put st "kA" (Bytes.of_string "new");
+      (match Store.get st "kA" with
+      | Some v -> Alcotest.(check string) "latest wins" "new" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing");
+      Alcotest.(check int) "objects counted once" 1 (Store.objects st))
+
+let test_store_delete () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      Store.put st "kA" (Bytes.of_string "v");
+      Store.del st "kA";
+      Alcotest.(check (option string)) "deleted" None (Option.map Bytes.to_string (Store.get st "kA"));
+      Alcotest.(check int) "objects" 0 (Store.objects st);
+      (* Deleting a non-existent key is a no-op. *)
+      Store.del st "kB";
+      (* Re-insert after delete. *)
+      Store.put st "kA" (Bytes.of_string "v2");
+      match Store.get st "kA" with
+      | Some v -> Alcotest.(check string) "reinserted" "v2" (Bytes.to_string v)
+      | None -> Alcotest.fail "missing after reinsert")
+
+let test_store_many_keys () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      for i = 0 to 499 do
+        Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.of_string (Printf.sprintf "val%d" i))
+      done;
+      Alcotest.(check int) "objects" 500 (Store.objects st);
+      for i = 0 to 499 do
+        match Store.get st (Leed_workload.Workload.key_of_id i) with
+        | Some v -> Alcotest.(check string) "value" (Printf.sprintf "val%d" i) (Bytes.to_string v)
+        | None -> Alcotest.failf "missing key %d" i
+      done)
+
+let test_store_nvme_access_counts () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      Store.put st "kW" (Bytes.of_string "warm");
+      (* A GET on a materialised segment = 2 accesses (§3.3). *)
+      let before = (Store.stats st Store.Get).Store.nvme_accesses in
+      ignore (Store.get st "kW");
+      let after = (Store.stats st Store.Get).Store.nvme_accesses in
+      Alcotest.(check int) "GET = 2 accesses" 2 (after - before);
+      (* A PUT on an existing segment = 3 accesses. *)
+      let before = (Store.stats st Store.Put).Store.nvme_accesses in
+      Store.put st "kW" (Bytes.of_string "warm2");
+      let after = (Store.stats st Store.Put).Store.nvme_accesses in
+      Alcotest.(check int) "PUT = 3 accesses" 3 (after - before);
+      (* A DEL = 2 accesses. *)
+      let before = (Store.stats st Store.Del).Store.nvme_accesses in
+      Store.del st "kW";
+      let after = (Store.stats st Store.Del).Store.nvme_accesses in
+      Alcotest.(check int) "DEL = 2 accesses" 2 (after - before))
+
+let test_store_index_memory () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      for i = 0 to 999 do
+        Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.make 16 'v')
+      done;
+      let per_obj = Store.index_bytes_per_object st in
+      Alcotest.(check bool) (Printf.sprintf "%.3f B/obj < 0.5" per_obj) true (per_obj < 0.5))
+
+let test_concurrent_puts_same_segment () =
+  (* Two concurrent PUTs to colliding keys must both survive (the segment
+     lock prevents the lost-update race). Force collisions with nsegments=1. *)
+  Sim.run (fun () ->
+      let config = { small_config with Store.nsegments = 1 } in
+      let st = make_store ~config () in
+      let dev_profile = { (Blockdev.dct983) with Blockdev.jitter = 0. } in
+      ignore dev_profile;
+      Sim.fork_join
+        (List.init 10 (fun i () ->
+             Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.of_string (string_of_int i))));
+      for i = 0 to 9 do
+        match Store.get st (Leed_workload.Workload.key_of_id i) with
+        | Some v -> Alcotest.(check string) "survived" (string_of_int i) (Bytes.to_string v)
+        | None -> Alcotest.failf "lost update for key %d" i
+      done)
+
+(* --- store: compaction --- *)
+
+let test_key_log_compaction_reclaims () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      (* Overwrite the same keys many times: most segment copies are stale. *)
+      for round = 1 to 20 do
+        for i = 0 to 19 do
+          Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.of_string (Printf.sprintf "r%d" round))
+        done
+      done;
+      let used_before = Circular_log.used (Store.klog st) in
+      (* Bounded rounds: relocation keeps "reclaiming" live bytes forever on
+         a circular log, so loop a fixed number of windows. *)
+      let reclaimed = ref 0 in
+      for _ = 1 to 40 do
+        reclaimed := !reclaimed + Store.compact_key_log st
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "reclaimed %d of %d" !reclaimed used_before)
+        true
+        (!reclaimed > used_before / 2);
+      (* All data still readable. *)
+      for i = 0 to 19 do
+        match Store.get st (Leed_workload.Workload.key_of_id i) with
+        | Some v -> Alcotest.(check string) "post-compaction value" "r20" (Bytes.to_string v)
+        | None -> Alcotest.failf "key %d lost by compaction" i
+      done)
+
+let test_value_log_compaction_reclaims () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      for round = 1 to 10 do
+        for i = 0 to 19 do
+          Store.put st (Leed_workload.Workload.key_of_id i)
+            (Bytes.of_string (Printf.sprintf "round-%d-val-%d" round i))
+        done
+      done;
+      let reclaimed = ref 0 in
+      for _ = 1 to 40 do
+        reclaimed := !reclaimed + Store.compact_value_log st
+      done;
+      Alcotest.(check bool) (Printf.sprintf "reclaimed %d > 0" !reclaimed) true (!reclaimed > 0);
+      for i = 0 to 19 do
+        match Store.get st (Leed_workload.Workload.key_of_id i) with
+        | Some v ->
+            Alcotest.(check string) "latest value survives" (Printf.sprintf "round-10-val-%d" i)
+              (Bytes.to_string v)
+        | None -> Alcotest.failf "key %d lost by value compaction" i
+      done)
+
+let test_compaction_purges_tombstones () =
+  Sim.run (fun () ->
+      let st = make_store () in
+      for i = 0 to 19 do
+        Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.of_string "x")
+      done;
+      for i = 0 to 19 do
+        Store.del st (Leed_workload.Workload.key_of_id i)
+      done;
+      for _ = 1 to 40 do
+        ignore (Store.compact_key_log st)
+      done;
+      (* Everything deleted and compacted: the key log should be empty. *)
+      Alcotest.(check int) "key log empty" 0 (Circular_log.used (Store.klog st));
+      for i = 0 to 19 do
+        Alcotest.(check (option string)) "still deleted" None
+          (Option.map Bytes.to_string (Store.get st (Leed_workload.Workload.key_of_id i)))
+      done)
+
+let test_background_compactor_sustains_writes () =
+  (* Small logs + endless overwrites: without the compactor this would hit
+     Log_full; with it, writes keep flowing. *)
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let klog = Circular_log.create ~name:"k" ~dev ~dev_id:0 ~base:0 ~size:(64 * 1024) in
+      let vlog = Circular_log.create ~name:"v" ~dev ~dev_id:0 ~base:(1 lsl 20) ~size:(64 * 1024) in
+      let config = { small_config with Store.compaction_window = 8 * 1024 } in
+      let st = Store.create ~config ~name:"bg" ~klog ~vlog () in
+      Store.run_compactor ~period:0.001 st;
+      for round = 1 to 50 do
+        for i = 0 to 19 do
+          Store.put st (Leed_workload.Workload.key_of_id i)
+            (Bytes.of_string (Printf.sprintf "round%d" round));
+          Sim.delay (Sim.us 50.)
+        done
+      done;
+      for i = 0 to 19 do
+        match Store.get st (Leed_workload.Workload.key_of_id i) with
+        | Some v -> Alcotest.(check string) "latest" "round50" (Bytes.to_string v)
+        | None -> Alcotest.failf "key %d lost" i
+      done)
+
+(* --- store: recovery --- *)
+
+let test_recovery_rebuilds_index () =
+  Sim.run (fun () ->
+      let dev = instant_dev () in
+      let klog = Circular_log.create ~name:"k" ~dev ~dev_id:0 ~base:0 ~size:(1 lsl 20) in
+      let vlog = Circular_log.create ~name:"v" ~dev ~dev_id:0 ~base:(1 lsl 20) ~size:(1 lsl 20) in
+      let st = Store.create ~config:small_config ~name:"orig" ~klog ~vlog () in
+      for i = 0 to 49 do
+        Store.put st (Leed_workload.Workload.key_of_id i) (Bytes.of_string (Printf.sprintf "v%d" i))
+      done;
+      Store.del st (Leed_workload.Workload.key_of_id 7);
+      (* "Crash": rebuild a fresh store over the same persistent logs (the
+         DRAM segment table is lost, log head/tail pointers survive in the
+         superblock — here, the log records). *)
+      let st' = Store.create ~config:small_config ~name:"recovered" ~klog ~vlog () in
+      Store.recover st';
+      Alcotest.(check int) "objects recovered" 49 (Store.objects st');
+      for i = 0 to 49 do
+        let expect = if i = 7 then None else Some (Printf.sprintf "v%d" i) in
+        Alcotest.(check (option string)) "recovered value" expect
+          (Option.map Bytes.to_string (Store.get st' (Leed_workload.Workload.key_of_id i)))
+      done)
+
+(* --- store: property tests against a model --- *)
+
+let store_vs_hashtable =
+  QCheck.Test.make ~name:"store behaves like a hashtable under random ops" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 120)
+        (pair (int_bound 30) (option (string_of_size (Gen.int_range 1 24)))))
+    (fun ops ->
+      Sim.run (fun () ->
+          let st = make_store () in
+          let model : (string, string) Hashtbl.t = Hashtbl.create 32 in
+          let ok = ref true in
+          List.iter
+            (fun (id, v) ->
+              let key = Leed_workload.Workload.key_of_id id in
+              match v with
+              | Some v when String.length v > 0 ->
+                  Store.put st key (Bytes.of_string v);
+                  Hashtbl.replace model key v
+              | _ ->
+                  Store.del st key;
+                  Hashtbl.remove model key)
+            ops;
+          (* Interleave a compaction then re-check everything. *)
+          ignore (Store.compact_key_log st);
+          ignore (Store.compact_value_log st);
+          Hashtbl.iter
+            (fun k v ->
+              match Store.get st k with
+              | Some got when Bytes.to_string got = v -> ()
+              | _ -> ok := false)
+            model;
+          for id = 0 to 30 do
+            let k = Leed_workload.Workload.key_of_id id in
+            if not (Hashtbl.mem model k) then if Store.get st k <> None then ok := false
+          done;
+          !ok))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "leed_store"
+    [
+      ( "circular_log",
+        [
+          Alcotest.test_case "append/read" `Quick test_log_append_read;
+          Alcotest.test_case "wraparound" `Quick test_log_wraparound;
+          Alcotest.test_case "full raises" `Quick test_log_full_raises;
+          Alcotest.test_case "stale read semantics" `Quick test_log_stale_read_semantics;
+          Alcotest.test_case "occupancy accounting" `Quick test_log_occupancy;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "bucket roundtrip" `Quick test_bucket_roundtrip;
+          Alcotest.test_case "value entry roundtrip" `Quick test_value_entry_roundtrip;
+          Alcotest.test_case "corrupt rejected" `Quick test_corrupt_rejected;
+          Alcotest.test_case "segment chaining threshold" `Quick test_segment_split_merge;
+        ] );
+      ( "segtbl",
+        [
+          Alcotest.test_case "lock is a fifo mutex" `Quick test_segtbl_lock_mutex;
+          Alcotest.test_case "try_lock" `Quick test_segtbl_trylock;
+          Alcotest.test_case "memory budget" `Quick test_segtbl_memory_budget;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "put/get" `Quick test_store_put_get;
+          Alcotest.test_case "overwrite" `Quick test_store_overwrite;
+          Alcotest.test_case "delete" `Quick test_store_delete;
+          Alcotest.test_case "many keys" `Quick test_store_many_keys;
+          Alcotest.test_case "nvme access counts" `Quick test_store_nvme_access_counts;
+          Alcotest.test_case "index memory < 0.5B/obj" `Quick test_store_index_memory;
+          Alcotest.test_case "concurrent puts, same segment" `Quick test_concurrent_puts_same_segment;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "key log reclaims" `Quick test_key_log_compaction_reclaims;
+          Alcotest.test_case "value log reclaims" `Quick test_value_log_compaction_reclaims;
+          Alcotest.test_case "tombstones purged" `Quick test_compaction_purges_tombstones;
+          Alcotest.test_case "background compactor sustains writes" `Quick
+            test_background_compactor_sustains_writes;
+        ] );
+      ("recovery", [ Alcotest.test_case "rebuilds index" `Quick test_recovery_rebuilds_index ]);
+      qsuite "properties" [ log_roundtrip_prop; codec_bucket_prop; store_vs_hashtable ];
+    ]
