@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full tier-1 gate: build everything, lint, run the suites, then run them
+# again with the runtime invariant sanitizer armed. Any stage failing
+# fails the script.
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build
+
+echo "== lint (determinism / effect discipline) =="
+dune build @lint
+
+echo "== tests =="
+dune runtest
+
+echo "== tests under the invariant sanitizer (LEED_SANITIZE=1) =="
+LEED_SANITIZE=1 dune runtest --force
+
+echo "check.sh: all stages passed"

@@ -137,9 +137,16 @@ type t = {
   rng : Rng.t;
   stats : stats;
   mutable inflight : int;
+  max_queue : int;
 }
 
-let create ?(rng = Rng.create 0) profile =
+(* Generous default bound: a real NVMe queue pair tops out at 64 K entries,
+   and any caller legitimately queueing a million commands on one drive has
+   lost its admission control somewhere above. *)
+let default_max_queue = 1 lsl 20
+
+let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) profile =
+  if max_queue <= 0 then invalid_arg "Blockdev.create: max_queue must be positive";
   {
     profile;
     storage = Storage.create ();
@@ -148,6 +155,7 @@ let create ?(rng = Rng.create 0) profile =
     rng = Rng.split rng;
     stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0 };
     inflight = 0;
+    max_queue;
   }
 
 let profile t = t.profile
@@ -172,9 +180,20 @@ let check_bounds t ~off ~len =
       (Printf.sprintf "%s: out-of-bounds access off=%d len=%d cap=%d" t.profile.name off len
          t.profile.capacity_bytes)
 
+(* Queue-depth sanitizer: outstanding commands (queued + executing) must
+   stay within the configured bound — growth past it means the layer above
+   lost its admission control (the LEED engine's token/waiting caps). *)
+let check_queue_depth t =
+  Invariant.require ~invariant:"blockdev-queue-depth" ~time:(Sim.now ())
+    (t.inflight <= t.max_queue)
+    ~detail:(fun () ->
+      Printf.sprintf "%s: %d commands outstanding exceeds the configured bound %d"
+        t.profile.name t.inflight t.max_queue)
+
 let read t ~off ~len =
   check_bounds t ~off ~len;
   t.inflight <- t.inflight + 1;
+  check_queue_depth t;
   let service =
     Sim.us (jittered t t.profile.read_us) +. transfer_time len t.profile.seq_read_mbps
   in
@@ -188,6 +207,7 @@ let write_kind t ~off data kind =
   let len = Bytes.length data in
   check_bounds t ~off ~len;
   t.inflight <- t.inflight + 1;
+  check_queue_depth t;
   let bw = match kind with `Seq -> t.profile.seq_write_mbps | `Rand -> t.profile.rand_write_mbps in
   (* A random write smaller than a flash page still costs a full
      read-modify-write of the page. *)
@@ -208,6 +228,6 @@ let write_rand t ~off data = write_kind t ~off data `Rand
 
 (* Crash simulation hook: the persistent contents survive, all volatile
    queueing/timing state is fresh. Used by recovery tests. *)
-let reboot t = { (create ~rng:t.rng t.profile) with storage = t.storage }
+let reboot t = { (create ~rng:t.rng ~max_queue:t.max_queue t.profile) with storage = t.storage }
 
 let utilisation t = Sim.Resource.utilisation t.read_units

@@ -51,7 +51,13 @@ type stats = {
 
 type t
 
-val create : ?rng:Leed_sim.Rng.t -> profile -> t
+val create : ?rng:Leed_sim.Rng.t -> ?max_queue:int -> profile -> t
+(** [create profile] builds a device. [max_queue] bounds outstanding
+    commands (queued + executing); exceeding it trips the
+    {!Leed_sim.Invariant} sanitizer when that is enabled. The default is
+    deliberately generous (2^20) — it exists to catch lost admission
+    control above the device, not to model queue limits. *)
+
 val profile : t -> profile
 val stats : t -> stats
 val capacity : t -> int

@@ -3,6 +3,7 @@
    This is the top-level entry point of the library: build a cluster, get
    clients, issue requests. *)
 
+open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
 open Leed_platform
@@ -38,6 +39,87 @@ type t = {
   mutable next_client_id : int;
 }
 
+(* --- CRRS chain-order sanitizer (§3.7) ---
+   Two layers. The *structural* check is race-free and runs automatically
+   after every membership change: a key's replica chain must never repeat
+   a physical node nor exceed R entries — a repeated node silently halves
+   the real replication factor, which is exactly the failure mode a broken
+   ring rebuild produces. The *agreement* check reads every replica of a
+   key directly through the engines (bypassing the network) and requires
+   identical committed values; it races with in-flight writes by nature,
+   so it is only meaningful at quiescent points and callers invoke it
+   explicitly. *)
+
+let require_chain_structure t ~key chain =
+  let nodes = List.map (fun (e : Ring.entry) -> e.Ring.owner.Ring.node) chain in
+  Invariant.require ~invariant:"crrs-chain-order" ~time:(Sim.now ())
+    (List.length chain <= t.config.r
+    && List.length (List.sort_uniq compare nodes) = List.length nodes)
+    ~detail:(fun () ->
+      Printf.sprintf
+        "replica chain for key %S has %d entries on nodes [%s] (r=%d): physical \
+         nodes must be distinct and the chain at most R long"
+        key (List.length chain)
+        (String.concat ";" (List.map string_of_int nodes))
+        t.config.r)
+
+let check_chain_order t key =
+  if Invariant.active () then
+    require_chain_structure t ~key (Ring.chain (Control.ring t.control) ~r:t.config.r key)
+
+(* Deterministic probe keys spread over the ring. *)
+let check_chain_structure t =
+  if Invariant.active () then
+    for i = 0 to 15 do
+      check_chain_order t (Printf.sprintf "chain-probe-%d" i)
+    done
+
+let check_replica_agreement t key =
+  if Invariant.active () then begin
+    let chain = Ring.chain (Control.ring t.control) ~r:t.config.r key in
+    require_chain_structure t ~key chain;
+    let replicas =
+      List.map (fun (e : Ring.entry) -> (e, Control.node t.control e.Ring.owner.Ring.node)) chain
+    in
+    let dirty () =
+      List.exists
+        (fun ((e : Ring.entry), n) -> Node.is_key_dirty n ~vidx:e.Ring.owner.Ring.vidx key)
+        replicas
+    in
+    if not (dirty ()) then begin
+      let reads =
+        List.map
+          (fun ((e : Ring.entry), n) ->
+            match Engine.submit (Node.engine n) ~pid:e.Ring.owner.Ring.vidx (Engine.Get key) with
+            | Engine.Found v -> `Value v
+            | Engine.Missing | Engine.Done -> `Missing
+            | exception Engine.Overloaded _ -> `Unknown)
+          replicas
+      in
+      (* A write may have raced the reads; only judge if the key stayed
+         clean across the whole sweep and every replica answered. *)
+      if (not (dirty ())) && not (List.mem `Unknown reads) then
+        match reads with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+            List.iteri
+              (fun i r ->
+                Invariant.require ~invariant:"crrs-chain-order" ~time:(Sim.now ())
+                  (r = first)
+                  ~detail:(fun () ->
+                    let show = function
+                      | `Value v -> Printf.sprintf "%d bytes" (Bytes.length v)
+                      | `Missing -> "missing"
+                      | `Unknown -> "unknown"
+                    in
+                    Printf.sprintf
+                      "replicas of key %S disagree: chain head holds %s but \
+                       replica %d holds %s"
+                      key (show first) (i + 1) (show r)))
+              rest
+    end
+  end
+
 let create ?(config = default_config) () =
   let fabric = Netsim.fabric ~base_latency_us:config.base_latency_us () in
   let control = Control.create ~r:config.r fabric in
@@ -64,6 +146,7 @@ let create ?(config = default_config) () =
   done;
   Control.finish_bootstrap control;
   Control.start control;
+  check_chain_structure t;
   t
 
 let control t = t.control
@@ -97,12 +180,14 @@ let add_node t =
   Node.start n;
   let copied = Control.join t.control n in
   t.nodes <- t.nodes @ [ n ];
+  check_chain_structure t;
   (n, copied)
 
 (* Graceful departure (§3.8.1). *)
 let remove_node t id =
   let copied = Control.leave t.control id in
   t.nodes <- List.filter (fun n -> Node.id n <> id) t.nodes;
+  check_chain_structure t;
   copied
 
 (* Fail-stop crash (§3.8.2): the node's NIC goes dark; the heartbeat

@@ -48,3 +48,20 @@ val crash_node : t -> int -> unit
 
 val total_objects : t -> int
 (** Live objects summed over every store (R replicas each). *)
+
+(** {1 Replication sanitizer}
+
+    No-ops unless the {!Leed_sim.Invariant} sanitizer is enabled
+    ([Sim.run ~checks:true] or [LEED_SANITIZE=1]). *)
+
+val check_chain_order : t -> string -> unit
+(** Structural chain-order check for one key against the authoritative
+    ring: the replica chain must not repeat a physical node nor exceed R
+    entries. Race-free; runs automatically (over deterministic probe keys)
+    after cluster creation and every membership change. *)
+
+val check_replica_agreement : t -> string -> unit
+(** Read every replica of [key] directly through the engines and require
+    identical committed values. Skips keys with writes in flight, but is
+    only meaningful at quiescent points — call it explicitly (e.g. from
+    tests after traffic drains). *)

@@ -54,6 +54,8 @@ let register_client t c = t.clients <- c :: t.clients
 let set_on_failure t f = t.on_failure <- f
 
 let node t id = (Hashtbl.find t.nodes id).node
+
+(* simlint: allow hashtbl-order — bindings are sorted before use *)
 let node_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
 
 let peer_resolver t id = Node.rpc (node t id)
@@ -62,15 +64,18 @@ let peer_resolver t id = Node.rpc (node t id)
    clients via their etcd watch (modeled as a jittered install). *)
 let broadcast t =
   let snap = Ring.snapshot t.ring in
-  Hashtbl.iter
-    (fun _ ns ->
+  (* Iterate in sorted node-id order: the spawn order here becomes event
+     order on the heap, so it must not depend on hash-bucket layout. *)
+  List.iter
+    (fun id ->
+      let ns = Hashtbl.find t.nodes id in
       if ns.alive then
         Sim.spawn (fun () ->
             let req = Messages.Ring_update snap in
             ignore
               (Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
                  ~timeout:0.5 req)))
-    t.nodes;
+    (node_ids t);
   List.iteri
     (fun i c ->
       Sim.spawn (fun () ->
@@ -90,7 +95,9 @@ let register_bootstrap_node t (n : Node.t) =
 
 (* After all bootstrap nodes are registered: sync every view. *)
 let finish_bootstrap t =
-  Hashtbl.iter (fun _ ns -> Ring.install (Node.ring ns.node) (Ring.snapshot t.ring)) t.nodes;
+  List.iter
+    (fun id -> Ring.install (Node.ring (node t id)) (Ring.snapshot t.ring))
+    (node_ids t);
   broadcast t
 
 (* --- COPY orchestration helpers --- *)
@@ -226,23 +233,26 @@ let handle_failure t dead_id =
 (* --- heartbeats (§3.8.2) --- *)
 
 let probe_round t =
+  (* Sorted node-id order: fork_join spawns in list order, which is event
+     order — probe scheduling must not depend on hash-bucket layout. *)
   let checks =
-    Hashtbl.fold
-      (fun id ns acc ->
-        if not ns.alive then acc
+    List.filter_map
+      (fun id ->
+        let ns = Hashtbl.find t.nodes id in
+        if not ns.alive then None
         else
-          (fun () ->
-            let req = Messages.Ping { node = -1 } in
-            match
-              Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
-                ~timeout:(t.heartbeat_period /. 2.) req
-            with
-            | Some _ -> ns.missed <- 0
-            | None ->
-                ns.missed <- ns.missed + 1;
-                if ns.missed >= t.miss_limit then Sim.spawn (fun () -> handle_failure t id))
-          :: acc)
-      t.nodes []
+          Some
+            (fun () ->
+              let req = Messages.Ping { node = -1 } in
+              match
+                Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
+                  ~timeout:(t.heartbeat_period /. 2.) req
+              with
+              | Some _ -> ns.missed <- 0
+              | None ->
+                  ns.missed <- ns.missed + 1;
+                  if ns.missed >= t.miss_limit then Sim.spawn (fun () -> handle_failure t id)))
+      (node_ids t)
   in
   Sim.fork_join checks
 

@@ -86,6 +86,9 @@ and ssd_sched = {
   mutable executed : int;
   mutable swapped_out : int;
   mutable swapped_in : int;
+  (* sanitizer ledger: independently accounts every token issued to a
+     launched command and consumed at its completion *)
+  tok_acct : Invariant.Tokens.t;
   (* swapped commands accepted but not yet completed on this SSD: the swap
      region must not be reset while any exist *)
   mutable swap_inflight : int;
@@ -146,6 +149,7 @@ let create ?(config = default_config) ?(rng = Rng.create 11) platform =
           swapped_out = 0;
           swapped_in = 0;
           swap_inflight = 0;
+          tok_acct = Invariant.Tokens.create ~name:(Printf.sprintf "ssd%d.tokens" d);
         })
   in
   let mk_partition pid =
@@ -201,7 +205,12 @@ let tenant_weight t tenant =
 let available_tokens_for t ~tenant p =
   let total =
     if Hashtbl.length t.tenant_weights = 0 then 1.0
-    else Hashtbl.fold (fun _ w acc -> acc +. w) t.tenant_weights 0.
+    else
+      (* Float addition is not associative, so sum in sorted tenant order
+         rather than hash-bucket order.  simlint: allow hashtbl-order *)
+      Hashtbl.fold (fun tenant w acc -> (tenant, w) :: acc) t.tenant_weights []
+      |> List.sort compare
+      |> List.fold_left (fun acc (_, w) -> acc +. w) 0.
   in
   let share = tenant_weight t tenant /. Float.max total (tenant_weight t tenant) in
   int_of_float (float_of_int (available_tokens p) *. share)
@@ -239,9 +248,20 @@ let run_pending t (s : ssd_sched) (pend : pending) =
 
 let launch t (s : ssd_sched) (pend : pending) =
   s.active_tokens <- s.active_tokens + pend.tokens;
+  Invariant.Tokens.issue s.tok_acct ~time:(Sim.now ()) pend.tokens;
+  Invariant.Tokens.check_balance s.tok_acct ~time:(Sim.now ())
+    ~expect_outstanding:s.active_tokens;
   Sim.spawn (fun () ->
       let outcome = run_pending t s pend in
       s.active_tokens <- s.active_tokens - pend.tokens;
+      Invariant.Tokens.consume s.tok_acct ~time:(Sim.now ()) pend.tokens;
+      Invariant.Tokens.check_balance s.tok_acct ~time:(Sim.now ())
+        ~expect_outstanding:s.active_tokens;
+      Invariant.require ~invariant:"token-conservation" ~time:(Sim.now ())
+        (s.active_tokens >= 0 && s.foreign_tokens >= 0)
+        ~detail:(fun () ->
+          Printf.sprintf "ssd%d: negative token balance (active=%d foreign=%d)"
+            s.dev_idx s.active_tokens s.foreign_tokens);
       Sim.Ivar.fill pend.completion outcome;
       Sim.Mailbox.send s.wake ())
 

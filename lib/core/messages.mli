@@ -1,0 +1,42 @@
+(** Wire messages between clients, LEED nodes, and the control plane.
+
+    Responses piggyback the serving partition's available token count —
+    the §3.5 flow-control signal the client scheduler feeds on. *)
+
+type request =
+  | Get of { vn : Ring.vnode; key : string; shipped : bool; tenant : int }
+      (** [shipped] marks a dirty read forwarded to the tail (§3.7);
+          [tenant] selects the weighted token share (§3.5). *)
+  | Write of {
+      vn : Ring.vnode;
+      key : string;
+      value : bytes option;
+      hop : int;
+      version : int;
+      tenant : int;
+    }
+      (** [value = None] is a DEL. [hop] validates the chain position
+          against the receiver's ring view (§3.8.1). *)
+  | Version_query of { vn : Ring.vnode; key : string }
+      (** The CRAQ-style alternative to request shipping (§3.7): ask the
+          tail whether the key's latest write has committed. *)
+  | Copy_put of { vn : Ring.vnode; key : string; value : bytes }
+      (** COPY traffic into a JOINING/repairing vnode (§3.8). *)
+  | Ring_update of Ring.snapshot
+  | Ping of { node : int }
+
+type nack_reason =
+  | Stale_view of int  (** receiver's ring version: refresh and retry *)
+  | Not_serving
+  | Overloaded
+
+type response =
+  | Value of { value : bytes option; tokens : int }
+  | Ok of { tokens : int }
+  | Version of { dirty : bool; tokens : int }
+  | Nack of nack_reason
+
+val request_size : request -> int
+(** Modeled wire size in bytes (headers + payload). *)
+
+val response_size : response -> int

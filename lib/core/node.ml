@@ -120,6 +120,11 @@ let dirty_decr vs key =
 
 let is_dirty vs key = Hashtbl.mem vs.dirty key
 
+(* Exposed for the cluster's replication sanitizer: is a write to [key]
+   still in flight through this vnode? *)
+let is_key_dirty t ~vidx key =
+  match vnode_opt t vidx with None -> false | Some vs -> is_dirty vs key
+
 (* --- helpers --- *)
 
 let charge_rx t =

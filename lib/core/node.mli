@@ -42,6 +42,10 @@ val set_peer_resolver : t -> (int -> (Messages.request, Messages.response) Leed_
 val vnode : t -> int -> vnode_state
 val install_ring : t -> Ring.snapshot -> unit
 
+val is_key_dirty : t -> vidx:int -> string -> bool
+(** Is a write to the key still in flight (dirty mark set) through the
+    given vnode? Used by the cluster's replication sanitizer. *)
+
 val handle : t -> Messages.request -> Messages.response
 (** The request dispatcher (exposed for tests). *)
 

@@ -117,6 +117,7 @@ let key_in_arc ~lo ~hi key = in_arc ~lo ~hi (point_of_key key)
 let nodes t =
   let tbl = Hashtbl.create 8 in
   Array.iter (fun e -> Hashtbl.replace tbl e.owner.node ()) t.entries;
+  (* simlint: allow hashtbl-order — bindings are sorted before use *)
   Hashtbl.fold (fun n () acc -> n :: acc) tbl [] |> List.sort compare
 
 (* Wire representation for control-plane broadcasts. *)

@@ -157,8 +157,31 @@ let finish ctx t kind t0 =
 
 let log_for t dev = if dev = t.home_dev then t.klog else t.resolve dev
 
-(* Read a whole segment (chain of buckets) as its item list. *)
-let read_segment ctx t (e : Segtbl.entry) =
+(* Sanitizer: a segment's bucket chain must be internally consistent —
+   every bucket carries the same seg_id and chain_len, and chain positions
+   run 0..n-1 in order. A violation under the segment lock means the store
+   wrote (or relocated) a malformed chain, which silently corrupts lookups
+   and recovery. *)
+let check_segment_chain t ~(e : Segtbl.entry) (buckets : Codec.bucket list) =
+  let n = List.length buckets in
+  let seg0 = match buckets with b :: _ -> b.Codec.seg_id | [] -> -1 in
+  List.iteri
+    (fun i (b : Codec.bucket) ->
+      Invariant.require ~invariant:"segment-chain-order" ~time:(Sim.now ())
+        (b.Codec.chain_pos = i && b.Codec.chain_len = n && b.Codec.seg_id = seg0)
+        ~detail:(fun () ->
+          Printf.sprintf
+            "%s: bucket %d of segment at loff=%d is out of chain order \
+             (seg_id=%d/%d chain_pos=%d chain_len=%d/%d)"
+            t.name i e.Segtbl.off b.Codec.seg_id seg0 b.Codec.chain_pos
+            b.Codec.chain_len n))
+    buckets
+
+(* Read a whole segment (chain of buckets) as its item list. [torn_ok]
+   marks lockless readers (GET), whose snapshot may legitimately be torn by
+   a concurrent compaction — they detect and retry, so the chain-order
+   sanitizer only runs for readers holding the segment lock. *)
+let read_segment ?(torn_ok = false) ctx t (e : Segtbl.entry) =
   let log = log_for t e.Segtbl.dev in
   let len = Codec.segment_bytes ~chain_len:e.Segtbl.chain_len in
   let buf =
@@ -169,6 +192,7 @@ let read_segment ctx t (e : Segtbl.entry) =
             timed_ssd ctx (fun () -> Circular_log.read log ~loff:e.Segtbl.off ~len))
   in
   let buckets = Codec.decode_segment buf in
+  if (not torn_ok) && Invariant.active () then check_segment_chain t ~e buckets;
   let items = List.concat_map (fun b -> b.Codec.items) buckets in
   charge ctx t (Costs.decode_per_item *. float_of_int (List.length items));
   items
@@ -245,7 +269,7 @@ let get t key =
     if not (Segtbl.is_materialised e) then None
     else
       match
-        let items = read_segment ctx t e in
+        let items = read_segment ~torn_ok:true ctx t e in
         charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length items));
         match List.find_opt (fun it -> String.equal it.Codec.key key) items with
         | None -> None
@@ -440,6 +464,7 @@ let compact_key_log ?(subcompactions = 0) t =
   (* Drop prefetched frames the head has moved past; frames prefetched for
      the next window (higher offsets) stay warm. *)
   let dead =
+    (* simlint: allow hashtbl-order — collects a removal set; order-insensitive *)
     Hashtbl.fold
       (fun loff _ acc -> if loff < Circular_log.head t.klog then loff :: acc else acc)
       t.prefetch_cache []
@@ -516,6 +541,7 @@ let compact_value_log ?(subcompactions = 0) t =
       let cur = try Hashtbl.find by_seg seg with Not_found -> [] in
       Hashtbl.replace by_seg seg ((loff, len) :: cur))
     frames;
+  (* simlint: allow hashtbl-order — groups are sorted by segment just below *)
   let seg_groups = Hashtbl.fold (fun seg entries acc -> (seg, entries) :: acc) by_seg [] in
   let seg_groups = List.sort (fun (a, _) (b, _) -> compare a b) seg_groups in
   (* Pass 3: S parallel sub-compactions over the segment groups. *)
@@ -640,15 +666,19 @@ let recover t =
     Hashtbl.replace seen b.Codec.seg_id !loff;
     loff := !loff + len
   done;
-  (* Count live objects from the final segment copies. *)
-  Hashtbl.iter
-    (fun seg _ ->
+  (* Count live objects from the final segment copies, in sorted segment
+     order: each read charges simulated device time, so the scan order
+     must not depend on hash-bucket layout. *)
+  (* simlint: allow hashtbl-order — bindings are sorted before use *)
+  let segs = Hashtbl.fold (fun seg _ acc -> seg :: acc) seen [] |> List.sort compare in
+  List.iter
+    (fun seg ->
       let e = Segtbl.entry t.segtbl seg in
       if Segtbl.is_materialised e then begin
         let items = read_segment ctx t e in
         List.iter (fun it -> if not (Codec.is_tombstone it) then incr objects) items
       end)
-    seen;
+    segs;
   t.objects <- !objects
 
 (* Iterate every live (key, value) pair, locking each segment while it is

@@ -1,0 +1,20 @@
+(** Binary min-heap of timestamped events.
+
+    Ordering is (time, seq): events at equal times fire in insertion
+    order, which keeps every simulation deterministic. *)
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> event -> unit
+
+val pop : t -> event option
+(** Remove and return the earliest event, [None] when empty. *)
+
+val peek_time : t -> float option
+(** Time of the earliest event without removing it. *)

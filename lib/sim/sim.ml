@@ -25,6 +25,12 @@ let get_engine () =
   | None -> failwith "Sim: no simulation running (call inside Sim.run)"
 
 let schedule eng ~at run =
+  (* [at >= now] is also false for NaN, so a poisoned latency computation
+     trips here instead of silently freezing the heap order. *)
+  Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
+    (at >= eng.now)
+    ~detail:(fun () ->
+      Printf.sprintf "event scheduled into the past (at=%.9g, now=%.9g)" at eng.now);
   eng.seq <- eng.seq + 1;
   Event_heap.add eng.heap { Event_heap.time = at; seq = eng.seq; run }
 
@@ -80,19 +86,24 @@ let stop () =
   let eng = get_engine () in
   eng.stopped <- true
 
-let run ?(until = infinity) (main : unit -> 'a) : 'a =
+let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
   let eng =
     { now = 0.; seq = 0; heap = Event_heap.create (); stopped = false; spawned = 0 }
   in
   let saved = !current in
   current := Some eng;
+  let saved_checks = Invariant.active () in
+  (match checks with Some b -> Invariant.set_enabled b | None -> ());
   let result = ref None in
   let main_done = ref false in
   schedule eng ~at:0. (fun () ->
       exec eng (fun () ->
           result := Some (main ());
           main_done := true));
-  let finish () = current := saved in
+  let finish () =
+    current := saved;
+    Invariant.set_enabled saved_checks
+  in
   (try
      let continue_loop = ref true in
      (* The loop ends as soon as the main process has its result: daemon
@@ -107,6 +118,11 @@ let run ?(until = infinity) (main : unit -> 'a) : 'a =
              continue_loop := false
            end
            else begin
+             Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
+               (ev.Event_heap.time >= eng.now)
+               ~detail:(fun () ->
+                 Printf.sprintf "heap yielded an event at t=%.9g behind the clock"
+                   ev.Event_heap.time);
              eng.now <- ev.Event_heap.time;
              ev.Event_heap.run ()
            end

@@ -17,12 +17,19 @@ exception Main_incomplete
 (** Raised by {!run} when the [until] horizon was reached (or {!stop} was
     called) before the main process produced its result. *)
 
-val run : ?until:float -> (unit -> 'a) -> 'a
+val run : ?until:float -> ?checks:bool -> (unit -> 'a) -> 'a
 (** [run main] creates a fresh simulation clock at time 0, executes [main]
     as the root process and drives the event loop until [main]'s result is
     available and the event heap drains, [until] is reached, or {!stop} is
     called. Returns [main]'s result. Nested runs are permitted (the outer
-    engine is restored on exit). *)
+    engine is restored on exit).
+
+    [~checks:true] turns on the {!Invariant} runtime sanitizer for the
+    duration of the run (event-time monotonicity, device queue bounds,
+    token conservation, replication chain consistency); [~checks:false]
+    forces it off. When omitted, the sanitizer state is inherited — off by
+    default, on under [LEED_SANITIZE=1]. The previous state is restored
+    when the run finishes. *)
 
 val now : unit -> float
 (** Current simulation time, in seconds. Must be called inside {!run}. *)

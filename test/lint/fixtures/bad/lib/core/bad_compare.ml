@@ -1,0 +1,1 @@
+let broken () = compare (fun x -> x) (fun y -> y + 1)

@@ -1,0 +1,1 @@
+val broken : unit -> int

@@ -1,0 +1,1 @@
+let block eff = Effect.perform eff

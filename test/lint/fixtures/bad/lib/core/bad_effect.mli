@@ -1,0 +1,1 @@
+val block : 'a Effect.t -> 'a

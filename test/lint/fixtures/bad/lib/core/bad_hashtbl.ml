@@ -1,0 +1,4 @@
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+let visit tbl f = Hashtbl.iter f tbl
+(* simlint: allow hashtbl-order -- reviewed: bindings are sorted before use *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

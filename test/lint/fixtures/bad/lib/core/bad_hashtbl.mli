@@ -1,0 +1,1 @@
+val sum : ('a, float) Hashtbl.t -> float

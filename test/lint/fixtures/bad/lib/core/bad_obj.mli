@@ -1,0 +1,1 @@
+val coerce : 'a -> 'b

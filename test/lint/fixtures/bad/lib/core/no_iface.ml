@@ -1,0 +1,1 @@
+let forgotten = 42

@@ -1,0 +1,1 @@
+let cpu () = Sys.time ()

@@ -1,0 +1,3 @@
+let lookup tbl k = Hashtbl.find_opt tbl k
+(* simlint: allow hashtbl-order -- bindings are sorted before use *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

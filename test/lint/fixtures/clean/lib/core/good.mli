@@ -1,0 +1,2 @@
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
+val keys : ('a, 'b) Hashtbl.t -> 'a list

@@ -1,0 +1,1 @@
+let pause eff = Effect.perform eff

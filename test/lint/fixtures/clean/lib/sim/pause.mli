@@ -1,0 +1,1 @@
+val pause : 'a Effect.t -> 'a

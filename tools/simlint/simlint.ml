@@ -1,0 +1,255 @@
+(* simlint — determinism and effect-discipline lint for the LEED simulation
+   substrate.
+
+   Every figure this repo reproduces depends on the discrete-event core
+   being deterministic: same seed, same event order, same numbers. This
+   tool walks the parsetree (compiler-libs) of every [.ml] under the
+   directories given on the command line (default: lib bin bench) and
+   enforces the repo rules:
+
+     R1 determinism      no [Random.*] outside lib/sim/rng.ml; no [Unix.*]
+                         or [Sys.time] under lib/ (wall-clock reporting is
+                         allowlisted in bin/ and bench/)
+     R2 effect discipline [Effect.perform] only inside lib/sim/ — every
+                         other layer must block through the Sim API, since
+                         event-heap callbacks must not perform effects
+     R3 interface coverage every lib/**/*.ml has a matching .mli
+                         (lib/experiments/ is exempt: the figure drivers
+                         are scripts whose only consumer is the registry)
+     R4 banned constructs [Obj.magic]; order-sensitive [Hashtbl.iter]/
+                         [Hashtbl.fold] in lib/ (annotate reviewed sites
+                         with a "simlint: allow hashtbl-order" comment);
+                         polymorphic [compare] applied to function literals
+
+   Violations print "file:line: rule: message" and the exit status is
+   non-zero. A finding can be suppressed by a comment containing
+   "simlint: allow <tag>" on the same or the preceding line, where <tag>
+   is the rule id (R1..R4) or its specific name (random, wall-clock,
+   effect, hashtbl-order, obj-magic, compare-fun). *)
+
+let scope_default = [ "lib"; "bin"; "bench" ]
+
+let mli_exempt_dirs = [ "lib/experiments" ]
+
+let random_allowed_files = [ "lib/sim/rng.ml" ]
+
+(* ------------------------------------------------------------------ *)
+
+type violation = { file : string; line : int; rule : string; tag : string; msg : string }
+
+let violations : violation list ref = ref []
+
+let report ~file ~line ~rule ~tag msg =
+  violations := { file; line; rule; tag; msg } :: !violations
+
+(* --- suppression comments --- *)
+
+let contains_at s sub i =
+  let n = String.length sub in
+  i + n <= String.length s && String.sub s i n = sub
+
+(* All (line, tag) pairs from "simlint: allow <tag>" comments in [text];
+   several tags may follow one marker, separated by commas. *)
+let allow_marks text =
+  let marks = ref [] in
+  let line = ref 1 in
+  let marker = "simlint: allow " in
+  String.iteri
+    (fun i c ->
+      if c = '\n' then incr line
+      else if c = 's' && contains_at text marker i then begin
+        let j = ref (i + String.length marker) in
+        let len = String.length text in
+        let buf = Buffer.create 16 in
+        let flush_tag () =
+          if Buffer.length buf > 0 then begin
+            marks := (!line, Buffer.contents buf) :: !marks;
+            Buffer.clear buf
+          end
+        in
+        let continue = ref true in
+        while !continue && !j < len do
+          (match text.[!j] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> Buffer.add_char buf text.[!j]
+          | ',' | ' ' when Buffer.length buf > 0 -> flush_tag ()
+          | ' ' -> ()
+          | _ -> continue := false);
+          incr j
+        done;
+        flush_tag ()
+      end)
+    text;
+  !marks
+
+let suppressed marks ~line ~rule ~tag =
+  List.exists (fun (l, t) -> (l = line || l = line - 1) && (t = rule || t = tag)) marks
+
+(* --- path classification (paths are '/'-separated, relative to the
+   repo root, as handed to us by the dune lint alias) --- *)
+
+let under dir path =
+  let d = dir ^ "/" in
+  String.length path >= String.length d && String.sub path 0 (String.length d) = d
+
+let in_lib path = under "lib" path
+let in_sim path = under "lib/sim" path
+let wall_clock_allowed path = under "bin" path || under "bench" path
+
+(* --- longident helpers --- *)
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+(* Normalize [Stdlib.Random.int] to [Random.int] etc. *)
+let path_of lid =
+  match flatten lid with "Stdlib" :: rest -> rest | parts -> parts
+
+(* ------------------------------------------------------------------ *)
+(* Per-file AST walk. *)
+
+let is_function_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | _ -> false
+
+let lint_structure ~file (str : Parsetree.structure) =
+  let open Ast_iterator in
+  let line_of (loc : Location.t) = loc.loc_start.pos_lnum in
+  let check_ident lid loc =
+    let line = line_of loc in
+    match path_of lid with
+    | "Random" :: _ when not (List.mem file random_allowed_files) ->
+        report ~file ~line ~rule:"R1" ~tag:"random"
+          (Printf.sprintf "use of Random.%s: all randomness must flow from seeded \
+                           Rng.t values (lib/sim/rng.ml)"
+             (match List.rev (path_of lid) with x :: _ -> x | [] -> "?"))
+    | "Unix" :: _ when not (wall_clock_allowed file) ->
+        report ~file ~line ~rule:"R1" ~tag:"wall-clock"
+          "use of Unix.*: wall-clock and OS state are nondeterministic; simulated \
+           time comes from Sim.now (allowlisted only in bin/ and bench/)"
+    | [ "Sys"; "time" ] when not (wall_clock_allowed file) ->
+        report ~file ~line ~rule:"R1" ~tag:"wall-clock"
+          "use of Sys.time: wall-clock reads are nondeterministic; use Sim.now"
+    | [ "Effect"; "perform" ] when not (in_sim file) ->
+        report ~file ~line ~rule:"R2" ~tag:"effect"
+          "Effect.perform outside lib/sim/: blocking must go through the Sim API \
+           (event-heap callbacks must not perform effects)"
+    | [ "Obj"; "magic" ] ->
+        report ~file ~line ~rule:"R4" ~tag:"obj-magic" "Obj.magic is banned"
+    | [ "Hashtbl"; ("iter" | "fold") as fn ] when in_lib file ->
+        report ~file ~line ~rule:"R4" ~tag:"hashtbl-order"
+          (Printf.sprintf
+             "Hashtbl.%s iterates in hash-bucket order, which must not leak into \
+              scheduling or output; sort the bindings, or annotate the reviewed \
+              site with (* simlint: allow hashtbl-order *)"
+             fn)
+    | _ -> ()
+  in
+  let expr_iter (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident txt loc
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        match path_of txt with
+        | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+            if List.exists (fun (_, a) -> is_function_literal a) args then
+              report ~file ~line:(line_of e.pexp_loc) ~rule:"R4" ~tag:"compare-fun"
+                "polymorphic compare applied to a function literal raises at \
+                 runtime and is never deterministic"
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  it.structure it str
+
+let lint_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  let marks = allow_marks text in
+  let before = !violations in
+  (try
+     let lexbuf = Lexing.from_string text in
+     Location.init lexbuf file;
+     lint_structure ~file (Parse.implementation lexbuf)
+   with exn ->
+     let line =
+       match exn with
+       | Syntaxerr.Error e -> (Syntaxerr.location_of_error e).loc_start.pos_lnum
+       | _ -> 1
+     in
+     report ~file ~line ~rule:"parse" ~tag:"parse"
+       (Printf.sprintf "failed to parse: %s" (Printexc.to_string exn)));
+  (* Apply suppression comments to this file's fresh findings only. *)
+  let fresh, rest =
+    let rec split acc = function
+      | l when l == before -> (acc, l)
+      | v :: l -> split (v :: acc) l
+      | [] -> (acc, [])
+    in
+    split [] !violations
+  in
+  violations :=
+    List.filter (fun v -> not (suppressed marks ~line:v.line ~rule:v.rule ~tag:v.tag)) fresh
+    @ rest
+
+(* ------------------------------------------------------------------ *)
+(* R3: interface coverage. *)
+
+let check_mli_coverage file =
+  if
+    in_lib file
+    && Filename.check_suffix file ".ml"
+    && not (List.exists (fun d -> under d file) mli_exempt_dirs)
+    && not (Sys.file_exists (file ^ "i"))
+  then
+    report ~file ~line:1 ~rule:"R3" ~tag:"mli"
+      (Printf.sprintf "missing interface file %si: every lib module must declare \
+                       its surface (lib/experiments/ excepted)"
+         file)
+
+(* ------------------------------------------------------------------ *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let dirs = if args = [] then scope_default else args in
+  let files =
+    List.concat_map
+      (fun d ->
+        if Sys.file_exists d then List.rev (walk d [])
+        else begin
+          Printf.eprintf "simlint: no such directory: %s\n" d;
+          exit 2
+        end)
+      dirs
+  in
+  List.iter
+    (fun f ->
+      check_mli_coverage f;
+      lint_file f)
+    files;
+  let vs =
+    List.sort
+      (fun a b -> compare (a.file, a.line, a.rule) (b.file, b.line, b.rule))
+      !violations
+  in
+  List.iter (fun v -> Printf.printf "%s:%d: %s: %s\n" v.file v.line v.rule v.msg) vs;
+  if vs = [] then Printf.printf "simlint: OK (%d files)\n" (List.length files)
+  else begin
+    Printf.printf "simlint: %d violation(s) in %d file(s)\n" (List.length vs)
+      (List.length (List.sort_uniq compare (List.map (fun v -> v.file) vs)));
+    exit 1
+  end
