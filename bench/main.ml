@@ -6,7 +6,9 @@
      bench/main.exe                 run everything
      bench/main.exe fig7 table3     run selected experiments
      bench/main.exe fast            run everything with shorter windows
-     bench/main.exe micro           only the microbenchmarks *)
+     bench/main.exe micro           only the microbenchmarks
+     bench/main.exe ycsb [backend]  YCSB-B through the unified KV_BACKEND
+                                    path (leed/fawn/kvell; default all) *)
 
 open Leed_experiments
 
@@ -26,6 +28,32 @@ let experiments =
     ("fig13", Fig13.run);
     ("fig14", Fig14.run);
   ]
+
+(* --- unified backend comparison through the KV_BACKEND boundary --- *)
+
+(* Per-backend saturation sizing, as in Figure 5. *)
+let ycsb_sizing = function
+  | "fawn" -> (2_000, 40, 0.5)
+  | "kvell" -> (4_000, 320, 0.08)
+  | _ -> (4_000, 128, 0.1)
+
+let ycsb backends =
+  let open Leed_sim in
+  let open Leed_workload in
+  print_endline "== YCSB-B (1KB) through the unified backend path ==";
+  List.iter
+    (fun name ->
+      Sim.run (fun () ->
+          let nkeys, workers, window = ycsb_sizing name in
+          let setup = Exp_common.setup_of_name ~nclients:4 name in
+          Exp_common.preload setup ~nkeys ~value_size:1008;
+          let gen = Workload.generator ~object_size:1024 (Workload.ycsb_b ()) ~nkeys (Rng.create 9) in
+          let m =
+            Exp_common.measure_closed ~label:name ~setup ~clients:workers
+              ~duration:(Exp_common.dur window) ~gen ()
+          in
+          Exp_common.report_metrics m))
+    backends
 
 (* --- Bechamel microbenchmarks of the core data structures --- *)
 
@@ -118,6 +146,10 @@ let () =
   let fast = List.mem "fast" args in
   if fast then Exp_common.time_scale := 0.3;
   let selected = List.filter (fun a -> a <> "fast") args in
+  match selected with
+  | "ycsb" :: rest ->
+      ycsb (if rest = [] then Exp_common.backend_names else rest)
+  | _ ->
   let micro_only = selected = [ "micro" ] in
   let run_micro = selected = [] || List.mem "micro" selected in
   let to_run =

@@ -30,31 +30,45 @@ let platforms_cmd =
   Cmd.v (Cmd.info "platforms" ~doc:"Show the three modeled platforms") Term.(const run $ const ())
 
 let smoke_cmd =
-  let run () =
+  let backend_names = Leed_experiments.Exp_common.backend_names in
+  let backend =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) backend_names)) "leed"
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"System to smoke-test (leed, fawn, or kvell), all through the same KV interface.")
+  in
+  let run backend_name =
     let open Leed_sim in
     let open Leed_core in
     Sim.run (fun () ->
-        let config =
-          { Cluster.default_config with Cluster.platform = Leed_experiments.Exp_common.leed_platform () }
-        in
-        let cluster = Cluster.create ~config () in
-        let client = Cluster.client cluster in
+        let setup = Leed_experiments.Exp_common.setup_of_name ~nclients:1 backend_name in
+        let client = List.hd setup.Leed_experiments.Exp_common.clients in
         let n = 500 in
         let t0 = Sim.now () in
         for i = 0 to n - 1 do
-          Client.put client (Leed_workload.Workload.key_of_id i) (Bytes.make 1008 'x')
+          Backend.put client (Leed_workload.Workload.key_of_id i) (Bytes.make 1008 'x')
         done;
         let t1 = Sim.now () in
         let bad = ref 0 in
         for i = 0 to n - 1 do
-          if Client.get client (Leed_workload.Workload.key_of_id i) = None then incr bad
+          if Backend.get client (Leed_workload.Workload.key_of_id i) = None then incr bad
         done;
         let t2 = Sim.now () in
-        Printf.printf "smoke: %d puts in %.1f ms (sim), %d gets in %.1f ms, %d missing\n" n
-          ((t1 -. t0) *. 1e3) n ((t2 -. t1) *. 1e3) !bad;
+        let c = Backend.counters setup.Leed_experiments.Exp_common.backend in
+        Printf.printf
+          "smoke[%s]: %d puts in %.1f ms (sim), %d gets in %.1f ms, %d missing; %d nvme accesses, %.1f W\n"
+          backend_name n
+          ((t1 -. t0) *. 1e3)
+          n
+          ((t2 -. t1) *. 1e3)
+          !bad (Backend.nvme_accesses c)
+          (Backend.watts setup.Leed_experiments.Exp_common.backend);
         if !bad > 0 then exit 1)
   in
-  Cmd.v (Cmd.info "smoke" ~doc:"Put/get 500 objects through a 3-node cluster") Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "smoke" ~doc:"Put/get 500 objects through a cluster of the chosen backend")
+    Term.(const run $ backend)
 
 let experiment_cmd =
   let names =

@@ -12,6 +12,16 @@ dune build
 echo "== lint (determinism / effect discipline) =="
 dune build @lint
 
+echo "== interface coverage (every lib module has an .mli) =="
+missing=0
+for ml in $(find lib -name '*.ml'); do
+  if [ ! -f "${ml}i" ]; then
+    echo "missing interface: ${ml}i"
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || { echo "interface coverage failed"; exit 1; }
+
 echo "== tests =="
 dune runtest
 

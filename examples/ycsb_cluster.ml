@@ -1,18 +1,19 @@
-(* Run a YCSB workload against a LEED cluster and report throughput,
-   latency percentiles, and energy efficiency.
+(* Run a YCSB workload against a simulated KV cluster — any backend behind
+   the KV_BACKEND boundary (leed/fawn/kvell) — and report throughput,
+   latency percentiles, NVMe traffic, and energy efficiency.
 
    Examples:
      dune exec examples/ycsb_cluster.exe
-     dune exec examples/ycsb_cluster.exe -- -w ycsb-a -s 256 -d 0.2 -c 64
+     dune exec examples/ycsb_cluster.exe -- -b kvell -w ycsb-a -s 256 -d 0.2 -c 64
      dune exec examples/ycsb_cluster.exe -- -w ycsb-c --skew 0.99 --no-crrs *)
 
 open Cmdliner
 open Leed_sim
-open Leed_platform
+open Leed_core
 open Leed_workload
 open Leed_experiments
 
-let run workload_name object_size duration clients skew nkeys crrs flow_control =
+let run backend_name workload_name object_size duration clients skew nkeys crrs flow_control =
   let mix =
     match String.lowercase_ascii workload_name with
     | "ycsb-a" | "a" -> Workload.ycsb_a ~theta:skew ()
@@ -25,25 +26,37 @@ let run workload_name object_size duration clients skew nkeys crrs flow_control 
   in
   let m =
     Sim.run (fun () ->
-        let setup = Exp_common.make_leed ~nclients:4 ~crrs ~flow_control () in
+        let setup =
+          (* The CRRS / flow-control knobs are LEED mechanisms; the other
+             backends take their comparison-default configs. *)
+          match backend_name with
+          | "leed" -> Exp_common.make_leed ~nclients:4 ~crrs ~flow_control ()
+          | name -> Exp_common.setup_of_name ~nclients:4 name
+        in
         Printf.printf "preloading %d objects of %d B (R=3)...\n%!" nkeys object_size;
-        Exp_common.preload_leed setup ~nkeys ~value_size:(object_size - Workload.key_size);
+        Exp_common.preload setup ~nkeys ~value_size:(object_size - Workload.key_size);
         let gen = Workload.generator ~object_size mix ~nkeys (Rng.create 7) in
-        let execute = Exp_common.rr_execute setup.Exp_common.clients in
         Printf.printf "running %s for %.2f simulated seconds with %d closed-loop clients...\n%!"
           mix.Workload.label duration clients;
-        Exp_common.measure_closed ~label:mix.Workload.label ~clients ~duration ~gen ~execute ())
+        Exp_common.measure_closed ~label:mix.Workload.label ~setup ~clients ~duration ~gen ())
   in
-  let watts = Exp_common.cluster_watts Platform.smartnic_jbof 3 in
-  Printf.printf "\n== %s (%dB objects, skew %.2f, crrs=%b, flow-control=%b) ==\n" mix.Workload.label
-    object_size skew crrs flow_control;
-  Printf.printf "  ops          %d\n" m.Exp_common.ops;
-  Printf.printf "  throughput   %.1f KQPS\n" (m.Exp_common.throughput /. 1e3);
-  Printf.printf "  avg latency  %.1f us\n" (m.Exp_common.avg_lat *. 1e6);
-  Printf.printf "  p99          %.1f us\n" (m.Exp_common.p99 *. 1e6);
-  Printf.printf "  p99.9        %.1f us\n" (m.Exp_common.p999 *. 1e6);
-  Printf.printf "  cluster power %.1f W -> %.2f KQueries/Joule\n" watts
-    (m.Exp_common.throughput /. watts /. 1e3)
+  Printf.printf "\n== %s on %s (%dB objects, skew %.2f, crrs=%b, flow-control=%b) ==\n"
+    mix.Workload.label backend_name object_size skew crrs flow_control;
+  Printf.printf "  ops          %d\n" m.Backend.ops;
+  Printf.printf "  throughput   %.1f KQPS\n" (m.Backend.throughput /. 1e3);
+  Printf.printf "  avg latency  %.1f us\n" (m.Backend.avg_lat *. 1e6);
+  Printf.printf "  p99          %.1f us\n" (m.Backend.p99 *. 1e6);
+  Printf.printf "  p99.9        %.1f us\n" (m.Backend.p999 *. 1e6);
+  Printf.printf "  nvme         %d accesses (%d nacks, %d retries)\n" m.Backend.nvme_accesses
+    m.Backend.nacks m.Backend.retries;
+  Printf.printf "  cluster power %.1f W -> %.2f KQueries/Joule\n" m.Backend.watts
+    (m.Backend.queries_per_joule /. 1e3)
+
+let backend =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Exp_common.backend_names)) "leed"
+    & info [ "b"; "backend" ] ~doc:"KV system to drive (leed/fawn/kvell)")
 
 let workload =
   Arg.(value & opt string "ycsb-b" & info [ "w"; "workload" ] ~doc:"YCSB workload (a/b/c/d/f/wr)")
@@ -53,13 +66,13 @@ let duration = Arg.(value & opt float 0.15 & info [ "d"; "duration" ] ~doc:"Meas
 let clients = Arg.(value & opt int 96 & info [ "c"; "clients" ] ~doc:"Closed-loop client count")
 let skew = Arg.(value & opt float 0.99 & info [ "skew" ] ~doc:"Zipf skewness")
 let nkeys = Arg.(value & opt int 8000 & info [ "n"; "keys" ] ~doc:"Key count")
-let no_crrs = Arg.(value & flag & info [ "no-crrs" ] ~doc:"Disable CRRS replica reads")
-let no_fc = Arg.(value & flag & info [ "no-flow-control" ] ~doc:"Disable token flow control")
+let no_crrs = Arg.(value & flag & info [ "no-crrs" ] ~doc:"Disable CRRS replica reads (leed only)")
+let no_fc = Arg.(value & flag & info [ "no-flow-control" ] ~doc:"Disable token flow control (leed only)")
 
 let cmd =
-  let f w s d c sk n nc nf = run w s d c sk n (not nc) (not nf) in
+  let f b w s d c sk n nc nf = run b w s d c sk n (not nc) (not nf) in
   Cmd.v
-    (Cmd.info "ycsb_cluster" ~doc:"YCSB benchmark against a simulated LEED cluster")
-    Term.(const f $ workload $ object_size $ duration $ clients $ skew $ nkeys $ no_crrs $ no_fc)
+    (Cmd.info "ycsb_cluster" ~doc:"YCSB benchmark against a simulated KV cluster")
+    Term.(const f $ backend $ workload $ object_size $ duration $ clients $ skew $ nkeys $ no_crrs $ no_fc)
 
 let () = exit (Cmd.eval cmd)

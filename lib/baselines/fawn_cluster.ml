@@ -2,7 +2,8 @@
    class) behind front-ends, with consistent hashing and *classic* chain
    replication — writes enter the head and propagate, reads are served by
    the tail only (no request shipping, no token flow control). This is the
-   Embedded-FAWN comparison system of §4.3/§4.4. *)
+   Embedded-FAWN comparison system of §4.3/§4.4, packaged behind the
+   backend-generic service boundary (Leed_core.Backend.S). *)
 
 open Leed_sim
 open Leed_netsim
@@ -24,9 +25,18 @@ let request_size = function
 
 let response_size = function FValue (Some v) -> 48 + Bytes.length v | FValue None | FOk | FErr -> 48
 
+type config = {
+  r : int;
+  nnodes : int;
+  dram_for_index : int; (* bounds each node's 6 B/object hash index *)
+}
+
+let default_config = { r = 3; nnodes = 10; dram_for_index = 16 * 1024 * 1024 }
+
 type node = {
   id : int;
   store : Fawn_store.t;
+  dev : Blockdev.t;
   rpc : (request, response) Rpc.t;
   cpu : Sim.Resource.t;
   platform : Platform.t;
@@ -38,7 +48,11 @@ type t = {
   ring : Ring.t;
   nodes : node array;
   fabric : (request, response) Rpc.wire Netsim.fabric;
+  mutable next_client_id : int;
+  mutable client_nacks : int; (* client-observed errors/timeouts *)
 }
+
+let name = "fawn"
 
 let store_of t id = t.nodes.(id).store
 
@@ -77,12 +91,12 @@ let node_handler t (n : node) req =
           end
       | exception Fawn_store.Index_full -> FErr)
 
-let create ?(r = 3) ?(nnodes = 10) ?(dram_for_index = 16 * 1024 * 1024) () =
+let create ?(config = default_config) () =
   let platform = Platform.embedded_node in
   let fabric = Netsim.fabric ~base_latency_us:30.0 () in
   let ring = Ring.create () in
   let nodes =
-    Array.init nnodes (fun id ->
+    Array.init config.nnodes (fun id ->
         let dev = Blockdev.create ~rng:(Rng.create (77 + id)) platform.Platform.ssd in
         let log =
           Circular_log.create ~name:(Printf.sprintf "fawn%d.log" id) ~dev ~dev_id:0 ~base:0
@@ -90,7 +104,7 @@ let create ?(r = 3) ?(nnodes = 10) ?(dram_for_index = 16 * 1024 * 1024) () =
         in
         let store =
           Fawn_store.create
-            ~config:{ Fawn_store.default_config with Fawn_store.dram_budget = dram_for_index }
+            ~config:{ Fawn_store.default_config with Fawn_store.dram_budget = config.dram_for_index }
             ~log ()
         in
         Fawn_store.run_flusher store;
@@ -98,6 +112,7 @@ let create ?(r = 3) ?(nnodes = 10) ?(dram_for_index = 16 * 1024 * 1024) () =
         {
           id;
           store;
+          dev;
           rpc = Rpc.create fabric ~name:(Printf.sprintf "pi%d" id) ~gbps:platform.Platform.nic_gbps;
           cpu = Sim.Resource.create ~name:(Printf.sprintf "pi%d.cpu" id) ~capacity:platform.Platform.cpu.Platform.cores ();
           platform;
@@ -108,15 +123,31 @@ let create ?(r = 3) ?(nnodes = 10) ?(dram_for_index = 16 * 1024 * 1024) () =
       let e = Ring.add ring { Ring.node = n.id; vidx = 0 } in
       e.Ring.vstate <- Ring.Running)
     nodes;
-  let t = { r = min r nnodes; platform; ring; nodes; fabric } in
+  let t =
+    {
+      r = min config.r config.nnodes;
+      platform;
+      ring;
+      nodes;
+      fabric;
+      next_client_id = 0;
+      client_nacks = 0;
+    }
+  in
   Array.iter (fun n -> Rpc.serve n.rpc ~resp_size:response_size (fun _ ~src:_ req -> node_handler t n req)) nodes;
   t
+
+(* The flusher/compactor processes poll cooperatively and quiesce with
+   the simulation; there is nothing to tear down. *)
+let start _ = ()
+let stop _ = ()
 
 (* Front-end client: forwards to the head (writes) or the tail (reads). *)
 type client = { cluster : t; rpc : (request, response) Rpc.t }
 
-let client t name =
-  let rpc = Rpc.create t.fabric ~name ~gbps:1.0 in
+let client t =
+  let rpc = Rpc.create t.fabric ~name:(Printf.sprintf "fawn-fe%d" t.next_client_id) ~gbps:1.0 in
+  t.next_client_id <- t.next_client_id + 1;
   Rpc.client rpc;
   { cluster = t; rpc }
 
@@ -131,31 +162,51 @@ let get c key =
           ~timeout:1.0 req
       with
       | Some (FValue v) -> v
-      | Some FOk | Some FErr | None -> None)
+      | Some FOk | Some FErr | None ->
+          t.client_nacks <- t.client_nacks + 1;
+          None)
 
 let write c key value =
   let t = c.cluster in
   match Ring.chain t.ring ~r:t.r key with
-  | [] -> false
+  | [] -> ()
   | head :: _ -> (
       let req = FWrite { vn = head.Ring.owner; key; value; hop = 0 } in
       match
         Rpc.call_timeout c.rpc ~dst:t.nodes.(head.Ring.owner.Ring.node).rpc ~size:(request_size req)
           ~timeout:1.0 req
       with
-      | Some FOk -> true
-      | _ -> false)
+      | Some FOk -> ()
+      | Some (FValue _) | Some FErr | None -> t.client_nacks <- t.client_nacks + 1)
 
 let put c key value = write c key (Some value)
-let del c key = ignore (write c key None)
+let del c key = write c key None
 
 let execute c (op : Leed_workload.Workload.op) =
   match op with
   | Leed_workload.Workload.Read key -> ignore (get c key)
   | Leed_workload.Workload.Update (key, v) | Leed_workload.Workload.Insert (key, v) ->
-      ignore (put c key v)
+      put c key v
   | Leed_workload.Workload.Read_modify_write (key, v) ->
       ignore (get c key);
-      ignore (put c key v)
+      put c key v
 
 let total_objects t = Array.fold_left (fun acc n -> acc + Fawn_store.objects n.store) 0 t.nodes
+
+let counters t =
+  let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  Array.iter
+    (fun n ->
+      let s = Blockdev.stats n.dev in
+      nvme_reads := !nvme_reads + s.Blockdev.n_reads;
+      nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+    t.nodes;
+  {
+    Backend.nvme_reads = !nvme_reads;
+    nvme_writes = !nvme_writes;
+    nacks = t.client_nacks;
+    retries = 0; (* classic FAWN front-ends do not retry *)
+  }
+
+let watts t =
+  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util:1.0

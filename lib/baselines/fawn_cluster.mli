@@ -2,33 +2,20 @@
     class) behind front-ends, with consistent hashing and *classic* chain
     replication — writes enter the head and propagate, reads are served by
     the tail only (no request shipping, no token flow control). The
-    Embedded-FAWN comparison system of the paper's §4.3/§4.4. *)
+    Embedded-FAWN comparison system of the paper's §4.3/§4.4.
 
-type request
-type response
+    Implements {!Leed_core.Backend.S}: [create] builds and starts
+    [nnodes] Pi-class back-ends (FAWN-DS each, buffered log writes,
+    background flusher + compactor) on a 1 GbE fabric; reads are served
+    by the key's chain tail, writes propagate head → tail. Client-observed
+    errors and timeouts count as [nacks]; the front-ends never retry. *)
 
-type t
+type config = {
+  r : int;
+  nnodes : int;
+  dram_for_index : int;  (** bounds each node's 6 B/object hash index *)
+}
 
-val create : ?r:int -> ?nnodes:int -> ?dram_for_index:int -> unit -> t
-(** Build and start [nnodes] Pi-class back-ends (FAWN-DS each, buffered
-    log writes, background flusher + compactor) on a 1 GbE fabric.
-    [dram_for_index] bounds each node's 6 B/object hash index. *)
+include Leed_core.Backend.S with type config := config
 
 val store_of : t -> int -> Fawn_store.t
-
-type client
-
-val client : t -> string -> client
-(** A front-end endpoint. *)
-
-val get : client -> string -> bytes option
-(** Served by the key's chain tail. *)
-
-val put : client -> string -> bytes -> bool
-(** Propagated head → tail; [true] once the whole chain applied it. *)
-
-val del : client -> string -> unit
-
-val execute : client -> Leed_workload.Workload.op -> unit
-
-val total_objects : t -> int

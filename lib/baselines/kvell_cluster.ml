@@ -2,12 +2,14 @@
    comparison deployment (§4.3, replication factor 3) replicates on the
    client side — a write goes to the R nodes owning the key, a read to the
    primary. Each node runs the shared-nothing KVell store over its full
-   SSD array with workers pinned to Xeon cores. *)
+   SSD array with workers pinned to Xeon cores. Packaged behind the
+   backend-generic service boundary (Leed_core.Backend.S). *)
 
 open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
 open Leed_platform
+open Leed_core
 open Leed_blockdev
 
 type request = KGet of string | KPut of string * bytes | KDel of string
@@ -21,9 +23,20 @@ let request_size = function
 
 let response_size = function KValue (Some v) -> 48 + Bytes.length v | KValue None | KOk | KErr -> 48
 
+type config = {
+  r : int;
+  nnodes : int;
+  platform : Platform.t;
+  store_config : Kvell_store.config;
+}
+
+let default_config =
+  { r = 3; nnodes = 3; platform = Platform.server_jbof; store_config = Kvell_store.default_config }
+
 type node = {
   id : int;
   store : Kvell_store.t;
+  devs : Blockdev.t array;
   rpc : (request, response) Rpc.t;
   cores : Sim.Resource.t array; (* shared-nothing: one core per worker *)
   platform : Platform.t;
@@ -34,7 +47,11 @@ type t = {
   platform : Platform.t;
   nodes : node array;
   fabric : (request, response) Rpc.wire Netsim.fabric;
+  mutable next_client_id : int;
+  mutable client_nacks : int; (* client-observed errors/timeouts *)
 }
+
+let name = "kvell"
 
 let node_handler (n : node) req =
   match req with
@@ -46,20 +63,22 @@ let node_handler (n : node) req =
   | KDel key -> (
       match Kvell_store.del n.store key with () -> KOk | exception _ -> KErr)
 
-let create ?(r = 3) ?(nnodes = 3) ?(platform = Platform.server_jbof)
-    ?(store_config = Kvell_store.default_config) () =
+let create ?(config = default_config) () =
+  let platform = config.platform in
   let fabric = Netsim.fabric ~base_latency_us:3.0 () in
   let nodes =
-    Array.init nnodes (fun id ->
+    Array.init config.nnodes (fun id ->
         let devs =
           Array.init platform.Platform.ssd_count (fun d ->
               Blockdev.create ~rng:(Rng.create ((id * 100) + d)) platform.Platform.ssd)
         in
-        let nworkers = min store_config.Kvell_store.nworkers platform.Platform.cpu.Platform.cores in
+        let nworkers =
+          min config.store_config.Kvell_store.nworkers platform.Platform.cpu.Platform.cores
+        in
         let cores = Array.init nworkers (fun w -> Platform.Cpu.pinned_core platform w) in
-        let config =
+        let store_config =
           {
-            store_config with
+            config.store_config with
             Kvell_store.nworkers;
             charge =
               (fun wid cycles -> Platform.Cpu.execute_on platform cores.(wid mod nworkers) ~cycles);
@@ -67,28 +86,44 @@ let create ?(r = 3) ?(nnodes = 3) ?(platform = Platform.server_jbof)
         in
         {
           id;
-          store = Kvell_store.create ~config ~devs ();
+          store = Kvell_store.create ~config:store_config ~devs ();
+          devs;
           rpc = Rpc.create fabric ~name:(Printf.sprintf "kvell%d" id) ~gbps:platform.Platform.nic_gbps;
           cores;
           platform;
         })
   in
-  let t = { r = min r nnodes; platform; nodes; fabric } in
+  let t =
+    {
+      r = min config.r config.nnodes;
+      platform;
+      nodes;
+      fabric;
+      next_client_id = 0;
+      client_nacks = 0;
+    }
+  in
   Array.iter
     (fun n -> Rpc.serve n.rpc ~resp_size:response_size (fun _ ~src:_ req -> node_handler n req))
-    nodes;
+    t.nodes;
   t
+
+(* KVell workers poll cooperatively and quiesce with the simulation;
+   there is nothing to tear down. *)
+let start _ = ()
+let stop _ = ()
 
 (* Replica set of a key: R consecutive nodes starting at hash(key). *)
 let replicas t key =
   let n = Array.length t.nodes in
-  let start = Leed_core.Codec.hash_key key mod n in
+  let start = Codec.hash_key key mod n in
   List.init t.r (fun i -> t.nodes.((start + i) mod n))
 
 type client = { cluster : t; rpc : (request, response) Rpc.t }
 
-let client t name =
-  let rpc = Rpc.create t.fabric ~name ~gbps:100.0 in
+let client t =
+  let rpc = Rpc.create t.fabric ~name:(Printf.sprintf "kvell-cli%d" t.next_client_id) ~gbps:100.0 in
+  t.next_client_id <- t.next_client_id + 1;
   Rpc.client rpc;
   { cluster = t; rpc }
 
@@ -99,14 +134,19 @@ let get c key =
       let req = KGet key in
       match Rpc.call_timeout c.rpc ~dst:primary.rpc ~size:(request_size req) ~timeout:1.0 req with
       | Some (KValue v) -> v
-      | _ -> None)
+      | Some KOk | Some KErr | None ->
+          c.cluster.client_nacks <- c.cluster.client_nacks + 1;
+          None)
 
 let put c key value =
   let results =
     List.map
       (fun (n : node) () ->
         let req = KPut (key, value) in
-        ignore (Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req))
+        match Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req with
+        | Some KOk -> ()
+        | Some (KValue _) | Some KErr | None ->
+            c.cluster.client_nacks <- c.cluster.client_nacks + 1)
       (replicas c.cluster key)
   in
   Sim.fork_join results
@@ -115,7 +155,10 @@ let del c key =
   List.iter
     (fun (n : node) ->
       let req = KDel key in
-      ignore (Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req))
+      match Rpc.call_timeout c.rpc ~dst:n.rpc ~size:(request_size req) ~timeout:1.0 req with
+      | Some KOk -> ()
+      | Some (KValue _) | Some KErr | None ->
+          c.cluster.client_nacks <- c.cluster.client_nacks + 1)
     (replicas c.cluster key)
 
 let execute c (op : Leed_workload.Workload.op) =
@@ -127,3 +170,24 @@ let execute c (op : Leed_workload.Workload.op) =
       put c key v
 
 let total_objects t = Array.fold_left (fun acc n -> acc + Kvell_store.objects n.store) 0 t.nodes
+
+let counters t =
+  let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  Array.iter
+    (fun n ->
+      Array.iter
+        (fun dev ->
+          let s = Blockdev.stats dev in
+          nvme_reads := !nvme_reads + s.Blockdev.n_reads;
+          nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+        n.devs)
+    t.nodes;
+  {
+    Backend.nvme_reads = !nvme_reads;
+    nvme_writes = !nvme_writes;
+    nacks = t.client_nacks;
+    retries = 0; (* client-side replication: no retry loop *)
+  }
+
+let watts t =
+  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util:1.0

@@ -2,39 +2,18 @@
     the paper's R=3 comparison deployment replicates on the client side —
     a write goes to the R nodes owning the key, a read to the primary.
     Each node runs the shared-nothing KVell store over its full SSD array
-    with workers pinned to Xeon cores. *)
+    with workers pinned to Xeon cores. The Server-KVell comparison system
+    of the paper's §4.3/§4.4.
 
-type request
-type response
+    Implements {!Leed_core.Backend.S}: client-observed errors and
+    timeouts count as [nacks]; the client-side replication scheme has no
+    retry loop, so [retries] stays zero. *)
 
-type node = private {
-  id : int;
-  store : Kvell_store.t;
-  rpc : (request, response) Leed_netsim.Netsim.Rpc.t;
-  cores : Leed_sim.Sim.Resource.t array;
+type config = {
+  r : int;
+  nnodes : int;
   platform : Leed_platform.Platform.t;
+  store_config : Kvell_store.config;
 }
 
-type t
-
-val create :
-  ?r:int ->
-  ?nnodes:int ->
-  ?platform:Leed_platform.Platform.t ->
-  ?store_config:Kvell_store.config ->
-  unit ->
-  t
-
-type client
-
-val client : t -> string -> client
-
-val get : client -> string -> bytes option
-(** From the key's primary replica. *)
-
-val put : client -> string -> bytes -> unit
-(** To all R replicas in parallel. *)
-
-val del : client -> string -> unit
-val execute : client -> Leed_workload.Workload.op -> unit
-val total_objects : t -> int
+include Leed_core.Backend.S with type config := config

@@ -1,0 +1,99 @@
+(* The backend-generic KV service boundary: one module type every
+   comparable system implements (LEED, FAWN, KVell), an existential
+   packing so harness code can hold "some backend", and the unified
+   metrics record the experiments report. *)
+
+type counters = {
+  nvme_reads : int;
+  nvme_writes : int;
+  nacks : int;
+  retries : int;
+}
+
+let no_counters = { nvme_reads = 0; nvme_writes = 0; nacks = 0; retries = 0 }
+
+let nvme_accesses c = c.nvme_reads + c.nvme_writes
+
+let diff_counters ~after ~before =
+  {
+    nvme_reads = after.nvme_reads - before.nvme_reads;
+    nvme_writes = after.nvme_writes - before.nvme_writes;
+    nacks = after.nacks - before.nacks;
+    retries = after.retries - before.retries;
+  }
+
+type metrics = {
+  label : string;
+  ops : int;
+  duration : float;
+  throughput : float;
+  latency : Leed_stats.Histogram.t;
+  avg_lat : float;
+  p99 : float;
+  p999 : float;
+  nvme_accesses : int;
+  nacks : int;
+  retries : int;
+  watts : float;
+  queries_per_joule : float;
+}
+
+module type S = sig
+  type t
+  type config
+  type client
+
+  val name : string
+  val default_config : config
+  val create : ?config:config -> unit -> t
+  val start : t -> unit
+  val stop : t -> unit
+  val client : t -> client
+  val get : client -> string -> bytes option
+  val put : client -> string -> bytes -> unit
+  val del : client -> string -> unit
+  val execute : client -> Leed_workload.Workload.op -> unit
+  val total_objects : t -> int
+  val counters : t -> counters
+  val watts : t -> float
+end
+
+type t = Pack : (module S with type t = 'a and type client = 'c) * 'a -> t
+type client = Client : (module S with type t = 'a and type client = 'c) * 'c -> client
+
+let pack m inst = Pack (m, inst)
+
+let name (Pack ((module M), _)) = M.name
+let start (Pack ((module M), b)) = M.start b
+let stop (Pack ((module M), b)) = M.stop b
+let client (Pack ((module M), b)) = Client ((module M), M.client b)
+let total_objects (Pack ((module M), b)) = M.total_objects b
+let counters (Pack ((module M), b)) = M.counters b
+let watts (Pack ((module M), b)) = M.watts b
+
+let get (Client ((module M), c)) key = M.get c key
+let put (Client ((module M), c)) key value = M.put c key value
+let del (Client ((module M), c)) key = M.del c key
+let execute (Client ((module M), c)) op = M.execute c op
+
+let measure ~label b run =
+  let module D = Leed_workload.Workload.Driver in
+  let before = counters b in
+  let r = run () in
+  let delta = diff_counters ~after:(counters b) ~before in
+  let w = watts b in
+  {
+    label;
+    ops = r.D.ops;
+    duration = r.D.duration;
+    throughput = r.D.throughput;
+    latency = r.D.latency;
+    avg_lat = Leed_stats.Histogram.mean r.D.latency;
+    p99 = Leed_stats.Histogram.percentile r.D.latency 0.99;
+    p999 = Leed_stats.Histogram.percentile r.D.latency 0.999;
+    nvme_accesses = nvme_accesses delta;
+    nacks = delta.nacks;
+    retries = delta.retries;
+    watts = w;
+    queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
+  }

@@ -1,0 +1,118 @@
+(** The backend-generic KV service boundary.
+
+    The paper's whole evaluation (§4, Figs 5–14, Table 3) is comparative —
+    LEED vs FAWN vs KVell per-watt and per-dollar — so every system must
+    expose the same service surface: lifecycle (create/start/stop), client
+    acquisition, the four data operations, object accounting, and a
+    uniform observability record. A system implements {!S}; callers that
+    do not care which system they drive hold a packed {!t} / {!client}
+    and use the generic operations below.
+
+    Implementations: [Leed_backend] (this library),
+    [Leed_baselines.Fawn_cluster], and [Leed_baselines.Kvell_cluster].
+    Adding a backend = implement {!S}, then {!pack} it (see DESIGN.md
+    "How to add a backend"). *)
+
+(** Cumulative service counters, uniform across backends. Deltas over a
+    measurement window feed the {!metrics} record. *)
+type counters = {
+  nvme_reads : int;   (** block-device read commands issued (§3.3 accesses) *)
+  nvme_writes : int;  (** block-device write commands issued *)
+  nacks : int;        (** client-observed rejections (NACK / error / timeout) *)
+  retries : int;      (** client-side retries after a rejection *)
+}
+
+val no_counters : counters
+
+val nvme_accesses : counters -> int
+(** [nvme_reads + nvme_writes]. *)
+
+val diff_counters : after:counters -> before:counters -> counters
+
+(** The unified measurement record: driver-side load numbers combined
+    with the backend's counter deltas and its modeled wall power. *)
+type metrics = {
+  label : string;
+  ops : int;
+  duration : float;          (** simulated seconds of the window *)
+  throughput : float;        (** ops/s *)
+  latency : Leed_stats.Histogram.t;
+  avg_lat : float;           (** seconds *)
+  p99 : float;
+  p999 : float;
+  nvme_accesses : int;       (** device commands during the window *)
+  nacks : int;
+  retries : int;
+  watts : float;             (** modeled cluster wall power (paper's meters) *)
+  queries_per_joule : float; (** throughput / watts — the paper's headline *)
+}
+
+(** What a KV system must provide to be comparable. *)
+module type S = sig
+  type t
+  type config
+  type client
+
+  val name : string
+  (** Short selector name ("leed", "fawn", "kvell"). *)
+
+  val default_config : config
+
+  val create : ?config:config -> unit -> t
+  (** Build the cluster inside a simulation ([Sim.run]) context. The
+      returned system is fully started (see {!start}). *)
+
+  val start : t -> unit
+  (** Idempotent; systems come up running from {!create}. *)
+
+  val stop : t -> unit
+  (** Quiesce background machinery (schedulers, compactors) where the
+      system supports it. *)
+
+  val client : t -> client
+  (** A new front-end endpoint with its own NIC attachment. *)
+
+  val get : client -> string -> bytes option
+  val put : client -> string -> bytes -> unit
+  val del : client -> string -> unit
+  val execute : client -> Leed_workload.Workload.op -> unit
+
+  val total_objects : t -> int
+  (** Live objects summed over every store (R replicas count R times). *)
+
+  val counters : t -> counters
+  (** Cumulative since creation; callers take deltas. *)
+
+  val watts : t -> float
+  (** Modeled wall power of the whole cluster at full utilisation. *)
+end
+
+(** {1 Packed instances}
+
+    A backend instance with its implementation module, usable without
+    knowing which system it is. *)
+
+type t = Pack : (module S with type t = 'a and type client = 'c) * 'a -> t
+type client = Client : (module S with type t = 'a and type client = 'c) * 'c -> client
+
+val pack : (module S with type t = 'a and type client = 'c) -> 'a -> t
+
+val name : t -> string
+val start : t -> unit
+val stop : t -> unit
+val client : t -> client
+val total_objects : t -> int
+val counters : t -> counters
+val watts : t -> float
+
+val get : client -> string -> bytes option
+val put : client -> string -> bytes -> unit
+val del : client -> string -> unit
+val execute : client -> Leed_workload.Workload.op -> unit
+
+val measure :
+  label:string -> t -> (unit -> Leed_workload.Workload.Driver.result) -> metrics
+(** [measure ~label b run] snapshots the backend's counters around [run]
+    (a workload-driver invocation) and combines the driver's result with
+    the counter deltas and the backend's modeled power into one
+    {!metrics} record. *)

@@ -33,8 +33,10 @@ type t = {
   config : config;
   fabric : (Messages.request, Messages.response) Rpc.wire Netsim.fabric;
   control : Control.t;
-  mutable nodes : Node.t list;
-  mutable clients : Client.t list;
+  (* newest first: membership changes prepend (appending to a growing
+     list is quadratic); the accessors below restore arrival order *)
+  mutable nodes_rev : Node.t list;
+  mutable clients_rev : Client.t list;
   mutable next_node_id : int;
   mutable next_client_id : int;
 }
@@ -128,8 +130,8 @@ let create ?(config = default_config) () =
       config;
       fabric;
       control;
-      nodes = [];
-      clients = [];
+      nodes_rev = [];
+      clients_rev = [];
       next_node_id = 0;
       next_client_id = 0;
     }
@@ -142,7 +144,7 @@ let create ?(config = default_config) () =
     t.next_node_id <- t.next_node_id + 1;
     Node.start n;
     Control.register_bootstrap_node control n;
-    t.nodes <- t.nodes @ [ n ]
+    t.nodes_rev <- n :: t.nodes_rev
   done;
   Control.finish_bootstrap control;
   Control.start control;
@@ -150,7 +152,9 @@ let create ?(config = default_config) () =
   t
 
 let control t = t.control
-let nodes t = t.nodes
+let config t = t.config
+let nodes t = List.rev t.nodes_rev
+let clients t = List.rev t.clients_rev
 let node t id = Control.node t.control id
 let fabric t = t.fabric
 
@@ -166,7 +170,7 @@ let client ?(config : Client.config option) t =
   in
   t.next_client_id <- t.next_client_id + 1;
   Control.register_client t.control c;
-  t.clients <- t.clients @ [ c ];
+  t.clients_rev <- c :: t.clients_rev;
   c
 
 (* Grow the cluster: full §3.8.1 join protocol (JOINING → COPY → RUNNING).
@@ -179,14 +183,14 @@ let add_node t =
   t.next_node_id <- t.next_node_id + 1;
   Node.start n;
   let copied = Control.join t.control n in
-  t.nodes <- t.nodes @ [ n ];
+  t.nodes_rev <- n :: t.nodes_rev;
   check_chain_structure t;
   (n, copied)
 
 (* Graceful departure (§3.8.1). *)
 let remove_node t id =
   let copied = Control.leave t.control id in
-  t.nodes <- List.filter (fun n -> Node.id n <> id) t.nodes;
+  t.nodes_rev <- List.filter (fun n -> Node.id n <> id) t.nodes_rev;
   check_chain_structure t;
   copied
 
@@ -203,4 +207,4 @@ let total_objects t =
         (fun acc p -> acc + Store.objects (Engine.store p))
         acc
         (Engine.partitions (Node.engine n)))
-    0 t.nodes
+    0 t.nodes_rev

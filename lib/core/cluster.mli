@@ -24,7 +24,17 @@ val create : ?config:config -> unit -> t
     RUNNING, heartbeat monitoring live. *)
 
 val control : t -> Control.t
+
+val config : t -> config
+(** The configuration the cluster was built with. *)
+
 val nodes : t -> Node.t list
+(** Live nodes in arrival order (stored newest-first internally; this
+    accessor restores creation order). *)
+
+val clients : t -> Client.t list
+(** Registered front-end clients in creation order. *)
+
 val node : t -> int -> Node.t
 
 val fabric :

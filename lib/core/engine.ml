@@ -109,6 +109,7 @@ let partitions t = t.parts
 let partition t pid = t.parts.(pid)
 let npartitions t = Array.length t.parts
 let ssds t = t.ssds
+let devices t = Array.map (fun s -> s.dev) t.ssds
 let store p = p.store
 
 (* --- construction --- *)

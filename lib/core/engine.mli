@@ -50,6 +50,11 @@ val partitions : t -> partition array
 val partition : t -> int -> partition
 val npartitions : t -> int
 val ssds : t -> ssd_sched array
+
+val devices : t -> Leed_blockdev.Blockdev.t array
+(** The JBOF's block devices, one per SSD — the uniform NVMe-access
+    counter source for the {!Backend} metrics. *)
+
 val store : partition -> Store.t
 
 val ssd_load : ssd_sched -> int

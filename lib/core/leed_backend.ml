@@ -1,0 +1,47 @@
+(* LEED packaged as a Backend.S implementation: the whole-cluster
+   assembly (Cluster) plus its front-end client library (Client) behind
+   the backend-generic service boundary. *)
+
+open Leed_platform
+open Leed_blockdev
+
+type config = Cluster.config
+type t = Cluster.t
+type client = Client.t
+
+let name = "leed"
+let default_config = Cluster.default_config
+let create ?(config = default_config) () = Cluster.create ~config ()
+
+(* Cluster.create brings nodes, control plane, and heartbeats up. *)
+let start _ = ()
+let stop t = List.iter (fun n -> Engine.stop (Node.engine n)) (Cluster.nodes t)
+
+let client t = Cluster.client t
+let get = Client.get
+let put = Client.put
+let del = Client.del
+let execute = Client.execute
+let total_objects = Cluster.total_objects
+
+let counters t =
+  let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun d ->
+          let s = Blockdev.stats d in
+          nvme_reads := !nvme_reads + s.Blockdev.n_reads;
+          nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+        (Engine.devices (Node.engine n)))
+    (Cluster.nodes t);
+  let nacks, retries =
+    List.fold_left
+      (fun (n, r) c -> (n + Client.nacks c, r + Client.retries c))
+      (0, 0) (Cluster.clients t)
+  in
+  { Backend.nvme_reads = !nvme_reads; nvme_writes = !nvme_writes; nacks; retries }
+
+let watts t =
+  let nnodes = List.length (Cluster.nodes t) in
+  float_of_int nnodes *. Platform.wall_power (Cluster.config t).Cluster.platform ~util:1.0

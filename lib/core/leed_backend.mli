@@ -1,0 +1,14 @@
+(** LEED behind the {!Backend.S} service boundary.
+
+    Wraps {!Cluster} (whole-cluster assembly) and {!Client} (the §3.5
+    load-aware front-end library): [create] builds a started cluster,
+    [client] attaches a front-end with the cluster's default client
+    config, counters aggregate block-device accesses over every JBOF and
+    NACKs/retries over every registered client, and [watts] is the
+    paper's wall-power model at full utilisation. *)
+
+include
+  Backend.S
+    with type t = Cluster.t
+     and type config = Cluster.config
+     and type client = Client.t

@@ -177,7 +177,16 @@ let forward_copies t ~key ~value =
 (* --- request handlers --- *)
 
 let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
-  ignore version;
+  (* §3.8.1: a write carries the sender's ring version; a receiver on a
+     different view NACKs Stale_view so the client refreshes and retries.
+     Chain-position validation alone misses membership changes that leave
+     this key's chain intact but move others — the version check is the
+     authoritative fence. *)
+  if version <> Ring.version t.ring then begin
+    t.nacks <- t.nacks + 1;
+    Messages.Nack (Messages.Stale_view (Ring.version t.ring))
+  end
+  else
   match vnode_opt t vn.Ring.vidx with
   | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
   | Some vs -> (

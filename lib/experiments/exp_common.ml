@@ -6,7 +6,12 @@
    op, power per platform) while scaling object counts and device capacity
    down so a full figure regenerates in seconds. Absolute throughput is
    therefore lower than the testbed's; who-wins and by-roughly-what-factor
-   is preserved. *)
+   is preserved.
+
+   Every system is driven through the backend-generic service boundary
+   (Backend.S / Backend.t): one setup shape, one preload, one
+   closed-/open-loop measurement path returning the unified
+   Backend.metrics record. *)
 
 open Leed_sim
 open Leed_core
@@ -44,105 +49,60 @@ let engine_config ?(partitions_per_ssd = 2) ?(swap = true) ?(swap_threshold = 24
     store_config = Option.value store_cfg ~default:(store_config ());
   }
 
-(* --- LEED cluster builder --- *)
+(* --- backend-generic setup --- *)
 
-type leed_setup = { cluster : Cluster.t; clients : Client.t list }
+type setup = { backend : Backend.t; clients : Backend.client list }
 
-let make_leed ?(nnodes = 3) ?(r = 3) ?(nclients = 4) ?(crrs = true) ?(flow_control = true)
-    ?(swap = true) ?engine_cfg ?platform () =
+let attach_clients ?(nclients = 4) backend =
+  { backend; clients = List.init nclients (fun _ -> Backend.client backend) }
+
+(* Packing helpers: one per system, so harness code that already holds a
+   concrete cluster can lift it behind the service boundary. *)
+
+let leed_backend cluster =
+  Backend.pack
+    (module Leed_backend : Backend.S with type t = Cluster.t and type client = Client.t)
+    cluster
+
+let fawn_backend cluster =
+  Backend.pack
+    (module Fawn_cluster : Backend.S
+      with type t = Fawn_cluster.t
+       and type client = Fawn_cluster.client)
+    cluster
+
+let kvell_backend cluster =
+  Backend.pack
+    (module Kvell_cluster : Backend.S
+      with type t = Kvell_cluster.t
+       and type client = Kvell_cluster.client)
+    cluster
+
+(* --- system builders --- *)
+
+(* The raw LEED cluster, for experiments that poke cluster-level machinery
+   (fig9's join/leave) in addition to serving ops through the boundary. *)
+let make_leed_cluster ?(nnodes = 3) ?(r = 3) ?(crrs = true) ?(flow_control = true) ?(swap = true)
+    ?engine_cfg ?platform () =
   let platform = Option.value platform ~default:(leed_platform ()) in
   let engine_cfg = Option.value engine_cfg ~default:(engine_config ~swap ()) in
   let client_config = { Client.default_config with Client.r; crrs; flow_control } in
   let config =
     { Cluster.default_config with Cluster.nnodes; r; engine_config = engine_cfg; client_config; platform }
   in
-  let cluster = Cluster.create ~config () in
-  let clients = List.init nclients (fun _ -> Cluster.client cluster) in
-  { cluster; clients }
+  Cluster.create ~config ()
 
-(* Round-robin an op stream over the front-end endpoints. *)
-let rr_execute clients =
-  let arr = Array.of_list clients in
-  let i = ref 0 in
-  fun op ->
-    let c = arr.(!i mod Array.length arr) in
-    incr i;
-    Client.execute c op
+let setup_of_cluster ?nclients cluster = attach_clients ?nclients (leed_backend cluster)
 
-let preload_leed setup ~nkeys ~value_size =
-  let c = List.hd setup.clients in
-  Sim.fork_join
-    (List.init 8 (fun w () ->
-         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
-         for id = lo to hi do
-           Client.put c (Workload.key_of_id id)
-             (Workload.value_for ~id ~version:0 ~size:value_size)
-         done))
+let make_leed ?nnodes ?r ?nclients ?crrs ?flow_control ?swap ?engine_cfg ?platform () =
+  setup_of_cluster ?nclients
+    (make_leed_cluster ?nnodes ?r ?crrs ?flow_control ?swap ?engine_cfg ?platform ())
 
-(* --- measurement --- *)
+let make_fawn ?(nnodes = 10) ?(r = 3) ?nclients ?(dram_for_index = 16 * 1024 * 1024) () =
+  let config = { Fawn_cluster.r; nnodes; dram_for_index } in
+  attach_clients ?nclients (fawn_backend (Fawn_cluster.create ~config ()))
 
-type measured = {
-  label : string;
-  throughput : float; (* ops/s *)
-  avg_lat : float;    (* seconds *)
-  p99 : float;
-  p999 : float;
-  ops : int;
-}
-
-let of_driver label (r : Driver.result) =
-  {
-    label;
-    throughput = r.Driver.throughput;
-    avg_lat = Leed_stats.Histogram.mean r.Driver.latency;
-    p99 = Leed_stats.Histogram.percentile r.Driver.latency 0.99;
-    p999 = Leed_stats.Histogram.percentile r.Driver.latency 0.999;
-    ops = r.Driver.ops;
-  }
-
-let measure_closed ~label ~clients ~duration ~gen ~execute () =
-  of_driver label (Driver.closed_loop ~clients ~duration ~gen ~execute ())
-
-let measure_open ~label ~rate ~duration ~gen ~execute () =
-  of_driver label (Driver.open_loop ~rate ~duration ~gen ~execute ())
-
-(* --- energy: the paper's measured wall power per platform --- *)
-
-let cluster_watts platform nnodes = float_of_int nnodes *. Platform.wall_power platform ~util:1.0
-
-let queries_per_joule ~throughput ~watts = throughput /. watts
-
-(* --- FAWN / KVell comparison clusters --- *)
-
-type fawn_setup = { fcluster : Fawn_cluster.t; fclients : Fawn_cluster.client list }
-
-let make_fawn ?(nnodes = 10) ?(r = 3) ?(nclients = 4) ?(dram_for_index = 16 * 1024 * 1024) () =
-  let fcluster = Fawn_cluster.create ~r ~nnodes ~dram_for_index () in
-  let fclients = List.init nclients (fun i -> Fawn_cluster.client fcluster (Printf.sprintf "fe%d" i)) in
-  { fcluster; fclients }
-
-let fawn_execute setup =
-  let arr = Array.of_list setup.fclients in
-  let i = ref 0 in
-  fun op ->
-    let c = arr.(!i mod Array.length arr) in
-    incr i;
-    Fawn_cluster.execute c op
-
-let preload_fawn setup ~nkeys ~value_size =
-  let c = List.hd setup.fclients in
-  Sim.fork_join
-    (List.init 8 (fun w () ->
-         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
-         for id = lo to hi do
-           ignore
-             (Fawn_cluster.put c (Workload.key_of_id id)
-                (Workload.value_for ~id ~version:0 ~size:value_size))
-         done))
-
-type kvell_setup = { kcluster : Kvell_cluster.t; kclients : Kvell_cluster.client list }
-
-let make_kvell ?(nnodes = 3) ?(r = 3) ?(nclients = 4) ?(object_size = 1024) ?platform () =
+let make_kvell ?(nnodes = 3) ?(r = 3) ?nclients ?(object_size = 1024) ?platform () =
   let platform = Option.value platform ~default:(server_platform ()) in
   let store_config =
     {
@@ -156,27 +116,60 @@ let make_kvell ?(nnodes = 3) ?(r = 3) ?(nclients = 4) ?(object_size = 1024) ?pla
       index_cycles = 40_000.;
     }
   in
-  let kcluster = Kvell_cluster.create ~r ~nnodes ~platform ~store_config () in
-  let kclients = List.init nclients (fun i -> Kvell_cluster.client kcluster (Printf.sprintf "fe%d" i)) in
-  { kcluster; kclients }
+  let config = { Kvell_cluster.r; nnodes; platform; store_config } in
+  attach_clients ?nclients (kvell_backend (Kvell_cluster.create ~config ()))
 
-let kvell_execute setup =
-  let arr = Array.of_list setup.kclients in
-  let i = ref 0 in
-  fun op ->
-    let c = arr.(!i mod Array.length arr) in
-    incr i;
-    Kvell_cluster.execute c op
+let backend_names = [ "leed"; "fawn"; "kvell" ]
 
-let preload_kvell setup ~nkeys ~value_size =
-  let c = List.hd setup.kclients in
-  Sim.fork_join
-    (List.init 8 (fun w () ->
-         let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
-         for id = lo to hi do
-           Kvell_cluster.put c (Workload.key_of_id id)
-             (Workload.value_for ~id ~version:0 ~size:value_size)
-         done))
+let setup_of_name ?nclients = function
+  | "leed" -> make_leed ?nclients ()
+  | "fawn" -> make_fawn ?nclients ()
+  | "kvell" -> make_kvell ?nclients ()
+  | name -> invalid_arg (Printf.sprintf "unknown backend %S (try: %s)" name (String.concat "/" backend_names))
+
+(* --- driving --- *)
+
+(* Round-robin an op stream over the setup's front-end endpoints. *)
+let rr_execute setup = Driver.round_robin Backend.execute setup.clients
+
+let preload setup ~nkeys ~value_size =
+  match setup.clients with
+  | [] -> invalid_arg "preload: setup has no clients"
+  | c :: _ ->
+      Sim.fork_join
+        (List.init 8 (fun w () ->
+             let lo = w * nkeys / 8 and hi = ((w + 1) * nkeys / 8) - 1 in
+             for id = lo to hi do
+               Backend.put c (Workload.key_of_id id)
+                 (Workload.value_for ~id ~version:0 ~size:value_size)
+             done))
+
+(* --- measurement: one path for every backend --- *)
+
+let measure_closed ~label ~setup ~clients ~duration ~gen () =
+  Backend.measure ~label setup.backend (fun () ->
+      Driver.closed_loop ~clients ~duration ~gen ~execute:(rr_execute setup) ())
+
+let measure_open ?drain ~label ~setup ~rate ~duration ~gen () =
+  Backend.measure ~label setup.backend (fun () ->
+      Driver.open_loop ?drain ~rate ~duration ~gen ~execute:(rr_execute setup) ())
+
+let report_metrics (m : Backend.metrics) =
+  Printf.printf
+    "  %-18s %8.1f KQPS  avg %6.3f ms  p99 %6.3f ms  p99.9 %6.3f ms  nvme %8d  nacks %5d  retries %5d  %6.1f W  %6.2f KQ/J\n"
+    m.Backend.label
+    (m.Backend.throughput /. 1e3)
+    (m.Backend.avg_lat *. 1e3)
+    (m.Backend.p99 *. 1e3)
+    (m.Backend.p999 *. 1e3)
+    m.Backend.nvme_accesses m.Backend.nacks m.Backend.retries m.Backend.watts
+    (m.Backend.queries_per_joule /. 1e3)
+
+(* --- energy: the paper's measured wall power per platform --- *)
+
+let cluster_watts platform nnodes = float_of_int nnodes *. Platform.wall_power platform ~util:1.0
+
+let queries_per_joule ~throughput ~watts = throughput /. watts
 
 (* Default scaled experiment sizes. *)
 let default_nkeys = 10_000

@@ -1,0 +1,4 @@
+(** Figure 1: energy efficiency (KIOPS/J) of raw persistent I/O on the
+    three platforms as storage capacity grows — the motivation experiment. *)
+
+val run : unit -> unit

@@ -1,0 +1,4 @@
+(** Figure 11 (appendix): GET/PUT/DEL latency breakdown — SSD time vs
+    CPU+MEM time — on a single LEED JBOF. *)
+
+val run : unit -> unit

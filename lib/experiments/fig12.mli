@@ -1,0 +1,4 @@
+(** Figure 12 (appendix): single-node throughput as the PUT fraction
+    grows, FAWN-DS on a Pi vs LEED on a SmartNIC JBOF. *)
+
+val run : unit -> unit

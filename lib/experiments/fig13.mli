@@ -1,0 +1,4 @@
+(** Figure 13 (appendix): the impact of intra- and inter-compaction
+    parallelism on client throughput. *)
+
+val run : unit -> unit

@@ -3,79 +3,78 @@
    Server-KVell (3 Xeon JBOFs, 756 W), SmartNIC-LEED (3 Stingray JBOFs,
    157.5 W) — across the six YCSB workloads, for 256 B and 1 KB objects.
    Replication factor 3 everywhere; saturated closed-loop throughput
-   divided by the paper's measured wall power. *)
+   divided by the paper's measured wall power.
+
+   All three systems run through the backend-generic boundary: the only
+   per-system facts here are display name, sizing, and saturation knobs. *)
 
 open Leed_sim
-open Leed_platform
+open Leed_core
 open Leed_workload
 
-let nkeys = 8_000
+(* Per-system sizing: key count, closed-loop worker count at saturation,
+   and the measurement window (slow systems need longer windows for the
+   same statistical weight). *)
+type system_run = {
+  display : string;
+  setup : Exp_common.setup;
+  nkeys : int;
+  workers : int;
+  window : float;
+  seed : int;
+}
 
-type system_run = { name : string; watts : float; measure : Workload.mix -> int -> float }
-
-let leed_system () =
-  let setup = Exp_common.make_leed ~nclients:6 () in
-  Exp_common.preload_leed setup ~nkeys ~value_size:1008;
-  let execute = Exp_common.rr_execute setup.Exp_common.clients in
-  {
-    name = "SmartNIC-LEED";
-    watts = Exp_common.cluster_watts Platform.smartnic_jbof 3;
-    measure =
-      (fun mix object_size ->
-        let gen = Workload.generator ~object_size mix ~nkeys (Rng.create 21) in
-        let m =
-          Exp_common.measure_closed ~label:mix.Workload.label ~clients:192
-            ~duration:(Exp_common.dur 0.12) ~gen ~execute ()
-        in
-        m.Exp_common.throughput);
-  }
-
-let kvell_system () =
-  let setup = Exp_common.make_kvell ~nclients:6 ~object_size:1024 () in
-  Exp_common.preload_kvell setup ~nkeys ~value_size:1008;
-  let execute = Exp_common.kvell_execute setup in
-  {
-    name = "Server-KVell";
-    watts = Exp_common.cluster_watts Platform.server_jbof 3;
-    measure =
-      (fun mix object_size ->
-        let gen = Workload.generator ~object_size mix ~nkeys (Rng.create 22) in
-        let m =
-          (* KVell's batched workers need deep client concurrency to reach
-             their (much higher) saturation point. *)
-          Exp_common.measure_closed ~label:mix.Workload.label ~clients:640
-            ~duration:(Exp_common.dur 0.1) ~gen ~execute ()
-        in
-        m.Exp_common.throughput);
-  }
-
-let fawn_system () =
-  let setup = Exp_common.make_fawn ~nnodes:10 ~nclients:6 () in
-  Exp_common.preload_fawn setup ~nkeys:2_000 ~value_size:1008;
-  let execute = Exp_common.fawn_execute setup in
-  {
-    name = "Embedded-FAWN";
-    watts = Exp_common.cluster_watts Platform.embedded_node 10;
-    measure =
-      (fun mix object_size ->
-        let gen = Workload.generator ~object_size mix ~nkeys:2_000 (Rng.create 23) in
-        let m =
-          Exp_common.measure_closed ~label:mix.Workload.label ~clients:40
-            ~duration:(Exp_common.dur 1.0) ~gen ~execute ()
-        in
-        m.Exp_common.throughput);
-  }
+let systems () =
+  [
+    {
+      display = "Embedded-FAWN";
+      setup = Exp_common.make_fawn ~nnodes:10 ~nclients:6 ();
+      nkeys = 2_000;
+      workers = 40;
+      window = 1.0;
+      seed = 23;
+    };
+    {
+      (* KVell's batched workers need deep client concurrency to reach
+         their (much higher) saturation point. *)
+      display = "Server-KVell";
+      setup = Exp_common.make_kvell ~nclients:6 ~object_size:1024 ();
+      nkeys = 8_000;
+      workers = 640;
+      window = 0.1;
+      seed = 22;
+    };
+    {
+      display = "SmartNIC-LEED";
+      setup = Exp_common.make_leed ~nclients:6 ();
+      nkeys = 8_000;
+      workers = 192;
+      window = 0.12;
+      seed = 21;
+    };
+  ]
 
 let run_size ~object_size =
   Sim.run (fun () ->
-      let systems = [ fawn_system (); kvell_system (); leed_system () ] in
+      let systems = systems () in
+      List.iter
+        (fun s -> Exp_common.preload s.setup ~nkeys:s.nkeys ~value_size:(1024 - Workload.key_size))
+        systems;
       let mixes = Workload.all_ycsb () in
       let rows =
         List.map
-          (fun (sys : system_run) ->
-            ( sys.name,
+          (fun sys ->
+            ( sys.display,
               List.map
-                (fun mix -> sys.measure mix object_size /. sys.watts /. 1e3)
+                (fun mix ->
+                  let gen =
+                    Workload.generator ~object_size mix ~nkeys:sys.nkeys (Rng.create sys.seed)
+                  in
+                  let m =
+                    Exp_common.measure_closed ~label:mix.Workload.label ~setup:sys.setup
+                      ~clients:sys.workers ~duration:(Exp_common.dur sys.window) ~gen ()
+                  in
+                  m.Backend.queries_per_joule /. 1e3)
                 mixes ))
           systems
       in

@@ -1,64 +1,74 @@
 (* Figures 6 and 14: average latency vs throughput for the six YCSB
    workloads — Embedded-FAWN(10), Embedded-FAWN(100) (the paper's ideal
    10x linear-scaling extrapolation), Server-KVell, and SmartNIC-LEED.
-   Open-loop rate sweeps at fractions of each system's saturation. *)
+   Open-loop rate sweeps at fractions of each system's saturation, every
+   system driven through the backend-generic boundary. *)
 
 open Leed_sim
+open Leed_core
 open Leed_workload
 
-let nkeys = 8_000
 let fractions = [ 0.25; 0.5; 0.75; 0.95 ]
 
 type sweep_point = { thr : float; avg_ms : float }
 
 (* Find saturation closed-loop, then sweep open-loop rates. *)
-let sweep ~gen_of ~execute ~clients () =
+let sweep ~gen_of ~setup ~clients () =
   let sat =
     let m =
-      Exp_common.measure_closed ~label:"sat" ~clients ~duration:(Exp_common.dur 0.1)
-        ~gen:(gen_of 0) ~execute ()
+      Exp_common.measure_closed ~label:"sat" ~setup ~clients ~duration:(Exp_common.dur 0.1)
+        ~gen:(gen_of 0) ()
     in
-    m.Exp_common.throughput
+    m.Backend.throughput
   in
   List.mapi
     (fun i frac ->
       let rate = frac *. sat in
       let m =
-        Exp_common.measure_open ~label:"pt" ~rate ~duration:(Exp_common.dur 0.12)
-          ~gen:(gen_of (i + 1)) ~execute ()
+        Exp_common.measure_open ~label:"pt" ~setup ~rate ~duration:(Exp_common.dur 0.12)
+          ~gen:(gen_of (i + 1)) ()
       in
-      { thr = m.Exp_common.throughput; avg_ms = m.Exp_common.avg_lat *. 1e3 })
+      { thr = m.Backend.throughput; avg_ms = m.Backend.avg_lat *. 1e3 })
     fractions
 
+(* Per-system sizing, same saturation knobs as Figure 5. *)
+type sysdesc = { make : unit -> Exp_common.setup; nkeys : int; seed_base : int; workers : int }
+
+let descriptors ~object_size =
+  [
+    ("leed", { make = (fun () -> Exp_common.make_leed ~nclients:6 ()); nkeys = 8_000; seed_base = 100; workers = 192 });
+    ( "kvell",
+      {
+        make = (fun () -> Exp_common.make_kvell ~nclients:6 ~object_size ());
+        nkeys = 8_000;
+        seed_base = 200;
+        workers = 640;
+      } );
+    ( "fawn",
+      {
+        make = (fun () -> Exp_common.make_fawn ~nnodes:10 ~nclients:6 ());
+        nkeys = 2_000;
+        seed_base = 300;
+        workers = 40;
+      } );
+  ]
+
+(* Each system in its own simulation world. *)
+let run_system ~object_size (mix : Workload.mix) d =
+  Sim.run (fun () ->
+      let setup = d.make () in
+      Exp_common.preload setup ~nkeys:d.nkeys ~value_size:(object_size - Workload.key_size);
+      sweep
+        ~gen_of:(fun i ->
+          Workload.generator ~object_size mix ~nkeys:d.nkeys (Rng.create (d.seed_base + i)))
+        ~setup ~clients:d.workers ())
+
 let run_workload ~object_size (mix : Workload.mix) =
-  (* Each system in its own simulation world. *)
-  let leed =
-    Sim.run (fun () ->
-        let setup = Exp_common.make_leed ~nclients:6 () in
-        Exp_common.preload_leed setup ~nkeys ~value_size:(object_size - Workload.key_size);
-        let execute = Exp_common.rr_execute setup.Exp_common.clients in
-        sweep
-          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys (Rng.create (100 + i)))
-          ~execute ~clients:192 ())
+  let results =
+    List.map (fun (name, d) -> (name, run_system ~object_size mix d)) (descriptors ~object_size)
   in
-  let kvell =
-    Sim.run (fun () ->
-        let setup = Exp_common.make_kvell ~nclients:6 ~object_size () in
-        Exp_common.preload_kvell setup ~nkeys ~value_size:(object_size - Workload.key_size);
-        let execute = Exp_common.kvell_execute setup in
-        sweep
-          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys (Rng.create (200 + i)))
-          ~execute ~clients:640 ())
-  in
-  let fawn =
-    Sim.run (fun () ->
-        let setup = Exp_common.make_fawn ~nnodes:10 ~nclients:6 () in
-        Exp_common.preload_fawn setup ~nkeys:2_000 ~value_size:(object_size - Workload.key_size);
-        let execute = Exp_common.fawn_execute setup in
-        sweep
-          ~gen_of:(fun i -> Workload.generator ~object_size mix ~nkeys:2_000 (Rng.create (300 + i)))
-          ~execute ~clients:40 ())
-  in
+  let points name = List.assoc name results in
+  let leed = points "leed" and kvell = points "kvell" and fawn = points "fawn" in
   let fmt p = Printf.sprintf "%.0fK@%.2fms" (p.thr /. 1e3) p.avg_ms in
   let fmt100 p = Printf.sprintf "%.0fK@%.2fms" (p.thr /. 1e2) p.avg_ms in
   Leed_stats.Report.table

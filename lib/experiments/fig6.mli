@@ -1,0 +1,8 @@
+(** Figures 6 and 14: average latency vs throughput for the six YCSB
+    workloads across the four compared systems, every system driven
+    through the backend-generic boundary. *)
+
+val run_size : object_size:int -> unit
+(** One full grid at the given object size (fig14 reuses this at 256 B). *)
+
+val run : unit -> unit

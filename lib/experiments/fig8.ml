@@ -3,6 +3,7 @@
    (clients flood, queues build). YCSB-B and YCSB-C over Zipf skew. *)
 
 open Leed_sim
+open Leed_core
 open Leed_workload
 
 let skews = [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.95; 0.99 ]
@@ -24,11 +25,10 @@ let measure_point ~ls ~mix_of ~skew =
           }
       in
       let setup = Exp_common.make_leed ~nclients:6 ~flow_control:ls ~engine_cfg () in
-      Exp_common.preload_leed setup ~nkeys ~value_size:1008;
-      let execute = Exp_common.rr_execute setup.Exp_common.clients in
+      Exp_common.preload setup ~nkeys ~value_size:1008;
       let gen = Workload.generator ~object_size:1024 (mix_of ~theta:skew) ~nkeys (Rng.create 52) in
-      Exp_common.measure_closed ~label:"pt" ~clients:160 ~duration:(Exp_common.dur 0.12) ~gen
-        ~execute ())
+      Exp_common.measure_closed ~label:"pt" ~setup ~clients:160 ~duration:(Exp_common.dur 0.12)
+        ~gen ())
 
 let run_mix name mix_of =
   let points ls = List.map (fun skew -> measure_point ~ls ~mix_of ~skew) skews in
@@ -39,12 +39,12 @@ let run_mix name mix_of =
     ~x_label:"skew"
     ~xs:(List.map string_of_float skews)
     [
-      ("thr-KQPS w/", col (fun m -> m.Exp_common.throughput /. 1e3) with_ls);
-      ("thr-KQPS w/o", col (fun m -> m.Exp_common.throughput /. 1e3) without);
-      ("avg-ms w/", col (fun m -> m.Exp_common.avg_lat *. 1e3) with_ls);
-      ("avg-ms w/o", col (fun m -> m.Exp_common.avg_lat *. 1e3) without);
-      ("p999-ms w/", col (fun m -> m.Exp_common.p999 *. 1e3) with_ls);
-      ("p999-ms w/o", col (fun m -> m.Exp_common.p999 *. 1e3) without);
+      ("thr-KQPS w/", col (fun m -> m.Backend.throughput /. 1e3) with_ls);
+      ("thr-KQPS w/o", col (fun m -> m.Backend.throughput /. 1e3) without);
+      ("avg-ms w/", col (fun m -> m.Backend.avg_lat *. 1e3) with_ls);
+      ("avg-ms w/o", col (fun m -> m.Backend.avg_lat *. 1e3) without);
+      ("p999-ms w/", col (fun m -> m.Backend.p999 *. 1e3) with_ls);
+      ("p999-ms w/o", col (fun m -> m.Backend.p999 *. 1e3) without);
     ]
 
 let run () =

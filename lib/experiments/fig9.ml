@@ -22,14 +22,17 @@ let weak_platform () =
 
 let run_workload mix =
   Sim.run (fun () ->
-      let setup = Exp_common.make_leed ~nclients:6 ~platform:(weak_platform ()) () in
-      Exp_common.preload_leed setup ~nkeys ~value_size:1008;
-      let execute = Exp_common.rr_execute setup.Exp_common.clients in
+      (* The raw cluster handle stays in scope for the join/leave below;
+         everything op-shaped goes through the backend boundary. *)
+      let cluster = Exp_common.make_leed_cluster ~platform:(weak_platform ()) () in
+      let setup = Exp_common.setup_of_cluster ~nclients:6 cluster in
+      Exp_common.preload setup ~nkeys ~value_size:1008;
+      let execute = Exp_common.rr_execute setup in
       (* Calibrate: saturation throughput, then offer 80% of it. *)
       let sat =
         let gen = Workload.generator ~object_size:1024 mix ~nkeys (Rng.create 60) in
-        (Exp_common.measure_closed ~label:"sat" ~clients:96 ~duration:0.08 ~gen ~execute ())
-          .Exp_common.throughput
+        (Exp_common.measure_closed ~label:"sat" ~setup ~clients:96 ~duration:0.08 ~gen ())
+          .Backend.throughput
       in
       let rate = 0.85 *. sat in
       Printf.printf "  (saturation %.0f KQPS; offering %.0f KQPS)\n%!" (sat /. 1e3) (rate /. 1e3);
@@ -44,11 +47,11 @@ let run_workload mix =
       Sim.spawn (fun () ->
           Sim.delay 2.5;
           events := (Sim.now () -. t0, "join start") :: !events;
-          let _n, copied = Cluster.add_node setup.Exp_common.cluster in
+          let _n, copied = Cluster.add_node cluster in
           events := (Sim.now () -. t0, Printf.sprintf "join end (%d pairs copied)" copied) :: !events;
           Sim.delay 2.0;
           events := (Sim.now () -. t0, "leave start") :: !events;
-          let copied = Cluster.remove_node setup.Exp_common.cluster 3 in
+          let copied = Cluster.remove_node cluster 3 in
           events := (Sim.now () -. t0, Printf.sprintf "leave end (%d pairs copied)" copied) :: !events);
       let rng = Rng.create 62 in
       let stop = t0 +. horizon in

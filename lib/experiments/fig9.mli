@@ -1,0 +1,5 @@
+(** Figure 9: cluster throughput timeline across a node join and a node
+    leave near saturation — COPY traffic and the inconsistent-view NACK
+    window show up as dips. *)
+
+val run : unit -> unit

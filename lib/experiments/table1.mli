@@ -1,0 +1,4 @@
+(** Table 1: data store node comparison among embedded, server JBOF, and
+    SmartNIC JBOF — skewness, computing density, balls-into-bins load. *)
+
+val run : unit -> unit

@@ -1,0 +1,15 @@
+(** Table 3: single-node comparison of FAWN-JBOF, KVell-JBOF, and LEED,
+    all running on the SmartNIC JBOF — max usable capacity, random
+    read/write latency and throughput for 256 B and 1 KB objects. *)
+
+val fawn_capacity : object_size:int -> float
+(** Max usable TB at full hardware scale under FAWN's 6 B/object DRAM
+    index model. *)
+
+val kvell_capacity : object_size:int -> float
+(** Same under KVell's B-tree index model. *)
+
+val leed_capacity : object_size:int -> float
+(** Same under LEED's two-level segment-table model. *)
+
+val run : unit -> unit

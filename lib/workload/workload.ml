@@ -171,6 +171,18 @@ module Driver = struct
     latency : Leed_stats.Histogram.t;
   }
 
+  (* Spread an op stream over front-end endpoints: the bridge from a
+     backend's per-client [execute] to the single closure the drivers
+     consume. *)
+  let round_robin execute clients =
+    let arr = Array.of_list clients in
+    if Array.length arr = 0 then invalid_arg "Driver.round_robin: no clients";
+    let i = ref 0 in
+    fun op ->
+      let c = arr.(!i mod Array.length arr) in
+      incr i;
+      execute c op
+
   (* [clients] closed-loop workers issuing back-to-back requests for
      [duration] simulated seconds. *)
   let closed_loop ~clients ~duration ~gen ~execute () =

@@ -100,4 +100,10 @@ module Driver : sig
   (** Poisson arrivals at [rate] for [duration] seconds, each request in
       its own process; stragglers get [drain] extra seconds and
       throughput is attributed to the issuing window only. *)
+
+  val round_robin : ('c -> op -> unit) -> 'c list -> op -> unit
+  (** [round_robin execute clients] spreads an op stream over front-end
+      endpoints — the bridge from a backend's per-client [execute] to
+      the single closure the drivers consume. The driver is thereby
+      backend-generic: any system's clients plug in. *)
 end

@@ -272,26 +272,35 @@ let test_kvell_dram_capacity_limit () =
 
 let test_fawn_cluster_end_to_end () =
   Sim.run (fun () ->
-      let cl = Fawn_cluster.create ~r:3 ~nnodes:5 () in
-      let c = Fawn_cluster.client cl "fe0" in
+      let cl = Fawn_cluster.create ~config:{ Fawn_cluster.default_config with r = 3; nnodes = 5 } () in
+      let c = Fawn_cluster.client cl in
       for i = 0 to 29 do
-        Alcotest.(check bool) "put ok" true (Fawn_cluster.put c (key i) (Bytes.of_string (string_of_int i)))
+        Fawn_cluster.put c (key i) (Bytes.of_string (string_of_int i))
       done;
       for i = 0 to 29 do
         Alcotest.(check (option string)) "get" (Some (string_of_int i))
           (Option.map Bytes.to_string (Fawn_cluster.get c (key i)))
       done;
       (* R=3 replication: 30 objects stored 3 times. *)
-      Alcotest.(check int) "replicated" 90 (Fawn_cluster.total_objects cl))
+      Alcotest.(check int) "replicated" 90 (Fawn_cluster.total_objects cl);
+      (* All 30 writes and 30 reads succeeded: no client-observed nacks,
+         and the devices saw real traffic. *)
+      let ctrs = Fawn_cluster.counters cl in
+      Alcotest.(check int) "no nacks" 0 ctrs.Backend.nacks;
+      Alcotest.(check bool) "nvme writes" true (ctrs.Backend.nvme_writes > 0))
 
 let test_kvell_cluster_end_to_end () =
   Sim.run (fun () ->
       let cl =
-        Kvell_cluster.create ~r:3 ~nnodes:3
-          ~store_config:{ Kvell_store.default_config with Kvell_store.slot_size = 512 }
+        Kvell_cluster.create
+          ~config:
+            {
+              Kvell_cluster.default_config with
+              store_config = { Kvell_store.default_config with Kvell_store.slot_size = 512 };
+            }
           ()
       in
-      let c = Kvell_cluster.client cl "fe0" in
+      let c = Kvell_cluster.client cl in
       for i = 0 to 29 do
         Kvell_cluster.put c (key i) (Bytes.of_string (string_of_int i))
       done;
@@ -299,16 +308,17 @@ let test_kvell_cluster_end_to_end () =
         Alcotest.(check (option string)) "get" (Some (string_of_int i))
           (Option.map Bytes.to_string (Kvell_cluster.get c (key i)))
       done;
-      Alcotest.(check int) "replicated" 90 (Kvell_cluster.total_objects cl))
+      Alcotest.(check int) "replicated" 90 (Kvell_cluster.total_objects cl);
+      Alcotest.(check int) "no nacks" 0 (Kvell_cluster.counters cl).Backend.nacks)
 
 let test_fawn_slower_than_kvell_cluster () =
   (* Sanity on relative platform speed: a Pi-backed FAWN get is much slower
      than a Xeon-backed KVell get. *)
   let fawn_t =
     Sim.run (fun () ->
-        let cl = Fawn_cluster.create ~r:1 ~nnodes:2 () in
-        let c = Fawn_cluster.client cl "fe" in
-        ignore (Fawn_cluster.put c (key 1) (Bytes.make 100 'x'));
+        let cl = Fawn_cluster.create ~config:{ Fawn_cluster.default_config with r = 1; nnodes = 2 } () in
+        let c = Fawn_cluster.client cl in
+        Fawn_cluster.put c (key 1) (Bytes.make 100 'x');
         let t0 = Sim.now () in
         for _ = 1 to 10 do
           ignore (Fawn_cluster.get c (key 1))
@@ -317,8 +327,10 @@ let test_fawn_slower_than_kvell_cluster () =
   in
   let kvell_t =
     Sim.run (fun () ->
-        let cl = Kvell_cluster.create ~r:1 ~nnodes:2 () in
-        let c = Kvell_cluster.client cl "fe" in
+        let cl =
+          Kvell_cluster.create ~config:{ Kvell_cluster.default_config with r = 1; nnodes = 2 } ()
+        in
+        let c = Kvell_cluster.client cl in
         Kvell_cluster.put c (key 1) (Bytes.make 100 'x');
         let t0 = Sim.now () in
         for _ = 1 to 10 do

@@ -1,9 +1,10 @@
-(* Smoke tests for the experiment harness: the three system builders
-   produce working clusters and the measurement plumbing returns sane
-   numbers. Windows are tiny — correctness of the pipeline, not
+(* Smoke tests for the experiment harness: the backend-generic system
+   builders produce working clusters and the measurement plumbing returns
+   sane numbers. Windows are tiny — correctness of the pipeline, not
    statistics, is under test. *)
 
 open Leed_sim
+open Leed_core
 open Leed_workload
 open Leed_experiments
 
@@ -11,51 +12,68 @@ let test_leed_setup_measures () =
   let m =
     Sim.run (fun () ->
         let s = Exp_common.make_leed ~nclients:2 () in
-        Exp_common.preload_leed s ~nkeys:500 ~value_size:240;
+        Exp_common.preload s ~nkeys:500 ~value_size:240;
         let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:500 (Rng.create 1) in
-        Exp_common.measure_closed ~label:"t" ~clients:16 ~duration:0.02
-          ~gen ~execute:(Exp_common.rr_execute s.Exp_common.clients) ())
+        Exp_common.measure_closed ~label:"t" ~setup:s ~clients:16 ~duration:0.02 ~gen ())
   in
-  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 100);
-  Alcotest.(check bool) "throughput" true (m.Exp_common.throughput > 1e4);
+  Alcotest.(check bool) "ops" true (m.Backend.ops > 100);
+  Alcotest.(check bool) "throughput" true (m.Backend.throughput > 1e4);
   Alcotest.(check bool) "latency sane" true
-    (m.Exp_common.avg_lat > 1e-5 && m.Exp_common.avg_lat < 1e-2);
-  Alcotest.(check bool) "p999 >= avg" true (m.Exp_common.p999 >= m.Exp_common.avg_lat *. 0.9)
+    (m.Backend.avg_lat > 1e-5 && m.Backend.avg_lat < 1e-2);
+  Alcotest.(check bool) "p999 >= avg" true (m.Backend.p999 >= m.Backend.avg_lat *. 0.9);
+  (* The unified observability fields are live: a half-write workload hits
+     flash, and the power model reports the 3-JBOF figure. *)
+  Alcotest.(check bool) "nvme accesses" true (m.Backend.nvme_accesses > 0);
+  Alcotest.(check (float 0.01)) "watts" 157.5 m.Backend.watts;
+  Alcotest.(check bool) "qpj consistent" true
+    (abs_float (m.Backend.queries_per_joule -. (m.Backend.throughput /. m.Backend.watts)) < 1e-6)
 
 let test_fawn_setup_measures () =
   let m =
     Sim.run (fun () ->
         let s = Exp_common.make_fawn ~nnodes:4 ~nclients:2 () in
-        Exp_common.preload_fawn s ~nkeys:200 ~value_size:240;
+        Exp_common.preload s ~nkeys:200 ~value_size:240;
         let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:200 (Rng.create 2) in
-        Exp_common.measure_closed ~label:"t" ~clients:8 ~duration:0.1
-          ~gen ~execute:(Exp_common.fawn_execute s) ())
+        Exp_common.measure_closed ~label:"t" ~setup:s ~clients:8 ~duration:0.1 ~gen ())
   in
-  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 20)
+  Alcotest.(check bool) "ops" true (m.Backend.ops > 20);
+  Alcotest.(check (float 0.01)) "watts" 16.8 m.Backend.watts
 
 let test_kvell_setup_measures () =
   let m =
     Sim.run (fun () ->
         let s = Exp_common.make_kvell ~nclients:2 ~object_size:256 () in
-        Exp_common.preload_kvell s ~nkeys:500 ~value_size:240;
+        Exp_common.preload s ~nkeys:500 ~value_size:240;
         let gen = Workload.generator ~object_size:256 (Workload.ycsb_b ()) ~nkeys:500 (Rng.create 3) in
-        Exp_common.measure_closed ~label:"t" ~clients:32 ~duration:0.02
-          ~gen ~execute:(Exp_common.kvell_execute s) ())
+        Exp_common.measure_closed ~label:"t" ~setup:s ~clients:32 ~duration:0.02 ~gen ())
   in
-  Alcotest.(check bool) "ops" true (m.Exp_common.ops > 100)
+  Alcotest.(check bool) "ops" true (m.Backend.ops > 100);
+  Alcotest.(check (float 0.01)) "watts" 756.0 m.Backend.watts
+
+let test_setup_of_name () =
+  (* Name-based selection returns the right implementation, and the
+     unknown-name path fails loudly. *)
+  Sim.run (fun () ->
+      List.iter
+        (fun n ->
+          let s = Exp_common.setup_of_name ~nclients:1 n in
+          Alcotest.(check string) "name" n (Backend.name s.Exp_common.backend))
+        Exp_common.backend_names);
+  Alcotest.check_raises "unknown" (Invalid_argument "unknown backend \"rocks\" (try: leed/fawn/kvell)")
+    (fun () -> Sim.run (fun () -> ignore (Exp_common.setup_of_name "rocks")))
 
 let test_open_loop_attribution () =
   (* Throughput must be attributed to the issuing window, not the drain. *)
   let m =
     Sim.run (fun () ->
         let gen = Workload.generator (Workload.ycsb_c ()) ~nkeys:100 (Rng.create 4) in
-        Exp_common.measure_open ~label:"t" ~rate:10_000. ~duration:0.05
+        Workload.Driver.open_loop ~rate:10_000. ~duration:0.05
           ~gen ~execute:(fun _ -> Sim.delay 1e-4) ())
   in
   Alcotest.(check bool)
-    (Printf.sprintf "thr %.0f ~ 10K" m.Exp_common.throughput)
+    (Printf.sprintf "thr %.0f ~ 10K" m.Workload.Driver.throughput)
     true
-    (m.Exp_common.throughput > 7_000. && m.Exp_common.throughput < 13_000.)
+    (m.Workload.Driver.throughput > 7_000. && m.Workload.Driver.throughput < 13_000.)
 
 let test_energy_helpers () =
   let w = Exp_common.cluster_watts Leed_platform.Platform.smartnic_jbof 3 in
@@ -82,6 +100,7 @@ let () =
           Alcotest.test_case "leed setup measures" `Quick test_leed_setup_measures;
           Alcotest.test_case "fawn setup measures" `Quick test_fawn_setup_measures;
           Alcotest.test_case "kvell setup measures" `Quick test_kvell_setup_measures;
+          Alcotest.test_case "setup of name" `Quick test_setup_of_name;
           Alcotest.test_case "open-loop attribution" `Quick test_open_loop_attribution;
           Alcotest.test_case "energy helpers" `Quick test_energy_helpers;
           Alcotest.test_case "capacity model ordering" `Quick test_capacity_model_ordering;

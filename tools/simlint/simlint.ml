@@ -14,8 +14,6 @@
                          other layer must block through the Sim API, since
                          event-heap callbacks must not perform effects
      R3 interface coverage every lib/**/*.ml has a matching .mli
-                         (lib/experiments/ is exempt: the figure drivers
-                         are scripts whose only consumer is the registry)
      R4 banned constructs [Obj.magic]; order-sensitive [Hashtbl.iter]/
                          [Hashtbl.fold] in lib/ (annotate reviewed sites
                          with a "simlint: allow hashtbl-order" comment);
@@ -29,7 +27,7 @@
 
 let scope_default = [ "lib"; "bin"; "bench" ]
 
-let mli_exempt_dirs = [ "lib/experiments" ]
+let mli_exempt_dirs = []
 
 let random_allowed_files = [ "lib/sim/rng.ml" ]
 
@@ -205,7 +203,7 @@ let check_mli_coverage file =
   then
     report ~file ~line:1 ~rule:"R3" ~tag:"mli"
       (Printf.sprintf "missing interface file %si: every lib module must declare \
-                       its surface (lib/experiments/ excepted)"
+                       its surface"
          file)
 
 (* ------------------------------------------------------------------ *)
