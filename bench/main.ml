@@ -8,7 +8,9 @@
      bench/main.exe fast            run everything with shorter windows
      bench/main.exe micro           only the microbenchmarks
      bench/main.exe ycsb [backend]  YCSB-B through the unified KV_BACKEND
-                                    path (leed/fawn/kvell; default all) *)
+                                    path (leed/fawn/kvell; default all)
+     bench/main.exe chaos [seed..]  seeded fault-injection runs (crash-restarts,
+                                    partition, SSD degradation) under load *)
 
 open Leed_experiments
 
@@ -54,6 +56,19 @@ let ycsb backends =
           in
           Exp_common.report_metrics m))
     backends
+
+(* --- seeded chaos runs through the fault-injection subsystem --- *)
+
+let chaos seeds =
+  let open Leed_fault.Fault in
+  let seeds = if seeds = [] then [ 42 ] else List.map int_of_string seeds in
+  List.iter
+    (fun seed ->
+      Printf.printf "== chaos seed %d ==\n%!" seed;
+      let r = Chaos.run { Chaos.default_config with Chaos.seed } in
+      Format.printf "%a@." Chaos.pp_report r;
+      if not r.Chaos.ok then exit 1)
+    seeds
 
 (* --- Bechamel microbenchmarks of the core data structures --- *)
 
@@ -149,6 +164,7 @@ let () =
   match selected with
   | "ycsb" :: rest ->
       ycsb (if rest = [] then Exp_common.backend_names else rest)
+  | "chaos" :: rest -> chaos rest
   | _ ->
   let micro_only = selected = [ "micro" ] in
   let run_micro = selected = [] || List.mem "micro" selected in

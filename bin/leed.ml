@@ -70,6 +70,59 @@ let smoke_cmd =
     (Cmd.info "smoke" ~doc:"Put/get 500 objects through a cluster of the chosen backend")
     Term.(const run $ backend)
 
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule and workload seed.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Repeat the identical run $(docv) times and diff the digests (determinism check).")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Smaller cluster and shorter fault window.")
+  in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:"Arm the runtime invariant sanitizer for the run (otherwise inherited from \
+                LEED_SANITIZE).")
+  in
+  let run seed runs fast sanitize =
+    let open Leed_fault.Fault in
+    let cfg =
+      let base = { Chaos.default_config with Chaos.seed } in
+      if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
+      else base
+    in
+    let checks = if sanitize then Some true else None in
+    let reports = List.init (max 1 runs) (fun _ -> Chaos.run ?checks cfg) in
+    let first = List.hd reports in
+    Format.printf "%a@." Chaos.pp_report first;
+    List.iteri (fun i r -> Printf.printf "run %d digest %s\n" (i + 1) r.Chaos.digest) reports;
+    let deterministic =
+      List.for_all (fun r -> r.Chaos.digest = first.Chaos.digest) reports
+    in
+    if not deterministic then begin
+      prerr_endline "chaos: same-seed runs diverged (nondeterminism)";
+      exit 2
+    end;
+    if not (List.for_all (fun r -> r.Chaos.ok) reports) then begin
+      prerr_endline "chaos: invariant violated";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded random fault schedule (crash-restarts, a partition, SSD degradation, link \
+          loss) under closed-loop load and check the end-of-run invariants: zero \
+          acknowledged-write loss, full replication restored, bounded unavailability, \
+          deterministic digest.")
+    Term.(const run $ seed $ runs $ fast $ sanitize)
+
 let experiment_cmd =
   let names =
     [
@@ -109,4 +162,4 @@ let experiment_cmd =
 
 let () =
   let info = Cmd.info "leed" ~doc:"LEED: low-power persistent KV store on SmartNIC JBOFs" in
-  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; experiment_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; chaos_cmd; experiment_cmd ]))

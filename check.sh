@@ -28,4 +28,10 @@ dune runtest
 echo "== tests under the invariant sanitizer (LEED_SANITIZE=1) =="
 LEED_SANITIZE=1 dune runtest --force
 
+echo "== chaos smoke (seeded fault schedule, sanitized, determinism diff) =="
+# --runs 2 replays the identical seed and diffs the digests: exit 2 on
+# nondeterminism, exit 1 on any end-state invariant (acked-write loss,
+# unrepaired chain, unbounded outage).
+dune exec bin/leed.exe -- chaos --fast --sanitize --seed 42 --runs 2
+
 echo "check.sh: all stages passed"

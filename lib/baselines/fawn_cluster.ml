@@ -206,6 +206,11 @@ let counters t =
     nvme_writes = !nvme_writes;
     nacks = t.client_nacks;
     retries = 0; (* classic FAWN front-ends do not retry *)
+    backoff_time = 0.;
+    (* static membership: no join/leave/failure machinery modeled *)
+    joins = 0;
+    leaves = 0;
+    failures_handled = 0;
   }
 
 let watts t =

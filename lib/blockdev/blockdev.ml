@@ -129,6 +129,9 @@ type stats = {
   mutable bytes_written : int;
 }
 
+exception Failed of string
+(* Raised by read/write against a device in the [failed] state. *)
+
 type t = {
   profile : profile;
   storage : Storage.t;
@@ -138,6 +141,11 @@ type t = {
   stats : stats;
   mutable inflight : int;
   max_queue : int;
+  (* fault-injection state: a degraded drive multiplies every service
+     time (brown-out, thermal throttle, worn flash); a failed drive
+     rejects all commands until repaired *)
+  mutable service_factor : float;
+  mutable failed : bool;
 }
 
 (* Generous default bound: a real NVMe queue pair tops out at 64 K entries,
@@ -156,11 +164,27 @@ let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) profile =
     stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0 };
     inflight = 0;
     max_queue;
+    service_factor = 1.0;
+    failed = false;
   }
 
 let profile t = t.profile
 let stats t = t.stats
 let capacity t = t.profile.capacity_bytes
+
+(* --- fault hooks (driven by the fault-injection subsystem) --- *)
+
+let set_service_factor t f =
+  if f <= 0. then invalid_arg "Blockdev.set_service_factor: factor must be positive";
+  t.service_factor <- f
+
+let service_factor t = t.service_factor
+let fail t = t.failed <- true
+let repair t = t.failed <- false
+let is_failed t = t.failed
+
+let check_alive t =
+  if t.failed then raise (Failed (t.profile.name ^ ": device failed"))
 
 (* Outstanding commands, queued or executing: the signal the LEED token
    engine translates into serving capability. *)
@@ -191,11 +215,13 @@ let check_queue_depth t =
         t.profile.name t.inflight t.max_queue)
 
 let read t ~off ~len =
+  check_alive t;
   check_bounds t ~off ~len;
   t.inflight <- t.inflight + 1;
   check_queue_depth t;
   let service =
-    Sim.us (jittered t t.profile.read_us) +. transfer_time len t.profile.seq_read_mbps
+    (Sim.us (jittered t t.profile.read_us) +. transfer_time len t.profile.seq_read_mbps)
+    *. t.service_factor
   in
   Sim.Resource.with_ t.read_units (fun () -> Sim.delay service);
   t.inflight <- t.inflight - 1;
@@ -204,6 +230,7 @@ let read t ~off ~len =
   Storage.read t.storage ~off ~len
 
 let write_kind t ~off data kind =
+  check_alive t;
   let len = Bytes.length data in
   check_bounds t ~off ~len;
   t.inflight <- t.inflight + 1;
@@ -213,8 +240,9 @@ let write_kind t ~off data kind =
      read-modify-write of the page. *)
   let priced_len = match kind with `Seq -> len | `Rand -> max len t.profile.block_size in
   Sim.Resource.with_ t.read_units (fun () ->
-      Sim.Resource.with_ t.write_pipe (fun () -> Sim.delay (transfer_time priced_len bw));
-      Sim.delay (Sim.us (jittered t t.profile.write_us)));
+      Sim.Resource.with_ t.write_pipe (fun () ->
+          Sim.delay (transfer_time priced_len bw *. t.service_factor));
+      Sim.delay (Sim.us (jittered t t.profile.write_us) *. t.service_factor));
   t.inflight <- t.inflight - 1;
   t.stats.n_writes <- t.stats.n_writes + 1;
   t.stats.bytes_written <- t.stats.bytes_written + len;
@@ -227,7 +255,14 @@ let write_seq t ~off data = write_kind t ~off data `Seq
 let write_rand t ~off data = write_kind t ~off data `Rand
 
 (* Crash simulation hook: the persistent contents survive, all volatile
-   queueing/timing state is fresh. Used by recovery tests. *)
-let reboot t = { (create ~rng:t.rng ~max_queue:t.max_queue t.profile) with storage = t.storage }
+   queueing/timing state is fresh. Injected fault state (degradation, a
+   dead drive) is physical, so it survives the reboot too. *)
+let reboot t =
+  {
+    (create ~rng:t.rng ~max_queue:t.max_queue t.profile) with
+    storage = t.storage;
+    service_factor = t.service_factor;
+    failed = t.failed;
+  }
 
 let utilisation t = Sim.Resource.utilisation t.read_units

@@ -79,6 +79,30 @@ val write_rand : t -> off:int -> bytes -> unit
 
 val reboot : t -> t
 (** Crash simulation: persistent contents survive, volatile queueing and
-    counters reset. *)
+    counters reset. Injected fault state ({!set_service_factor},
+    {!fail}) is physical and survives the reboot. *)
 
 val utilisation : t -> float
+
+(** {2 Fault-injection hooks}
+
+    Driven by the fault subsystem ([Leed_fault]): a degraded drive
+    multiplies every service time (brown-out, thermal throttle, worn
+    flash); a failed drive rejects all commands until repaired. *)
+
+exception Failed of string
+(** Raised by {!read}/{!write_seq}/{!write_rand} against a failed device. *)
+
+val set_service_factor : t -> float -> unit
+(** Multiply all subsequent service times by [f] (> 0); [1.0] restores
+    nominal speed. *)
+
+val service_factor : t -> float
+
+val fail : t -> unit
+(** Mark the device dead: every subsequent command raises {!Failed}. *)
+
+val repair : t -> unit
+(** Clear the failed state (device replaced / power restored). *)
+
+val is_failed : t -> bool

@@ -8,9 +8,23 @@ type counters = {
   nvme_writes : int;
   nacks : int;
   retries : int;
+  backoff_time : float;
+  joins : int;
+  leaves : int;
+  failures_handled : int;
 }
 
-let no_counters = { nvme_reads = 0; nvme_writes = 0; nacks = 0; retries = 0 }
+let no_counters =
+  {
+    nvme_reads = 0;
+    nvme_writes = 0;
+    nacks = 0;
+    retries = 0;
+    backoff_time = 0.;
+    joins = 0;
+    leaves = 0;
+    failures_handled = 0;
+  }
 
 let nvme_accesses c = c.nvme_reads + c.nvme_writes
 
@@ -20,6 +34,10 @@ let diff_counters ~after ~before =
     nvme_writes = after.nvme_writes - before.nvme_writes;
     nacks = after.nacks - before.nacks;
     retries = after.retries - before.retries;
+    backoff_time = after.backoff_time -. before.backoff_time;
+    joins = after.joins - before.joins;
+    leaves = after.leaves - before.leaves;
+    failures_handled = after.failures_handled - before.failures_handled;
   }
 
 type metrics = {
@@ -34,6 +52,10 @@ type metrics = {
   nvme_accesses : int;
   nacks : int;
   retries : int;
+  backoff_time : float;
+  joins : int;
+  leaves : int;
+  failures_handled : int;
   watts : float;
   queries_per_joule : float;
 }
@@ -94,6 +116,10 @@ let measure ~label b run =
     nvme_accesses = nvme_accesses delta;
     nacks = delta.nacks;
     retries = delta.retries;
+    backoff_time = delta.backoff_time;
+    joins = delta.joins;
+    leaves = delta.leaves;
+    failures_handled = delta.failures_handled;
     watts = w;
     queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
   }

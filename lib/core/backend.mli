@@ -20,6 +20,12 @@ type counters = {
   nvme_writes : int;  (** block-device write commands issued *)
   nacks : int;        (** client-observed rejections (NACK / error / timeout) *)
   retries : int;      (** client-side retries after a rejection *)
+  backoff_time : float;
+      (** cumulative seconds clients slept in retry backoff — the
+          client-visible cost of failures and overload *)
+  joins : int;             (** membership joins completed (§3.8.1) *)
+  leaves : int;            (** graceful leaves / failure expulsions completed *)
+  failures_handled : int;  (** failure detections that triggered chain repair *)
 }
 
 val no_counters : counters
@@ -43,6 +49,10 @@ type metrics = {
   nvme_accesses : int;       (** device commands during the window *)
   nacks : int;
   retries : int;
+  backoff_time : float;      (** seconds clients slept in retry backoff *)
+  joins : int;               (** membership events during the window *)
+  leaves : int;
+  failures_handled : int;
   watts : float;             (** modeled cluster wall power (paper's meters) *)
   queries_per_joule : float; (** throughput / watts — the paper's headline *)
 }

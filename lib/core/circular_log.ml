@@ -92,6 +92,27 @@ let append t data =
   t.outstanding <- List.filter (fun (o, _) -> o <> loff) t.outstanding;
   loff
 
+(* Block until the whole log prefix through the entry at [loff] is durable
+   — i.e. no reservation at or below it is still in flight. An entry after
+   a torn hole is unreachable to the append-order recovery scan, so a
+   caller acknowledging a write must wait for this, not just for its own
+   device write (group-commit semantics). *)
+let wait_durable t ~loff =
+  while committed_tail t <= loff do
+    Leed_sim.Sim.delay (Leed_sim.Sim.us 5.)
+  done
+
+(* Crash recovery: reservations left by writers that died mid-append are
+   torn holes. The append-order scan can never read past the first one, so
+   recovery truncates the log there — completed entries beyond it are
+   durable but unreachable, exactly like a torn tail on a real log — and
+   drops the dead reservations. *)
+let truncate_torn t =
+  let ct = committed_tail t in
+  t.appended_bytes <- t.appended_bytes - (t.tail - ct);
+  t.tail <- ct;
+  t.outstanding <- []
+
 (* Two-phase append for write-behind buffering: [reserve] claims the range
    immediately (so later appends are ordered behind it), [write_reserved]
    pushes the bytes to the device whenever the buffer flushes. *)

@@ -44,6 +44,18 @@ val committed_tail : t -> int
     must stop here rather than at {!tail}, because appends reserve their
     range before the device write completes. *)
 
+val wait_durable : t -> loff:int -> unit
+(** Block until no reservation at or below [loff] is still in flight.
+    Callers acknowledging a write must wait for this, not just for their
+    own device write: an entry after a torn hole is unreachable to the
+    append-order recovery scan (group-commit semantics). *)
+
+val truncate_torn : t -> unit
+(** Crash recovery: truncate the log at the first torn hole (a reservation
+    whose writer died mid-append) and drop all dead reservations. Entries
+    beyond the hole are durable but unreachable, like a torn tail on a
+    real log. *)
+
 val append : t -> bytes -> int
 (** Append at the tail (reserving the range first, so concurrent appends
     never interleave); returns the entry's logical offset. Blocks for the

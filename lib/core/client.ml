@@ -22,7 +22,9 @@ type config = {
   crrs : bool;         (* §3.7 replica reads *)
   tenant : int;        (* §3.5 weighted token share *)
   retry_limit : int;
-  retry_backoff : float;
+  retry_backoff : float;     (* base sleep before retry 1 *)
+  retry_backoff_cap : float; (* ceiling of the exponential ramp *)
+  retry_jitter : float;      (* relative spread: sleep ∈ base·2ⁿ·[1±j] *)
   rpc_timeout : float;
 }
 
@@ -34,6 +36,8 @@ let default_config =
     tenant = 0;
     retry_limit = 8;
     retry_backoff = 0.002;
+    retry_backoff_cap = 0.1;
+    retry_jitter = 0.25;
     rpc_timeout = 0.5;
   }
 
@@ -50,12 +54,14 @@ type t = {
   peer : int -> (Messages.request, Messages.response) Rpc.t;
   refresh : unit -> Ring.snapshot;
   vstates : (Ring.vnode, vstate) Hashtbl.t;
+  rng : Rng.t; (* per-client deterministic jitter source *)
   mutable nacks : int;
   mutable retries : int;
   mutable throttled : float; (* cumulative seconds spent waiting for tokens *)
+  mutable backoff : float;   (* cumulative seconds slept in retry backoff *)
 }
 
-let create ?(config = default_config) ~fabric ~name ~peer ~refresh () =
+let create ?(config = default_config) ?(rng = Rng.create 77) ~fabric ~name ~peer ~refresh () =
   let rpc = Rpc.create fabric ~name ~gbps:100. in
   Rpc.client rpc;
   let t =
@@ -66,9 +72,11 @@ let create ?(config = default_config) ~fabric ~name ~peer ~refresh () =
       peer;
       refresh;
       vstates = Hashtbl.create 64;
+      rng = Rng.split rng;
       nacks = 0;
       retries = 0;
       throttled = 0.;
+      backoff = 0.;
     }
   in
   Ring.install t.ring (refresh ());
@@ -78,6 +86,7 @@ let ring t = t.ring
 let nacks t = t.nacks
 let retries t = t.retries
 let throttled_time t = t.throttled
+let backoff_time t = t.backoff
 
 let vstate t vn =
   match Hashtbl.find_opt t.vstates vn with
@@ -145,7 +154,13 @@ let issue t (e : Ring.entry) req =
   | Some (Messages.Ok { tokens })
   | Some (Messages.Version { tokens; _ }) ->
       credit t vn tokens
-  | Some (Messages.Nack _) | None -> release_waiters t vn);
+  | Some (Messages.Nack _) -> release_waiters t vn
+  | None ->
+      (* RPC timeout: the replica is likely dead. Zero its cached token
+         balance so CRRS read targeting deprioritizes it until a live
+         response re-credits it. *)
+      (vstate t vn).tokens <- 0;
+      release_waiters t vn);
   resp
 
 (* Pick the GET target: with CRRS, the replica advertising the most
@@ -167,6 +182,17 @@ let read_target t chain =
       end
       else (match List.rev chain with e :: _ -> Some e | [] -> None)
 
+(* Capped exponential backoff with deterministic per-client jitter: the
+   nth retry sleeps min(cap, base·2ⁿ) scaled by a factor drawn uniformly
+   from [1−j, 1+j] off the client's own Rng — retries from clients hit by
+   the same failure de-synchronize instead of stampeding the repaired
+   chain in lockstep, and every run with the same seed sleeps the same. *)
+let backoff_delay t n =
+  let exp = Float.min t.config.retry_backoff_cap (t.config.retry_backoff *. (2. ** float_of_int n)) in
+  let j = t.config.retry_jitter in
+  let scale = if j <= 0. then 1. else 1. -. j +. (2. *. j *. Rng.float t.rng) in
+  exp *. scale
+
 let rec with_retries t n f =
   if n > t.config.retry_limit then raise (Unavailable "retry limit exceeded")
   else
@@ -174,7 +200,9 @@ let rec with_retries t n f =
     | Some r -> r
     | None ->
         t.retries <- t.retries + 1;
-        Sim.delay t.config.retry_backoff;
+        let d = backoff_delay t n in
+        t.backoff <- t.backoff +. d;
+        Sim.delay d;
         refresh_ring t;
         with_retries t (n + 1) f
 

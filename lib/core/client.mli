@@ -18,7 +18,12 @@ type config = {
   crrs : bool;         (** §3.7 replica reads *)
   tenant : int;        (** §3.5 weighted token share this client draws from *)
   retry_limit : int;
-  retry_backoff : float;
+  retry_backoff : float;     (** base sleep before the first retry *)
+  retry_backoff_cap : float; (** ceiling of the exponential ramp *)
+  retry_jitter : float;
+      (** relative spread: the nth retry sleeps min(cap, base·2ⁿ) scaled
+          uniformly from [1±jitter] off the client's own deterministic
+          {!Leed_sim.Rng}, de-synchronizing retry stampedes *)
   rpc_timeout : float;
 }
 
@@ -28,6 +33,7 @@ type t
 
 val create :
   ?config:config ->
+  ?rng:Leed_sim.Rng.t ->
   fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
   name:string ->
   peer:(int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) ->
@@ -35,7 +41,8 @@ val create :
   unit ->
   t
 (** [peer] resolves a physical node id to its RPC endpoint; [refresh]
-    reads the control plane's current ring (the etcd watch). *)
+    reads the control plane's current ring (the etcd watch). [rng] seeds
+    the client's private backoff-jitter stream (split off, not shared). *)
 
 val ring : t -> Ring.t
 (** The client's local ring view. *)
@@ -45,6 +52,9 @@ val retries : t -> int
 
 val throttled_time : t -> float
 (** Cumulative seconds spent blocked by Algorithm 1's token gate. *)
+
+val backoff_time : t -> float
+(** Cumulative seconds slept in retry backoff (exponential ramp). *)
 
 val get : t -> string -> bytes option
 (** Read from the best clean replica (or the tail without CRRS); a dirty

@@ -16,6 +16,8 @@ type config = {
   platform : Platform.t;
   base_latency_us : float;
   read_mode : Node.read_mode; (* CRRS shipping vs CRAQ-style version query *)
+  heartbeat_period : float;   (* failure-detector probe period (§3.8.2) *)
+  miss_limit : int;           (* consecutive missed probes before fail-out *)
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     platform = Platform.smartnic_jbof;
     base_latency_us = 3.0;
     read_mode = Node.Ship;
+    heartbeat_period = 0.2;
+    miss_limit = 3;
   }
 
 type t = {
@@ -95,6 +99,7 @@ let check_replica_agreement t key =
             match Engine.submit (Node.engine n) ~pid:e.Ring.owner.Ring.vidx (Engine.Get key) with
             | Engine.Found v -> `Value v
             | Engine.Missing | Engine.Done -> `Missing
+            | Engine.Failed -> `Unknown
             | exception Engine.Overloaded _ -> `Unknown)
           replicas
       in
@@ -123,8 +128,15 @@ let check_replica_agreement t key =
   end
 
 let create ?(config = default_config) () =
+  (* A client chain wider than the replication factor would target vnodes
+     past the real chain — reads land on a replica that never sees writes. *)
+  if config.client_config.Client.r > config.r then
+    invalid_arg "Cluster.create: client_config.r exceeds cluster replication factor";
   let fabric = Netsim.fabric ~base_latency_us:config.base_latency_us () in
-  let control = Control.create ~r:config.r fabric in
+  let control =
+    Control.create ~r:config.r ~heartbeat_period:config.heartbeat_period
+      ~miss_limit:config.miss_limit fabric
+  in
   let t =
     {
       config;
@@ -158,11 +170,15 @@ let clients t = List.rev t.clients_rev
 let node t id = Control.node t.control id
 let fabric t = t.fabric
 
-(* A new front-end client with its own NIC endpoint and ring watch. *)
+(* A new front-end client with its own NIC endpoint, ring watch, and a
+   deterministic per-client jitter stream (seeded off its id so two
+   clients never share a backoff sequence). *)
 let client ?(config : Client.config option) t =
   let cfg = Option.value config ~default:t.config.client_config in
   let c =
-    Client.create ~config:cfg ~fabric:t.fabric
+    Client.create ~config:cfg
+      ~rng:(Rng.create (40000 + t.next_client_id))
+      ~fabric:t.fabric
       ~name:(Printf.sprintf "client%d" t.next_client_id)
       ~peer:(Control.peer_resolver t.control)
       ~refresh:(fun () -> Control.snapshot t.control)
@@ -198,6 +214,19 @@ let remove_node t id =
    monitor notices and repairs the chains. *)
 let crash_node t id =
   Node.crash (node t id)
+
+(* Crash-restart (§3.8.2): replay the node's logs and re-admit it. The
+   node object survives in [nodes_rev] even after the failure detector
+   expels it from the control plane's membership, so restart works both
+   before fail-out (fast revive) and after (full rejoin with COPY).
+   Blocks — run from a spawned process. Returns pairs copied. *)
+let restart_node t id =
+  match List.find_opt (fun n -> Node.id n = id) t.nodes_rev with
+  | None -> invalid_arg (Printf.sprintf "Cluster.restart_node: unknown node %d" id)
+  | Some n ->
+      let copied = Control.restart t.control n in
+      check_chain_structure t;
+      copied
 
 (* Aggregate count of objects across all stores (for capacity checks). *)
 let total_objects t =

@@ -12,6 +12,10 @@ type config = {
   read_mode : Node.read_mode;
       (** CRRS request shipping (default) vs the CRAQ-style version-query
           alternative of §3.7 *)
+  heartbeat_period : float;
+      (** failure-detector probe period (§3.8.2); default 0.2 s *)
+  miss_limit : int;
+      (** consecutive missed probes before a node is failed out; default 3 *)
 }
 
 val default_config : config
@@ -55,6 +59,13 @@ val remove_node : t -> int -> int
 val crash_node : t -> int -> unit
 (** Fail-stop crash (§3.8.2): the NIC goes dark; the heartbeat monitor
     detects the failure and repairs the chains from surviving replicas. *)
+
+val restart_node : t -> int -> int
+(** Crash-restart recovery: replay the node's circular logs
+    ({!Node.restart}) and re-admit it via {!Control.restart} — a fast
+    revive if the failure detector never expelled it, a full §3.8.1
+    rejoin (with COPY) otherwise. Blocks until the node is serving
+    again — run from a spawned process. Returns pairs copied. *)
 
 val total_objects : t -> int
 (** Live objects summed over every store (R replicas each). *)

@@ -19,6 +19,7 @@ type t = {
   r : int;
   rpc : (Messages.request, Messages.response) Rpc.t; (* manager's probe endpoint *)
   nodes : (int, node_state) Hashtbl.t;
+  directory : (int, Node.t) Hashtbl.t; (* every node ever registered; insert-only *)
   mutable clients : Client.t list;
   heartbeat_period : float;
   miss_limit : int;
@@ -37,6 +38,7 @@ let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) fabric =
     r;
     rpc;
     nodes = Hashtbl.create 8;
+    directory = Hashtbl.create 8;
     clients = [];
     heartbeat_period;
     miss_limit;
@@ -58,7 +60,14 @@ let node t id = (Hashtbl.find t.nodes id).node
 (* simlint: allow hashtbl-order — bindings are sorted before use *)
 let node_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
 
-let peer_resolver t id = Node.rpc (node t id)
+(* Nodes resolve forwarding targets from (possibly stale) ring views; a
+   peer may have been expelled between snapshot and call. Resolution is a
+   name lookup, not a liveness check: it must keep working for expelled
+   nodes — the RPC against the dead host then times out like any other. *)
+let peer_resolver t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some ns -> Node.rpc ns.node
+  | None -> Node.rpc (Hashtbl.find t.directory id)
 
 (* Broadcast the ring: nodes over the network (real Ring_update RPCs),
    clients via their etcd watch (modeled as a jittered install). *)
@@ -86,6 +95,7 @@ let broadcast t =
 (* Register a node with its vnodes directly RUNNING — cluster bootstrap. *)
 let register_bootstrap_node t (n : Node.t) =
   Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Hashtbl.replace t.directory (Node.id n) n;
   Node.set_peer_resolver n (peer_resolver t);
   for vidx = 0 to Engine.npartitions (Node.engine n) - 1 do
     let e = Ring.add t.ring { Ring.node = Node.id n; vidx } in
@@ -117,10 +127,30 @@ let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
       Node.end_fence dst_node dst.Ring.vidx;
       copied
 
+(* Stream an arc trying each candidate source in turn, preferring the
+   last (the chain tail, which always holds committed data). If a source
+   dies mid-stream its Copy_puts silently time out and the destination is
+   left hollow — so a copy only counts as complete if its source is still
+   alive when it returns; otherwise fall back to the next survivor. *)
+let copy_arc_from_any t ~(sources : Ring.entry list) ~(dst : Ring.vnode) ~lo ~hi =
+  let rec go = function
+    | [] -> 0
+    | (src : Ring.entry) :: rest ->
+        let copied = copy_arc t ~src ~dst ~lo ~hi in
+        let src_alive =
+          match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
+          | Some ns -> ns.alive
+          | None -> false
+        in
+        if src_alive then copied else copied + go rest
+  in
+  go (List.rev sources)
+
 (* --- node join (§3.8.1) --- *)
 
 let join t (n : Node.t) =
   Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Hashtbl.replace t.directory (Node.id n) n;
   Node.set_peer_resolver n (peer_resolver t);
   Ring.install (Node.ring n) (Ring.snapshot t.ring);
   (* Phase 1: vnodes enter as JOINING (receive COPY traffic only). *)
@@ -145,13 +175,12 @@ let join t (n : Node.t) =
       in
       if gained <> [] then begin
         let lo, hi = Ring.arc_of future e in
-        match List.rev (Ring.chain_at t.ring ~r:t.r e.Ring.point) with
-        | [] -> ()
-        | src :: _ ->
-            List.iter
-              (fun (m : Ring.entry) ->
-                total_copied := !total_copied + copy_arc t ~src ~dst:m.Ring.owner ~lo ~hi)
-              gained
+        let sources = Ring.chain_at t.ring ~r:t.r e.Ring.point in
+        List.iter
+          (fun (m : Ring.entry) ->
+            total_copied :=
+              !total_copied + copy_arc_from_any t ~sources ~dst:m.Ring.owner ~lo ~hi)
+          gained
       end)
     (Ring.entries future);
   (* Phase 3: flip to RUNNING and broadcast; clients may now address it. *)
@@ -190,13 +219,11 @@ let rebuild_chains_without t (old_ring : Ring.t) leaver_id =
           let survivors =
             List.filter (fun (m : Ring.entry) -> m.Ring.owner.Ring.node <> leaver_id) old_chain
           in
-          match List.rev survivors with
-          | [] -> ()
-          | src :: _ ->
-              List.iter
-                (fun (m : Ring.entry) ->
-                  total_copied := !total_copied + copy_arc t ~src ~dst:m.Ring.owner ~lo ~hi)
-                fresh
+          List.iter
+            (fun (m : Ring.entry) ->
+              total_copied :=
+                !total_copied + copy_arc_from_any t ~sources:survivors ~dst:m.Ring.owner ~lo ~hi)
+            fresh
         end
       end)
     (Ring.entries old_ring);
@@ -229,6 +256,30 @@ let handle_failure t dead_id =
   t.failures_handled <- t.failures_handled + 1;
   t.on_failure dead_id;
   ignore (leave t dead_id)
+
+(* --- crash-restart (§3.8.2) --- *)
+
+let restart t (n : Node.t) =
+  let id = Node.id n in
+  match Hashtbl.find_opt t.nodes id with
+  | Some ns when ns.alive ->
+      (* Fast revive: the failure detector never expelled the node — replay
+         the log, clear its miss count, resync its ring view, keep serving.
+         Its chains never lost a member, so no COPY is needed. *)
+      Node.restart n;
+      ns.missed <- 0;
+      Ring.install (Node.ring n) (Ring.snapshot t.ring);
+      0
+  | _ ->
+      (* The node was (or is being) failed out. Wait for the in-flight
+         failure repair to finish deleting it from the membership, then
+         rejoin from scratch: the §3.8.1 join COPY re-transfers everything
+         written while it was gone. *)
+      while Hashtbl.mem t.nodes id do
+        Sim.delay 0.01
+      done;
+      Node.restart n;
+      join t n
 
 (* --- heartbeats (§3.8.2) --- *)
 

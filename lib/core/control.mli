@@ -53,6 +53,14 @@ val leave : t -> int -> int
 val handle_failure : t -> int -> unit
 (** Fail-stop repair: mark dead and rebuild chains from survivors. *)
 
+val restart : t -> Node.t -> int
+(** Crash-restart (§3.8.2): replay the node's logs ({!Node.restart}) and
+    re-admit it. If the failure detector never expelled it, this is a
+    fast revive (miss count cleared, ring view resynced, returns 0); if
+    it was failed out, waits for the in-flight repair to delete it and
+    rejoins via {!join}, returning pairs copied. Blocks — run from a
+    spawned process. *)
+
 val start : t -> unit
 (** Start the periodic heartbeat prober; {!handle_failure} fires after
     [miss_limit] consecutive misses. *)

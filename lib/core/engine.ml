@@ -22,7 +22,7 @@ open Leed_platform
 
 type cmd = Get of string | Put of string * bytes | Del of string
 
-type outcome = Found of bytes | Missing | Done
+type outcome = Found of bytes | Missing | Done | Failed
 
 (* Token cost of a command = its NVMe access count (§3.3). *)
 let token_cost = function Get _ -> 2 | Put _ -> 3 | Del _ -> 2
@@ -224,14 +224,18 @@ let run_pending t (s : ssd_sched) (pend : pending) =
   let exec_start = Sim.now () in
   let st = pend.part.store in
   let outcome =
-    match pend.cmd with
-    | Get k -> ( match Store.get st k with Some v -> Found v | None -> Missing)
-    | Put (k, v) ->
-        Store.put ?target:pend.target st k v;
-        Done
-    | Del k ->
-        Store.del st k;
-        Done
+    (* A dead SSD (injected brown-out) turns the command into a Failed
+       completion instead of tearing down the scheduler loop. *)
+    try
+      match pend.cmd with
+      | Get k -> ( match Store.get st k with Some v -> Found v | None -> Missing)
+      | Put (k, v) ->
+          Store.put ?target:pend.target st k v;
+          Done
+      | Del k ->
+          Store.del st k;
+          Done
+    with Blockdev.Failed _ -> Failed
   in
   s.executed <- s.executed + 1;
   (* Adapt the token capacity from the measured per-IO *service* latency

@@ -15,7 +15,10 @@
 
 type cmd = Get of string | Put of string * bytes | Del of string
 
-type outcome = Found of bytes | Missing | Done
+type outcome = Found of bytes | Missing | Done | Failed
+(** [Failed] reports a command that hit a dead device (injected SSD
+    brown-out): the store's state for that key is unchanged and the node
+    turns the completion into a NACK. *)
 
 val token_cost : cmd -> int
 (** A command's cost = its NVMe access count (§3.3): GET 2, PUT 3, DEL 2. *)

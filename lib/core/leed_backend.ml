@@ -35,12 +35,22 @@ let counters t =
           nvme_writes := !nvme_writes + s.Blockdev.n_writes)
         (Engine.devices (Node.engine n)))
     (Cluster.nodes t);
-  let nacks, retries =
+  let nacks, retries, backoff_time =
     List.fold_left
-      (fun (n, r) c -> (n + Client.nacks c, r + Client.retries c))
-      (0, 0) (Cluster.clients t)
+      (fun (n, r, b) c -> (n + Client.nacks c, r + Client.retries c, b +. Client.backoff_time c))
+      (0, 0, 0.) (Cluster.clients t)
   in
-  { Backend.nvme_reads = !nvme_reads; nvme_writes = !nvme_writes; nacks; retries }
+  let cs = Control.stats (Cluster.control t) in
+  {
+    Backend.nvme_reads = !nvme_reads;
+    nvme_writes = !nvme_writes;
+    nacks;
+    retries;
+    backoff_time;
+    joins = cs.Control.n_joins;
+    leaves = cs.Control.n_leaves;
+    failures_handled = cs.Control.n_failures_handled;
+  }
 
 let watts t =
   let nnodes = List.length (Cluster.nodes t) in

@@ -206,6 +206,7 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
             in
             match Engine.submit t.engine ~pid:vs.pid cmd with
             | Engine.Done | Engine.Found _ | Engine.Missing -> ()
+            | Engine.Failed -> ok := false
             | exception Engine.Overloaded _ -> ok := false
           in
           let forward () =
@@ -255,6 +256,7 @@ let serve_local_read t vs ~key ~tenant =
   | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
   | Engine.Missing -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
   | Engine.Done -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
+  | Engine.Failed -> Messages.Nack Messages.Not_serving
   | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
 
 let ship_to_tail t ~key ~tenant (te : Ring.entry) =
@@ -309,7 +311,8 @@ let handle_copy_put t ~vn ~key ~value =
         Messages.Ok { tokens = tokens_for t vs }
       else begin
         match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, value)) with
-        | _ -> Messages.Ok { tokens = tokens_for t vs }
+        | Engine.Done | Engine.Found _ | Engine.Missing -> Messages.Ok { tokens = tokens_for t vs }
+        | Engine.Failed -> Messages.Nack Messages.Not_serving
         | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
       end
 
@@ -346,6 +349,27 @@ let recover_network t =
   Rpc.set_up t.rpc
 
 let is_up t = t.up
+
+(* Crash-restart (§3.8.2): the DRAM side of the node — dirty marks, copy
+   fences, forwarding rules — died with the power; the flash side (the
+   circular logs) survived. Replay every partition's key log through
+   [Store.recover] to rebuild the DRAM segment tables, wipe the volatile
+   protocol state, and bring the NIC back up. The control plane then
+   re-admits the node via the §3.8.1 join protocol, which re-copies
+   anything written while it was gone. Blocks for the log-replay I/O time,
+   so callers run it from a spawned process. *)
+let restart t =
+  (* Sorted wipe: reset order is observable only through hash internals,
+     but stay deterministic on principle.  simlint: allow hashtbl-order *)
+  Hashtbl.fold (fun vidx vs acc -> (vidx, vs) :: acc) t.vnodes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, vs) ->
+         Hashtbl.reset vs.dirty;
+         Hashtbl.reset vs.copy_fence;
+         vs.fence_active <- false);
+  t.copy_forwards <- [];
+  Array.iter (fun p -> Store.recover (Engine.store p)) (Engine.partitions t.engine);
+  recover_network t
 
 (* --- COPY source side (§3.8): stream every live pair of [vidx] whose key
    falls in (lo, hi] to the destination vnode. Returns pairs copied. *)

@@ -58,6 +58,14 @@ val crash : t -> unit
 val recover_network : t -> unit
 val is_up : t -> bool
 
+val restart : t -> unit
+(** Crash-restart recovery (§3.8.2): wipe the volatile protocol state
+    (dirty marks, copy fences, forwarding rules), replay every
+    partition's key log through [Store.recover] to rebuild the DRAM
+    segment tables, and bring the NIC back up. Blocks for the log-replay
+    I/O, so run it from a spawned process. The control plane re-admits
+    the node afterwards ({!Control.restart}). *)
+
 (** {1 COPY support (§3.8.1)} *)
 
 val begin_fence : t -> int -> unit

@@ -333,11 +333,11 @@ let put ?target t key value =
      relocation appends. *)
   wait_for_space t klog_target
     (Codec.segment_bytes ~chain_len:8 + t.config.compaction_window);
+  let voff = ref (-1) and koff = ref (-1) in
   Segtbl.with_lock t.segtbl seg (fun () ->
       let e = Segtbl.entry t.segtbl seg in
       (* Overlap the value append with the segment read (the paper's
          latency optimisation: PUT adds only ~10 us over GET). *)
-      let voff = ref (-1) in
       let items = ref [] in
       Sim.fork_join
         [
@@ -353,13 +353,20 @@ let put ?target t key value =
       let existed = List.exists (fun it -> String.equal it.Codec.key key) !items in
       let others = List.filter (fun it -> not (String.equal it.Codec.key key)) !items in
       let items' = item :: others in
-      ignore (write_segment ctx t ~seg ~items:items' ~target:klog_target);
+      koff := write_segment ctx t ~seg ~items:items' ~target:klog_target;
       (match existed with
       | true ->
           (* overwrite of a live or tombstoned item *)
           if List.exists (fun it -> String.equal it.Codec.key key && Codec.is_tombstone it) !items
           then t.objects <- t.objects + 1
       | false -> t.objects <- t.objects + 1));
+  (* Group commit: only acknowledge once the log prefixes holding this
+     write are durable. An entry above a torn hole left by a concurrent
+     writer that dies mid-append would be acknowledged yet unreachable to
+     the recovery scan. Waited for outside the segment lock: the earlier
+     appends complete on the device regardless of lock holders. *)
+  Circular_log.wait_durable vlog_target ~loff:!voff;
+  Circular_log.wait_durable klog_target ~loff:!koff;
   finish ctx t Put t0
 
 (* --- DEL (§3.3): like PUT but only the key log; vlen=0 marks deletion --- *)
@@ -370,6 +377,7 @@ let del t key =
   charge ctx t (Costs.command_setup +. Costs.hash_lookup);
   let seg = Codec.segment_of_key ~nsegments:t.config.nsegments key in
   wait_for_space t t.klog (Codec.segment_bytes ~chain_len:8 + t.config.compaction_window);
+  let koff = ref (-1) in
   Segtbl.with_lock t.segtbl seg (fun () ->
       let e = Segtbl.entry t.segtbl seg in
       if Segtbl.is_materialised e then begin
@@ -386,9 +394,12 @@ let del t key =
                   else it)
                 items
             in
-            ignore (write_segment ctx t ~seg ~items:items' ~target:t.klog);
+            koff := write_segment ctx t ~seg ~items:items' ~target:t.klog;
             if was_live then t.objects <- t.objects - 1
       end);
+  (* Group commit, as in [put]: the tombstone only counts once its log
+     prefix is durable. *)
+  if !koff >= 0 then Circular_log.wait_durable t.klog ~loff:!koff;
   finish ctx t Del t0
 
 (* ------------------------------------------------------------------ *)
@@ -653,6 +664,17 @@ let run_compactor ?(period = 0.005) t =
    append order. --- *)
 
 let recover t =
+  (* Writers that died in the crash left torn holes in the logs; truncate
+     both at the first hole (group commit in [put] guarantees nothing
+     acknowledged lies beyond it). *)
+  Circular_log.truncate_torn t.klog;
+  Circular_log.truncate_torn t.vlog;
+  (* The DRAM segment table died with the node: forget it entirely rather
+     than trust entries that may point past the truncation. The scan below
+     rebuilds every segment that survives on flash. *)
+  for seg = 0 to Segtbl.nsegments t.segtbl - 1 do
+    (Segtbl.entry t.segtbl seg).Segtbl.chain_len <- 0
+  done;
   let loff = ref (Circular_log.head t.klog) in
   let stop = Circular_log.committed_tail t.klog in
   let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in

@@ -1,0 +1,559 @@
+(* Deterministic fault injection (the robustness counterpart of §3.8).
+
+   Three layers:
+
+   - [Schedule]: a declarative list of timed fault events — node crashes,
+     crash-restarts with log-replay recovery, NIC partitions between node
+     sets, per-link loss and latency jitter, SSD degradation and death.
+     Schedules are data: hand-written in tests, or generated from a seed
+     by [Schedule.random] under a safety envelope that keeps node-level
+     faults serialized (so R >= 2 guarantees no acknowledged write ever
+     loses its last replica).
+
+   - [Injector]: arms a schedule against a running [Cluster]. Each event
+     becomes a spawned process that sleeps until its time and drives the
+     per-layer hooks: [Netsim.add_fault] link rules for partitions / loss
+     / jitter, [Blockdev.set_service_factor] / [Blockdev.fail] for disk
+     faults, [Node.crash] + [Cluster.restart_node] for the crash-restart
+     path. Every stochastic choice flows from seeded [Rng] streams, so a
+     schedule replays bit-identically.
+
+   - [Chaos]: a closed-loop harness that preloads a keyspace, runs
+     sequence-numbered writes and validating reads from several front-end
+     clients while an injector plays a schedule, then checks end-of-run
+     invariants: zero acknowledged-write loss, per-replica durability,
+     every chain back at full replication, bounded unavailability. The
+     report digests to a hex string, so two same-seed runs can be diffed
+     for determinism. *)
+
+open Leed_sim
+open Leed_blockdev
+open Leed_netsim
+open Leed_platform
+open Leed_core
+module Rpc = Netsim.Rpc
+
+(* ------------------------------------------------------------------ *)
+
+module Schedule = struct
+  type fault =
+    | Crash of int
+    | Crash_restart of { node : int; downtime : float }
+    | Partition of { a : int list; b : int list; duration : float }
+    | Link_loss of { node : int; prob : float; duration : float }
+    | Link_jitter of { node : int; extra : float; duration : float }
+    | Ssd_degrade of { node : int; ssd : int; factor : float; duration : float }
+    | Ssd_fail of { node : int; ssd : int }
+
+  type event = { at : float; fault : fault }
+
+  type t = event list
+
+  let make events = List.stable_sort (fun a b -> compare a.at b.at) events
+
+  let fault_to_string = function
+    | Crash n -> Printf.sprintf "crash node %d" n
+    | Crash_restart { node; downtime } ->
+        Printf.sprintf "crash-restart node %d (down %.3fs)" node downtime
+    | Partition { a; b; duration } ->
+        Printf.sprintf "partition [%s] | [%s] for %.3fs"
+          (String.concat ";" (List.map string_of_int a))
+          (String.concat ";" (List.map string_of_int b))
+          duration
+    | Link_loss { node; prob; duration } ->
+        Printf.sprintf "link-loss node %d p=%.2f for %.3fs" node prob duration
+    | Link_jitter { node; extra; duration } ->
+        Printf.sprintf "link-jitter node %d +%.0fus for %.3fs" node (Sim.to_us extra) duration
+    | Ssd_degrade { node; ssd; factor; duration } ->
+        Printf.sprintf "ssd-degrade node %d ssd %d x%.1f for %.3fs" node ssd factor duration
+    | Ssd_fail { node; ssd } -> Printf.sprintf "ssd-fail node %d ssd %d" node ssd
+
+  let to_string t =
+    String.concat "\n"
+      (List.map (fun { at; fault } -> Printf.sprintf "  t=%7.3fs  %s" at (fault_to_string fault)) t)
+
+  (* Seeded random schedule under the safety envelope: node-level faults
+     (crash-restarts, the partition) occupy disjoint time slots, each
+     sized so detection, repair, and rejoin complete before the next
+     strikes — one node-level fault in flight at a time is what keeps
+     R >= 2 sufficient for zero acknowledged-write loss. Link loss and
+     SSD degradation are not failures (they only slow or retry traffic),
+     so they may overlap anything. *)
+  let random ~seed ~nnodes ~duration () =
+    if nnodes < 2 then invalid_arg "Schedule.random: need at least 2 nodes";
+    if duration <= 0. then invalid_arg "Schedule.random: duration must be positive";
+    let rng = Rng.create seed in
+    let t0 = 0.15 *. duration and t1 = 0.8 *. duration in
+    let n_restarts = max 2 (int_of_float (duration /. 40.)) in
+    let slots = n_restarts + 1 (* the partition takes the last slot *) in
+    let slot = (t1 -. t0) /. float_of_int slots in
+    let victims = Array.init nnodes (fun i -> i) in
+    Rng.shuffle rng victims;
+    let ev = ref [] in
+    for i = 0 to n_restarts - 1 do
+      let at = t0 +. (float_of_int i *. slot) +. (0.1 *. slot *. Rng.float rng) in
+      let node = victims.(i mod nnodes) in
+      let downtime = 0.05 +. (0.25 *. slot *. Rng.float rng) in
+      ev := { at; fault = Crash_restart { node; downtime } } :: !ev
+    done;
+    let part_at = t0 +. (float_of_int n_restarts *. slot) +. (0.05 *. slot *. Rng.float rng) in
+    let isolated = victims.(n_restarts mod nnodes) in
+    let rest = List.filter (fun n -> n <> isolated) (List.init nnodes Fun.id) in
+    ev :=
+      { at = part_at; fault = Partition { a = [ isolated ]; b = rest; duration = 0.35 *. slot } }
+      :: !ev;
+    (* One degraded SSD across most of the run: slow, never lossy. *)
+    ev :=
+      {
+        at = 0.05 *. duration;
+        fault =
+          Ssd_degrade
+            { node = victims.(1 mod nnodes); ssd = 0; factor = 4.0; duration = 0.8 *. duration };
+      }
+      :: !ev;
+    (* Light background link loss on one node: timeouts and retries, no
+       safety impact (an acknowledged write already cleared the chain). *)
+    ev :=
+      {
+        at = 0.1 *. duration;
+        fault =
+          Link_loss
+            { node = victims.(nnodes - 1); prob = 0.02; duration = 0.3 *. duration };
+      }
+      :: !ev;
+    make !ev
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Injector = struct
+  type t = {
+    cluster : Cluster.t;
+    rng : Rng.t;
+    mutable pending : int; (* fault processes not yet fully healed *)
+    mutable log : (float * string) list; (* newest first *)
+  }
+
+  let find_node t id =
+    (* Cluster.nodes keeps crashed nodes (only graceful removal deletes
+       them), so faults can address a node the control plane expelled. *)
+    match List.find_opt (fun n -> Node.id n = id) (Cluster.nodes t.cluster) with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "Fault.Injector: unknown node %d" id)
+
+  let endpoint_id t id = Netsim.id (Rpc.endpoint (Node.rpc (find_node t id)))
+
+  let note t what = t.log <- (Sim.now (), what) :: t.log
+
+  let is_member t id = List.mem id (Control.node_ids (Cluster.control t.cluster))
+
+  (* Re-admit a node the failure detector expelled while a network fault
+     made it unreachable: its process never died, but its membership (and
+     its arcs) are gone, so it must replay logs and rejoin like any
+     restarting node. A node still in the membership needs nothing. *)
+  let readmit_if_expelled t id =
+    if not (is_member t id) then begin
+      note t (Printf.sprintf "node %d expelled during network fault; rejoining" id);
+      ignore (Cluster.restart_node t.cluster id)
+    end
+
+  let apply t (fault : Schedule.fault) =
+    match fault with
+    | Schedule.Crash id ->
+        note t (Schedule.fault_to_string fault);
+        Node.crash (find_node t id)
+    | Schedule.Crash_restart { node; downtime } ->
+        note t (Schedule.fault_to_string fault);
+        Node.crash (find_node t node);
+        Sim.delay downtime;
+        let copied = Cluster.restart_node t.cluster node in
+        note t (Printf.sprintf "node %d restarted (%d pairs re-copied)" node copied)
+    | Schedule.Partition { a; b; duration } ->
+        note t (Schedule.fault_to_string fault);
+        let ids l = List.map (endpoint_id t) l in
+        let ia = ids a and ib = ids b in
+        let rule src dst =
+          let s = Netsim.id src and d = Netsim.id dst in
+          if (List.mem s ia && List.mem d ib) || (List.mem s ib && List.mem d ia) then
+            Some Netsim.Drop
+          else None
+        in
+        let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
+        Sim.delay duration;
+        Netsim.remove_fault (Cluster.fabric t.cluster) rid;
+        note t "partition healed";
+        List.iter (readmit_if_expelled t) (a @ b)
+    | Schedule.Link_loss { node; prob; duration } ->
+        note t (Schedule.fault_to_string fault);
+        let eid = endpoint_id t node in
+        let r = Rng.split t.rng in
+        let rule src dst =
+          if Netsim.id src = eid || Netsim.id dst = eid then
+            if Rng.float r < prob then Some Netsim.Drop else None
+          else None
+        in
+        let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
+        Sim.delay duration;
+        Netsim.remove_fault (Cluster.fabric t.cluster) rid;
+        readmit_if_expelled t node
+    | Schedule.Link_jitter { node; extra; duration } ->
+        note t (Schedule.fault_to_string fault);
+        let eid = endpoint_id t node in
+        let rule src dst =
+          if Netsim.id src = eid || Netsim.id dst = eid then Some (Netsim.Delay extra) else None
+        in
+        let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
+        Sim.delay duration;
+        Netsim.remove_fault (Cluster.fabric t.cluster) rid
+    | Schedule.Ssd_degrade { node; ssd; factor; duration } ->
+        note t (Schedule.fault_to_string fault);
+        let devs = Engine.devices (Node.engine (find_node t node)) in
+        if ssd < 0 || ssd >= Array.length devs then
+          invalid_arg (Printf.sprintf "Fault.Injector: node %d has no ssd %d" node ssd);
+        Blockdev.set_service_factor devs.(ssd) factor;
+        Sim.delay duration;
+        Blockdev.set_service_factor devs.(ssd) 1.0;
+        note t (Printf.sprintf "ssd-degrade node %d ssd %d healed" node ssd)
+    | Schedule.Ssd_fail { node; ssd } ->
+        note t (Schedule.fault_to_string fault);
+        let n = find_node t node in
+        let devs = Engine.devices (Node.engine n) in
+        if ssd < 0 || ssd >= Array.length devs then
+          invalid_arg (Printf.sprintf "Fault.Injector: node %d has no ssd %d" node ssd);
+        Blockdev.fail devs.(ssd);
+        (* A JBOF that lost a drive of live partitions cannot serve its
+           arcs: escalate to fail-stop so the failure detector expels the
+           node and chains repair from surviving replicas. *)
+        Node.crash n
+
+  let arm ?(rng = Rng.create 4242) cluster (sched : Schedule.t) =
+    let t = { cluster; rng = Rng.split rng; pending = 0; log = [] } in
+    List.iter
+      (fun { Schedule.at; fault } ->
+        t.pending <- t.pending + 1;
+        Sim.spawn (fun () ->
+            Sim.delay at;
+            apply t fault;
+            t.pending <- t.pending - 1))
+      sched;
+    t
+
+  let pending t = t.pending
+
+  let wait_quiesced t =
+    while t.pending > 0 do
+      Sim.delay 0.05
+    done
+
+  let log t = List.rev t.log
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Chaos = struct
+  type config = {
+    seed : int;
+    nnodes : int;
+    r : int;
+    nclients : int;
+    nkeys : int;
+    object_size : int;
+    duration : float;
+    write_ratio : float;
+    heartbeat_period : float;
+    miss_limit : int;
+    outage_bound : float;
+    ssd_capacity : int;
+    schedule : Schedule.t option;
+  }
+
+  let default_config =
+    {
+      seed = 42;
+      nnodes = 4;
+      r = 3;
+      nclients = 4;
+      nkeys = 192;
+      object_size = 256;
+      duration = 6.0;
+      write_ratio = 0.5;
+      heartbeat_period = 0.2;
+      miss_limit = 3;
+      outage_bound = 2.5;
+      ssd_capacity = 192 * 1024 * 1024;
+      schedule = None;
+    }
+
+  type report = {
+    schedule : string;
+    ops : int;
+    reads : int;
+    writes : int;
+    failed_ops : int;
+    null_reads : int;
+    corrupt_reads : int;
+    lost_writes : int;
+    stale_replicas : int;
+    incomplete_chains : int;
+    max_outage : float;
+    live_nodes : int;
+    joins : int;
+    leaves : int;
+    failures_handled : int;
+    msgs_dropped : int;
+    msgs_delayed : int;
+    nacks : int;
+    retries : int;
+    backoff_time : float;
+    nvme_accesses : int;
+    ok : bool;
+    digest : string;
+  }
+
+  (* --- sequence-numbered values: "cNNNNNN.sNNNNNNNNN." + padding --- *)
+
+  let key_of i = Printf.sprintf "chaos-%06d" i
+
+  let encode ~size i seq =
+    let hdr = Printf.sprintf "c%06d.s%09d." i seq in
+    let b = Bytes.make (max size (String.length hdr)) 'x' in
+    Bytes.blit_string hdr 0 b 0 (String.length hdr);
+    b
+
+  let decode b =
+    (* returns (key id, seq) if the payload carries a valid header *)
+    if Bytes.length b < 19 then None
+    else
+      let s = Bytes.sub_string b 0 19 in
+      if s.[0] = 'c' && s.[7] = '.' && s.[8] = 's' && s.[18] = '.' then
+        match (int_of_string_opt (String.sub s 1 6), int_of_string_opt (String.sub s 9 9)) with
+        | Some i, Some seq -> Some (i, seq)
+        | _ -> None
+      else None
+
+  let scaled_platform cfg =
+    {
+      Platform.smartnic_jbof with
+      Platform.ssd = Blockdev.with_capacity Blockdev.dct983 cfg.ssd_capacity;
+    }
+
+  let cluster_config cfg =
+    {
+      Cluster.default_config with
+      Cluster.nnodes = cfg.nnodes;
+      r = cfg.r;
+      platform = scaled_platform cfg;
+      heartbeat_period = cfg.heartbeat_period;
+      miss_limit = cfg.miss_limit;
+      (* The client must agree with the cluster on r: a wider client chain
+         would target a phantom replica past the real chain, whose idle
+         partition advertises full tokens and attracts every CRRS read. *)
+      client_config = { Client.default_config with Client.r = cfg.r };
+      engine_config =
+        {
+          Engine.default_config with
+          Engine.store_config =
+            { Store.default_config with Store.nsegments = 2048; compaction_window = 256 * 1024 };
+        };
+    }
+
+  let digest_of_fields fields = Digest.to_hex (Digest.string (String.concat "|" fields))
+
+  let run ?checks (cfg : config) =
+    if cfg.nkeys < cfg.nclients then invalid_arg "Chaos.run: nkeys must be >= nclients";
+    Sim.run ?checks (fun () ->
+        let cluster = Cluster.create ~config:(cluster_config cfg) () in
+        let clients = List.init cfg.nclients (fun _ -> Cluster.client cluster) in
+        let sched =
+          match cfg.schedule with
+          | Some s -> s
+          | None -> Schedule.random ~seed:cfg.seed ~nnodes:cfg.nnodes ~duration:cfg.duration ()
+        in
+        (* Per-key write ledgers. [attempted] is the highest sequence a
+           client ever issued toward the key; [acked] the highest whose
+           put returned. The chain may legitimately hold anything in
+           [acked, attempted] (a failed write can linger at the head),
+           but never below [acked]: that would be acknowledged-write
+           loss. *)
+        let attempted = Array.make cfg.nkeys 0 in
+        let acked = Array.make cfg.nkeys 0 in
+        (* Preload every key at sequence 0 before any fault arms. *)
+        List.iteri
+          (fun i c ->
+            if i = 0 then
+              for k = 0 to cfg.nkeys - 1 do
+                Client.put c (key_of k) (encode ~size:cfg.object_size k 0)
+              done)
+          clients;
+        let ops = ref 0 and reads = ref 0 and writes = ref 0 in
+        let failed = ref 0 and null_reads = ref 0 and corrupt = ref 0 in
+        let last_ok = ref (Sim.now ()) and max_gap = ref 0. in
+        let success () =
+          let now = Sim.now () in
+          let gap = now -. !last_ok in
+          if gap > !max_gap then max_gap := gap;
+          last_ok := now
+        in
+        let inj = Injector.arm ~rng:(Rng.create (cfg.seed lxor 0x5eed)) cluster sched in
+        let stop_at = Sim.now () +. cfg.duration in
+        (* Closed-loop workers. Worker [w] owns keys congruent to w mod
+           nclients, so no two processes ever race a write to the same
+           key — the ledger stays exact without cross-worker ordering
+           assumptions. *)
+        let shard = cfg.nkeys / cfg.nclients in
+        let worker w c () =
+          let wrng = Rng.create (cfg.seed lxor (0x9e3779b9 + w)) in
+          while Sim.now () < stop_at do
+            let k = (w + (cfg.nclients * Rng.int wrng shard)) mod cfg.nkeys in
+            incr ops;
+            if Rng.float wrng < cfg.write_ratio then begin
+              let seq = attempted.(k) + 1 in
+              attempted.(k) <- seq;
+              match Client.put c (key_of k) (encode ~size:cfg.object_size k seq) with
+              | () ->
+                  if seq > acked.(k) then acked.(k) <- seq;
+                  incr writes;
+                  success ()
+              | exception Client.Unavailable _ -> incr failed
+            end
+            else begin
+              match Client.get c (key_of k) with
+              | Some v ->
+                  (match decode v with
+                  | Some (i, s) when i = k && s <= attempted.(k) -> ()
+                  | _ -> incr corrupt);
+                  incr reads;
+                  success ()
+              | None ->
+                  (* The key was preloaded: a miss means the serving
+                     replica lacks it (e.g. mid-repair). Counted, and
+                     the end-of-run sweep decides whether data was truly
+                     lost. *)
+                  incr null_reads;
+                  incr reads
+              | exception Client.Unavailable _ -> incr failed
+            end
+          done
+        in
+        Sim.fork_join (List.mapi worker clients);
+        (* Let the schedule finish healing, then give repairs a grace
+           window to drain before judging end-state invariants. *)
+        Injector.wait_quiesced inj;
+        Sim.delay 1.0;
+        let control = Cluster.control cluster in
+        let live = Control.node_ids control in
+        let full_chain = min cfg.r (List.length live) in
+        let lost = ref 0 and stale = ref 0 and bad_chains = ref 0 in
+        let vc = List.hd clients in
+        for k = 0 to cfg.nkeys - 1 do
+          let key = key_of k in
+          let chain = Ring.chain (Control.ring control) ~r:cfg.r key in
+          let chain_nodes = List.map (fun (e : Ring.entry) -> e.Ring.owner.Ring.node) chain in
+          if
+            List.length chain <> full_chain
+            || List.length (List.sort_uniq compare chain_nodes) <> List.length chain
+          then incr bad_chains;
+          (* Client-level: the acknowledged prefix must be readable. *)
+          (match Client.get vc key with
+          | Some v -> (
+              match decode v with
+              | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
+              | Some _ | None -> incr lost)
+          | None -> incr lost
+          | exception Client.Unavailable _ -> incr lost);
+          (* Per-replica durability, straight through the engines: every
+             chain member must hold the key at >= the acknowledged
+             sequence (a failed write may leave a newer value at the
+             head — legal — but a replica below [acked] missed a repair). *)
+          List.iter
+            (fun (e : Ring.entry) ->
+              let n = Control.node control e.Ring.owner.Ring.node in
+              match
+                Engine.submit (Node.engine n) ~pid:e.Ring.owner.Ring.vidx (Engine.Get key)
+              with
+              | Engine.Found v -> (
+                  match decode v with
+                  | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
+                  | _ -> incr stale)
+              | Engine.Missing | Engine.Done | Engine.Failed -> incr stale
+              | exception Engine.Overloaded _ -> ())
+            chain
+        done;
+        let counters = Leed_backend.counters cluster in
+        let fstats = Netsim.fabric_stats (Cluster.fabric cluster) in
+        let outage_ok = cfg.outage_bound <= 0. || !max_gap <= cfg.outage_bound in
+        let ok =
+          !lost = 0 && !stale = 0 && !bad_chains = 0 && !corrupt = 0 && outage_ok
+        in
+        let digest =
+          digest_of_fields
+            [
+              string_of_int cfg.seed;
+              string_of_int !ops;
+              string_of_int !reads;
+              string_of_int !writes;
+              string_of_int !failed;
+              string_of_int !null_reads;
+              string_of_int !corrupt;
+              string_of_int !lost;
+              string_of_int !stale;
+              string_of_int !bad_chains;
+              Printf.sprintf "%h" !max_gap;
+              string_of_int (List.length live);
+              string_of_int counters.Backend.joins;
+              string_of_int counters.Backend.leaves;
+              string_of_int counters.Backend.failures_handled;
+              string_of_int fstats.Netsim.dropped;
+              string_of_int fstats.Netsim.delayed;
+              string_of_int counters.Backend.nacks;
+              string_of_int counters.Backend.retries;
+              Printf.sprintf "%h" counters.Backend.backoff_time;
+              string_of_int (Backend.nvme_accesses counters);
+            ]
+        in
+        {
+          schedule = Schedule.to_string sched;
+          ops = !ops;
+          reads = !reads;
+          writes = !writes;
+          failed_ops = !failed;
+          null_reads = !null_reads;
+          corrupt_reads = !corrupt;
+          lost_writes = !lost;
+          stale_replicas = !stale;
+          incomplete_chains = !bad_chains;
+          max_outage = !max_gap;
+          live_nodes = List.length live;
+          joins = counters.Backend.joins;
+          leaves = counters.Backend.leaves;
+          failures_handled = counters.Backend.failures_handled;
+          msgs_dropped = fstats.Netsim.dropped;
+          msgs_delayed = fstats.Netsim.delayed;
+          nacks = counters.Backend.nacks;
+          retries = counters.Backend.retries;
+          backoff_time = counters.Backend.backoff_time;
+          nvme_accesses = Backend.nvme_accesses counters;
+          ok;
+          digest;
+        })
+
+  let pp_report fmt (r : report) =
+    Format.fprintf fmt
+      "@[<v>schedule:@,%s@,\
+       ops        %8d  (reads %d, writes %d, failed %d)@,\
+       reads      null %d, corrupt %d@,\
+       writes     lost %d (acked-write loss)@,\
+       replicas   stale %d, incomplete chains %d@,\
+       outage     max %.3fs@,\
+       membership live %d nodes; joins %d, leaves %d, failures handled %d@,\
+       network    dropped %d, delayed %d@,\
+       clients    nacks %d, retries %d, backoff %.3fs@,\
+       nvme       %d accesses@,\
+       digest     %s@,\
+       verdict    %s@]"
+      r.schedule r.ops r.reads r.writes r.failed_ops r.null_reads r.corrupt_reads r.lost_writes
+      r.stale_replicas r.incomplete_chains r.max_outage r.live_nodes r.joins r.leaves
+      r.failures_handled r.msgs_dropped r.msgs_delayed r.nacks r.retries r.backoff_time
+      r.nvme_accesses r.digest
+      (if r.ok then "OK" else "INVARIANT VIOLATED")
+end

@@ -1,0 +1,125 @@
+(** Deterministic fault injection and chaos testing (the robustness
+    counterpart of paper §3.8).
+
+    A {!Schedule} is a declarative list of timed fault events; an
+    {!Injector} arms one against a running [Cluster] through the
+    per-layer hooks ([Netsim] link rules, [Blockdev] degradation /
+    death, [Node.crash] + [Cluster.restart_node]); {!Chaos} runs seeded
+    random schedules under load and asserts end-of-run invariants,
+    reporting a digest that is bit-identical across same-seed runs. *)
+
+module Schedule : sig
+  type fault =
+    | Crash of int  (** permanent fail-stop of a node *)
+    | Crash_restart of { node : int; downtime : float }
+        (** fail-stop, then after [downtime] the full recovery path: log
+            replay, segment-table rebuild, rejoin (§3.8) *)
+    | Partition of { a : int list; b : int list; duration : float }
+        (** drop all traffic between node sets [a] and [b], both ways *)
+    | Link_loss of { node : int; prob : float; duration : float }
+        (** drop each message to/from [node] with probability [prob]
+            (deterministic seeded stream) *)
+    | Link_jitter of { node : int; extra : float; duration : float }
+        (** add [extra] seconds of switch latency to/from [node] *)
+    | Ssd_degrade of { node : int; ssd : int; factor : float; duration : float }
+        (** multiply one drive's service times (brown-out / throttle) *)
+    | Ssd_fail of { node : int; ssd : int }
+        (** kill one drive; escalates to node fail-stop, since a JBOF
+            missing a live partition cannot serve its arcs *)
+
+  type event = { at : float; fault : fault }
+
+  type t = event list
+
+  val make : event list -> t
+  (** Sort events by time (stable). *)
+
+  val fault_to_string : fault -> string
+  val to_string : t -> string
+
+  val random : seed:int -> nnodes:int -> duration:float -> unit -> t
+  (** A seeded random schedule under the safety envelope: >= 2
+      crash-restarts and one partition in disjoint time slots (at most
+      one node-level fault in flight, so R >= 2 suffices for zero
+      acknowledged-write loss), plus one long SSD degradation and light
+      link loss, which may overlap anything. *)
+end
+
+module Injector : sig
+  type t
+
+  val arm : ?rng:Leed_sim.Rng.t -> Leed_core.Cluster.t -> Schedule.t -> t
+  (** Spawn one process per event; each sleeps until its time, applies
+      the fault through the layer hooks, and heals it when its duration
+      elapses. Network faults that get a node expelled by the failure
+      detector re-admit it (log replay + rejoin) on heal. [rng] seeds
+      the loss streams. *)
+
+  val pending : t -> int
+  (** Events not yet fully applied and healed. *)
+
+  val wait_quiesced : t -> unit
+  (** Block until every event has healed (polls; call from a process). *)
+
+  val log : t -> (float * string) list
+  (** Timestamped actions taken, oldest first. *)
+end
+
+module Chaos : sig
+  type config = {
+    seed : int;
+    nnodes : int;
+    r : int;
+    nclients : int;
+    nkeys : int;
+    object_size : int;
+    duration : float;       (** load / fault window, simulated seconds *)
+    write_ratio : float;
+    heartbeat_period : float;
+    miss_limit : int;
+    outage_bound : float;   (** max tolerated cluster-wide success gap; <= 0 disables *)
+    ssd_capacity : int;     (** scaled-down drive capacity *)
+    schedule : Schedule.t option;
+        (** [None]: generate [Schedule.random] from [seed] *)
+  }
+
+  val default_config : config
+
+  type report = {
+    schedule : string;
+    ops : int;
+    reads : int;
+    writes : int;
+    failed_ops : int;        (** retry budget exhausted (unavailability) *)
+    null_reads : int;        (** mid-run misses on preloaded keys *)
+    corrupt_reads : int;     (** mid-run payload outside the legal range *)
+    lost_writes : int;       (** acknowledged-write loss — must be 0 *)
+    stale_replicas : int;    (** replicas below the acknowledged sequence *)
+    incomplete_chains : int; (** chains not back at full replication *)
+    max_outage : float;      (** longest cluster-wide gap between successes *)
+    live_nodes : int;
+    joins : int;
+    leaves : int;
+    failures_handled : int;
+    msgs_dropped : int;
+    msgs_delayed : int;
+    nacks : int;
+    retries : int;
+    backoff_time : float;
+    nvme_accesses : int;
+    ok : bool;               (** all invariants held *)
+    digest : string;         (** hex digest — bit-identical across same-seed runs *)
+  }
+
+  val run : ?checks:bool -> config -> report
+  (** Build a scaled cluster inside [Sim.run ?checks], preload the
+      keyspace, run closed-loop sequence-numbered writes and validating
+      reads while the schedule plays, then sweep: client-level reads
+      must return the acknowledged prefix of every key, every chain
+      replica must hold at least the acknowledged sequence, every chain
+      must be back at full replication, and the longest success gap must
+      stay within [outage_bound]. Keys are sharded per worker, so the
+      write ledger is exact. *)
+
+  val pp_report : Format.formatter -> report -> unit
+end

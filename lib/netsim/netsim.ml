@@ -25,14 +25,34 @@ type 'p endpoint = {
 
 and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 'p }
 
+(* Link-level fault verdicts: a fault rule inspects (src, dst) once per
+   message on the send path and may drop the message in flight or add
+   switch latency. Rules are how the fault-injection subsystem models
+   partitions, lossy links, and latency jitter without touching endpoint
+   up/down state (which models whole-NIC failures). *)
+type verdict = Drop | Delay of float
+
 type 'p fabric = {
   base_latency : float;
   mutable next_id : int;
   mutable endpoints : 'p endpoint list;
+  mutable next_rule : int;
+  (* evaluated in insertion order; any Drop wins, Delays accumulate *)
+  mutable rules : (int * ('p endpoint -> 'p endpoint -> verdict option)) list;
+  mutable dropped_msgs : int;
+  mutable delayed_msgs : int;
 }
 
 let fabric ?(base_latency_us = 3.0) () =
-  { base_latency = Sim.us base_latency_us; next_id = 0; endpoints = [] }
+  {
+    base_latency = Sim.us base_latency_us;
+    next_id = 0;
+    endpoints = [];
+    next_rule = 0;
+    rules = [];
+    dropped_msgs = 0;
+    delayed_msgs = 0;
+  }
 
 let endpoint fab ~name ~gbps =
   let id = fab.next_id in
@@ -56,7 +76,37 @@ let endpoint fab ~name ~gbps =
   ep
 
 let name ep = ep.name
+let id ep = ep.id
 let is_up ep = ep.up
+
+(* --- link faults --- *)
+
+let add_fault fab rule =
+  let rid = fab.next_rule in
+  fab.next_rule <- rid + 1;
+  fab.rules <- fab.rules @ [ (rid, rule) ];
+  rid
+
+let remove_fault fab rid = fab.rules <- List.filter (fun (r, _) -> r <> rid) fab.rules
+
+(* Fold every active rule over a message: Drop wins, Delays accumulate. *)
+let judge fab ~src ~dst =
+  if fab.rules = [] then Delay 0.
+  else begin
+    let dropped = ref false and extra = ref 0. in
+    List.iter
+      (fun (_, rule) ->
+        match rule src dst with
+        | Some Drop -> dropped := true
+        | Some (Delay d) -> extra := !extra +. Float.max 0. d
+        | None -> ())
+      fab.rules;
+    if !dropped then Drop else Delay !extra
+  end
+
+type fabric_stats = { dropped : int; delayed : int }
+
+let fabric_stats fab = { dropped = fab.dropped_msgs; delayed = fab.delayed_msgs }
 
 let set_down ep = ep.up <- false
 
@@ -89,12 +139,19 @@ let send fab ~src ~dst ~size payload =
     src.sent_msgs <- src.sent_msgs + 1;
     src.sent_bytes <- src.sent_bytes + size;
     Sim.Resource.with_ src.nic (fun () -> Sim.delay (wire_time size src.gbps));
-    let env = { src; dst; size; payload } in
-    Sim.after fab.base_latency (fun () ->
-        if dst.up then
-          Sim.spawn (fun () ->
-              Sim.Resource.with_ dst.nic (fun () -> Sim.delay (wire_time size dst.gbps));
-              deliver env))
+    (* Fault rules apply after the sender has paid its NIC occupancy: the
+       packet left the NIC and was lost (or delayed) in the fabric, so
+       sender-side timing is identical with and without an armed fault. *)
+    match judge fab ~src ~dst with
+    | Drop -> fab.dropped_msgs <- fab.dropped_msgs + 1
+    | Delay extra ->
+        if extra > 0. then fab.delayed_msgs <- fab.delayed_msgs + 1;
+        let env = { src; dst; size; payload } in
+        Sim.after (fab.base_latency +. extra) (fun () ->
+            if dst.up then
+              Sim.spawn (fun () ->
+                  Sim.Resource.with_ dst.nic (fun () -> Sim.delay (wire_time size dst.gbps));
+                  deliver env))
   end
 
 (* Non-blocking variant for callers that must not stall (e.g. replica

@@ -12,9 +12,34 @@ and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 
 
 type 'p fabric
 
+(** Link-level fault verdicts: what a fault rule may do to one message in
+    flight. [Drop] loses it silently; [Delay d] adds [d] seconds of switch
+    latency. *)
+type verdict = Drop | Delay of float
+
 val fabric : ?base_latency_us:float -> unit -> 'p fabric
 val endpoint : 'p fabric -> name:string -> gbps:float -> 'p endpoint
 val name : 'p endpoint -> string
+
+val id : 'p endpoint -> int
+(** Stable fabric-unique id (creation order) — the handle fault rules
+    match endpoints on. *)
+
+val add_fault : 'p fabric -> ('p endpoint -> 'p endpoint -> verdict option) -> int
+(** Install a link fault rule, consulted once per message on the send
+    path after the sender has paid its NIC occupancy ([None] = no
+    opinion). Rules compose: any [Drop] wins, [Delay]s accumulate.
+    Returns a rule id for {!remove_fault}. This is the injection point
+    for partitions, lossy links, and latency jitter; endpoint
+    {!set_down} stays the model for whole-NIC failures. *)
+
+val remove_fault : 'p fabric -> int -> unit
+(** Heal: remove a previously installed rule (unknown ids are ignored). *)
+
+type fabric_stats = { dropped : int; delayed : int }
+
+val fabric_stats : 'p fabric -> fabric_stats
+(** Messages dropped / delayed by fault rules since fabric creation. *)
 
 val is_up : 'p endpoint -> bool
 val set_down : 'p endpoint -> unit
