@@ -83,6 +83,13 @@ let chaos_cmd =
   let fast =
     Arg.(value & flag & info [ "fast" ] ~doc:"Smaller cluster and shorter fault window.")
   in
+  let bit_rot =
+    Arg.(
+      value & flag
+      & info [ "bit-rot" ]
+          ~doc:"Add at-rest bit-flip faults; runs the background scrubber and requires a \
+                checksum-clean cluster after the final heal pass.")
+  in
   let sanitize =
     Arg.(
       value & flag
@@ -90,10 +97,10 @@ let chaos_cmd =
           ~doc:"Arm the runtime invariant sanitizer for the run (otherwise inherited from \
                 LEED_SANITIZE).")
   in
-  let run seed runs fast sanitize =
+  let run seed runs fast bit_rot sanitize =
     let open Leed_fault.Fault in
     let cfg =
-      let base = { Chaos.default_config with Chaos.seed } in
+      let base = { Chaos.default_config with Chaos.seed; bit_rot } in
       if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
       else base
     in
@@ -121,7 +128,64 @@ let chaos_cmd =
           loss) under closed-loop load and check the end-of-run invariants: zero \
           acknowledged-write loss, full replication restored, bounded unavailability, \
           deterministic digest.")
-    Term.(const run $ seed $ runs $ fast $ sanitize)
+    Term.(const run $ seed $ runs $ fast $ bit_rot $ sanitize)
+
+
+let scrub_cmd =
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Bit-rot placement seed.")
+  in
+  let flips =
+    Arg.(value & opt int 48 & info [ "flips" ] ~docv:"N" ~doc:"Bits to flip before scrubbing.")
+  in
+  let run seed flips =
+    let open Leed_sim in
+    let open Leed_core in
+    let open Leed_blockdev in
+    Sim.run (fun () ->
+        let cluster = Cluster.create ~config:{ Cluster.default_config with Cluster.nnodes = 3 } () in
+        let client = Cluster.client cluster in
+        let n = 400 in
+        for i = 0 to n - 1 do
+          Client.put client (Printf.sprintf "scrub-%04d" i) (Bytes.make 256 'v')
+        done;
+        (* Rot one node's drives (resident data only), then heal. *)
+        let rng = Rng.create seed in
+        let victim = List.hd (Cluster.nodes cluster) in
+        let devs = Engine.devices (Node.engine victim) in
+        let flipped = ref 0 in
+        for _ = 1 to max 0 flips do
+          flipped :=
+            !flipped
+            + Blockdev.corrupt_resident devs.(Rng.int rng (Array.length devs)) ~rng ~flips:1
+        done;
+        let before = Scrub.verify_all cluster in
+        let rep = Scrub.run_once cluster in
+        let after = Scrub.verify_all cluster in
+        let stats n = Node.stats n in
+        let sum f = List.fold_left (fun acc n -> acc + f (stats n)) 0 (Cluster.nodes cluster) in
+        Printf.printf
+          "scrub: %d bits flipped on node %d; before heal: %d rotted values, %d rotted segment \
+           frames\n"
+          !flipped (Node.id victim) before.Scrub.bad_values before.Scrub.bad_segments;
+        Printf.printf
+          "scrub: pass walked %d segments, healed %d values by read-repair, escalated %d vnodes \
+           (%d pairs re-copied)\n"
+          (sum (fun s -> s.Node.n_scrubbed_segments))
+          (sum (fun s -> s.Node.n_scrub_repairs))
+          rep.Scrub.escalated_vnodes rep.Scrub.recopied_pairs;
+        Printf.printf "scrub: after heal: %d rotted values, %d rotted segment frames — %s\n"
+          after.Scrub.bad_values after.Scrub.bad_segments
+          (if Scrub.verify_clean after then "clean" else "STILL CORRUPT");
+        if not (Scrub.verify_clean after) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Preload a small LEED cluster, flip random bits in at-rest data, run one background \
+          scrub pass (read-repair from CRRS replicas, COPY escalation for unreadable segment \
+          frames), and verify every replica is checksum-clean afterwards.")
+    Term.(const run $ seed $ flips)
 
 let experiment_cmd =
   let names =
@@ -162,4 +226,4 @@ let experiment_cmd =
 
 let () =
   let info = Cmd.info "leed" ~doc:"LEED: low-power persistent KV store on SmartNIC JBOFs" in
-  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; chaos_cmd; experiment_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; chaos_cmd; scrub_cmd; experiment_cmd ]))

@@ -34,4 +34,11 @@ echo "== chaos smoke (seeded fault schedule, sanitized, determinism diff) =="
 # unrepaired chain, unbounded outage).
 dune exec bin/leed.exe -- chaos --fast --sanitize --seed 42 --runs 2
 
+echo "== bit-rot chaos (scrub + read-repair under faults, determinism diff) =="
+# Adds seeded flash bit rot to the schedule: the run must serve zero
+# corrupt payloads, the background scrubber and CRRS read-repair must
+# heal every flipped replica (post-run verify walk finds no bad CRC),
+# and the two same-seed runs must still be bit-identical.
+dune exec bin/leed.exe -- chaos --fast --sanitize --bit-rot --seed 7 --runs 2
+
 echo "check.sh: all stages passed"

@@ -50,6 +50,7 @@ type t = {
   fabric : (request, response) Rpc.wire Netsim.fabric;
   mutable next_client_id : int;
   mutable client_nacks : int; (* client-observed errors/timeouts *)
+  mutable corrupt_reads : int; (* ops that hit a rotted entry (FErr, not a crash) *)
 }
 
 let name = "fawn"
@@ -62,7 +63,14 @@ let node_handler t (n : node) req =
   match req with
   | FGet { key; _ } -> (
       Platform.Cpu.execute_on n.platform n.cpu ~cycles:6000.;
-      match Fawn_store.get n.store key with v -> FValue v | exception _ -> FErr)
+      match Fawn_store.get n.store key with
+      | v -> FValue v
+      | exception (Fawn_store.Corrupt _ | Invalid_argument _) ->
+          (* A rotted entry fails this one op with an error response; it
+             must never tear down the node's RPC server. *)
+          t.corrupt_reads <- t.corrupt_reads + 1;
+          FErr
+      | exception _ -> FErr)
   | FWrite { key; value; hop; vn = _ } -> (
       Platform.Cpu.execute_on n.platform n.cpu ~cycles:6000.;
       let apply () =
@@ -89,7 +97,10 @@ let node_handler t (n : node) req =
                 in
                 (match resp with Some FOk -> FOk | _ -> FErr)
           end
-      | exception Fawn_store.Index_full -> FErr)
+      | exception Fawn_store.Index_full -> FErr
+      | exception (Fawn_store.Corrupt _ | Invalid_argument _) ->
+          t.corrupt_reads <- t.corrupt_reads + 1;
+          FErr)
 
 let create ?(config = default_config) () =
   let platform = Platform.embedded_node in
@@ -132,6 +143,7 @@ let create ?(config = default_config) () =
       fabric;
       next_client_id = 0;
       client_nacks = 0;
+      corrupt_reads = 0;
     }
   in
   Array.iter (fun n -> Rpc.serve n.rpc ~resp_size:response_size (fun _ ~src:_ req -> node_handler t n req)) nodes;
@@ -211,6 +223,15 @@ let counters t =
     joins = 0;
     leaves = 0;
     failures_handled = 0;
+    (* single-replica stores: corruption nacks the op; no repair path *)
+    corrupt_reads =
+      (t.corrupt_reads
+      + Array.fold_left
+          (fun acc n -> acc + (Fawn_store.counters n.store).Fawn_store.c_corrupt)
+          0 t.nodes);
+    read_repairs = 0;
+    scrubbed_segments = 0;
+    scrub_repairs = 0;
   }
 
 let watts t =

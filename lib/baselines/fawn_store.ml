@@ -56,6 +56,7 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable compactions : int;
+  mutable corrupt : int; (* rotted entries the compactor stalled on *)
 }
 
 let create ?(config = default_config) ~log () =
@@ -71,6 +72,7 @@ let create ?(config = default_config) ~log () =
     reads = 0;
     writes = 0;
     compactions = 0;
+    corrupt = 0;
   }
 
 let objects t = t.objects
@@ -201,14 +203,22 @@ let compact t =
   let head = Circular_log.head t.log in
   let stop = min (Circular_log.committed_tail t.log) (head + t.config.compaction_window) in
   let loff = ref head in
-  while !loff < stop do
-    let key, value, len = read_entry t !loff in
-    (match Hashtbl.find_opt t.index key with
-    | Some o when o = !loff && Bytes.length value > 0 ->
-        let new_off = append_entry t (encode_entry key value) in
-        Hashtbl.replace t.index key new_off
-    | _ -> ());
-    loff := !loff + len
+  let rotted = ref false in
+  while (not !rotted) && !loff < stop do
+    match read_entry t !loff with
+    | exception (Corrupt _ | Invalid_argument _) ->
+        (* A rotted frame: its length field is untrustworthy, so the scan
+           cannot step over it. Stop the round — the head never advances
+           past rot, so the single op fails, not the whole store. *)
+        t.corrupt <- t.corrupt + 1;
+        rotted := true
+    | key, value, len ->
+        (match Hashtbl.find_opt t.index key with
+        | Some o when o = !loff && Bytes.length value > 0 ->
+            let new_off = append_entry t (encode_entry key value) in
+            Hashtbl.replace t.index key new_off
+        | _ -> ());
+        loff := !loff + len
   done;
   flush t;
   let reclaimed = !loff - Circular_log.head t.log in
@@ -232,6 +242,7 @@ let run_compactor ?(period = 0.01) t =
       end;
       true)
 
-type counters = { c_reads : int; c_writes : int; c_compactions : int }
+type counters = { c_reads : int; c_writes : int; c_compactions : int; c_corrupt : int }
 
-let counters t = { c_reads = t.reads; c_writes = t.writes; c_compactions = t.compactions }
+let counters t =
+  { c_reads = t.reads; c_writes = t.writes; c_compactions = t.compactions; c_corrupt = t.corrupt }

@@ -52,6 +52,11 @@ val run_flusher : ?period:float -> t -> unit
 val compact : t -> int
 val run_compactor : ?period:float -> t -> unit
 
-type counters = { c_reads : int; c_writes : int; c_compactions : int }
+type counters = {
+  c_reads : int;
+  c_writes : int;
+  c_compactions : int;
+  c_corrupt : int;  (** rotted entries the compactor stalled on *)
+}
 
 val counters : t -> counters

@@ -55,7 +55,14 @@ let name = "kvell"
 
 let node_handler (n : node) req =
   match req with
-  | KGet key -> ( match Kvell_store.get n.store key with v -> KValue v | exception _ -> KErr)
+  | KGet key -> (
+      match Kvell_store.get n.store key with
+      | v -> KValue v
+      | exception Kvell_store.Corrupt _ ->
+          (* a rotted slot fails this one op with an error response; the
+             store counts it *)
+          KErr
+      | exception _ -> KErr)
   | KPut (key, v) -> (
       match Kvell_store.put n.store key v with
       | () -> KOk
@@ -192,6 +199,12 @@ let counters t =
     joins = 0;
     leaves = 0;
     failures_handled = 0;
+    (* single-replica stores: corruption nacks the op; no repair path *)
+    corrupt_reads =
+      Array.fold_left (fun acc n -> acc + Kvell_store.corrupt_reads n.store) 0 t.nodes;
+    read_repairs = 0;
+    scrubbed_segments = 0;
+    scrub_repairs = 0;
   }
 
 let watts t =

@@ -20,6 +20,9 @@ open Leed_blockdev
 exception Dram_full
 (* The in-memory index/page-cache budget is exhausted (Table 3 row 1). *)
 
+exception Corrupt of string
+(* A slot failed validation after an at-rest bit flip. *)
+
 type config = {
   nworkers : int;
   slot_size : int;         (* slab item class *)
@@ -45,7 +48,7 @@ let default_config =
 
 type op = OGet of string | OPut of string * bytes | ODel of string
 
-type outcome = Found of bytes | Missing | Done | Full
+type outcome = Found of bytes | Missing | Done | Full | Corrupted
 
 type pending = { op : op; completion : outcome Sim.Ivar.t }
 
@@ -77,6 +80,7 @@ type t = {
   mutable running : bool;
   mutable batches : int;
   mutable batched_ops : int;
+  mutable corrupt : int; (* slots that failed validation on read *)
 }
 
 (* Workers split the given devices' usable space evenly. *)
@@ -125,6 +129,7 @@ let create ?(config = default_config) ~devs () =
     running = false;
     batches = 0;
     batched_ops = 0;
+    corrupt = 0;
   }
 
 let objects t = t.objects
@@ -160,6 +165,8 @@ let encode_slot key value slot_size =
 let decode_slot buf =
   let klen = Bytes.get_uint8 buf 0 in
   let vlen = Int32.to_int (Bytes.get_int32_le buf 1) in
+  if vlen < 0 || 8 + klen + vlen > Bytes.length buf then
+    raise (Corrupt "kvell: rotted slot header");
   let key = Bytes.sub_string buf 8 klen in
   let value = Bytes.sub buf (8 + klen) vlen in
   (key, value)
@@ -191,10 +198,16 @@ let index_phase t w pend =
       | Some slot -> (
           t.reads <- t.reads + 1;
           match Hashtbl.find_opt w.cache slot with
-          | Some d ->
+          | Some d -> (
               w.cache_hits <- w.cache_hits + 1;
-              let _, v = decode_slot d in
-              Complete (Found v, pend)
+              match decode_slot d with
+              | k, v when String.equal k key -> Complete (Found v, pend)
+              | _ | (exception (Corrupt _ | Invalid_argument _)) ->
+                  (* A rotted slot fails this one op; drop it from the
+                     cache so it is not served again. *)
+                  t.corrupt <- t.corrupt + 1;
+                  Hashtbl.remove w.cache slot;
+                  Complete (Corrupted, pend))
           | None ->
               w.cache_misses <- w.cache_misses + 1;
               Read_slot (slot, pend)))
@@ -229,11 +242,19 @@ let index_phase t w pend =
 let device_phase t w action () =
   match action with
   | Complete (outcome, pend) -> Sim.Ivar.fill pend.completion outcome
-  | Read_slot (slot, pend) ->
+  | Read_slot (slot, pend) -> (
       let d = Blockdev.read w.dev ~off:(w.base + (slot * t.config.slot_size)) ~len:t.config.slot_size in
-      cache_put w slot d;
-      let _, v = decode_slot d in
-      Sim.Ivar.fill pend.completion (Found v)
+      let key = match pend.op with OGet k | OPut (k, _) | ODel k -> k in
+      match decode_slot d with
+      | k, v when String.equal k key ->
+          cache_put w slot d;
+          Sim.Ivar.fill pend.completion (Found v)
+      | _ | (exception (Corrupt _ | Invalid_argument _)) ->
+          (* Complete the single command as Corrupted: the exception must
+             never escape this spawned I/O process (it would leave the
+             submitter blocked on the ivar forever and kill the run). *)
+          t.corrupt <- t.corrupt + 1;
+          Sim.Ivar.fill pend.completion Corrupted)
   | Write_slot (slot, data, pend) ->
       Blockdev.write_rand w.dev ~off:(w.base + (slot * t.config.slot_size)) data;
       cache_put w slot data;
@@ -291,13 +312,16 @@ let get t key =
   | Found v -> Some v
   | Missing | Done -> None
   | Full -> raise Dram_full
+  | Corrupted -> raise (Corrupt "kvell: rotted slot")
 
 let put t key value =
   match submit t (OPut (key, value)) with
   | Full -> raise Dram_full
-  | Found _ | Missing | Done -> ()
+  | Found _ | Missing | Done | Corrupted -> ()
 
 let del t key = ignore (submit t (ODel key))
+
+let corrupt_reads t = t.corrupt
 
 let avg_batch t = if t.batches = 0 then 0. else float_of_int t.batched_ops /. float_of_int t.batches
 

@@ -12,6 +12,10 @@
 exception Dram_full
 (** The DRAM index budget is exhausted (Table 3 row 1). *)
 
+exception Corrupt of string
+(** A slot failed validation after an at-rest bit flip; fails the single
+    op ({!get} raises), never the worker loop. *)
+
 type config = {
   nworkers : int;
   slot_size : int;              (** slab item class *)
@@ -45,6 +49,9 @@ val put : t -> string -> bytes -> unit
 
 val get : t -> string -> bytes option
 val del : t -> string -> unit
+
+val corrupt_reads : t -> int
+(** Slots that failed validation on read. *)
 
 val avg_batch : t -> float
 (** Mean worker batch size over the run. *)

@@ -118,6 +118,13 @@ module Storage = struct
     out
 
   let resident_bytes t = Hashtbl.length t.chunks * chunk_size
+
+  (* Chunk indices holding ever-written data, sorted so callers walking
+     them stay deterministic regardless of hash-table order. *)
+  let resident_chunks t =
+    (* simlint: allow hashtbl-order *)
+    let ids = Hashtbl.fold (fun i _ acc -> i :: acc) t.chunks [] in
+    List.sort compare ids
 end
 
 (* ------------------------------------------------------------------ *)
@@ -127,6 +134,7 @@ type stats = {
   mutable n_writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable bits_flipped : int; (* injected at-rest bit-rot events *)
 }
 
 exception Failed of string
@@ -161,7 +169,7 @@ let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) profile =
     read_units = Sim.Resource.create ~name:(profile.name ^ ".units") ~capacity:profile.read_concurrency ();
     write_pipe = Sim.Resource.create ~name:(profile.name ^ ".pipe") ~capacity:1 ();
     rng = Rng.split rng;
-    stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0 };
+    stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0; bits_flipped = 0 };
     inflight = 0;
     max_queue;
     service_factor = 1.0;
@@ -185,6 +193,37 @@ let is_failed t = t.failed
 
 let check_alive t =
   if t.failed then raise (Failed (t.profile.name ^ ": device failed"))
+
+(* At-rest bit-rot: mutate the backing storage directly, bypassing the
+   command path — rot happens to idle flash, so it charges no simulated
+   time and ignores the failed state. *)
+
+let flip_bit t ~off ~bit =
+  if off < 0 || off >= t.profile.capacity_bytes then
+    invalid_arg (Printf.sprintf "%s: flip_bit out of bounds off=%d" t.profile.name off);
+  let b = Storage.read t.storage ~off ~len:1 in
+  Bytes.set_uint8 b 0 (Bytes.get_uint8 b 0 lxor (1 lsl (bit land 7)));
+  Storage.write t.storage ~off b;
+  t.stats.bits_flipped <- t.stats.bits_flipped + 1
+
+let corrupt_range t ~rng ~off ~len ~flips =
+  if off < 0 || len <= 0 || off + len > t.profile.capacity_bytes then
+    invalid_arg (Printf.sprintf "%s: corrupt_range out of bounds off=%d len=%d" t.profile.name off len);
+  for _ = 1 to flips do
+    flip_bit t ~off:(off + Rng.int rng len) ~bit:(Rng.int rng 8)
+  done
+
+let corrupt_resident t ~rng ~flips =
+  match Storage.resident_chunks t.storage with
+  | [] -> 0
+  | ids ->
+      let ids = Array.of_list ids in
+      for _ = 1 to flips do
+        let ci = ids.(Rng.int rng (Array.length ids)) in
+        let off = (ci lsl Storage.chunk_bits) + Rng.int rng Storage.chunk_size in
+        flip_bit t ~off:(min off (t.profile.capacity_bytes - 1)) ~bit:(Rng.int rng 8)
+      done;
+      flips
 
 (* Outstanding commands, queued or executing: the signal the LEED token
    engine translates into serving capability. *)

@@ -40,6 +40,9 @@ module Storage : sig
   val write : t -> off:int -> bytes -> unit
   val read : t -> off:int -> len:int -> bytes
   val resident_bytes : t -> int
+
+  val resident_chunks : t -> int list
+  (** Sorted chunk indices holding ever-written data. *)
 end
 
 type stats = {
@@ -47,6 +50,7 @@ type stats = {
   mutable n_writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
+  mutable bits_flipped : int;  (** injected at-rest bit-rot events *)
 }
 
 type t
@@ -106,3 +110,20 @@ val repair : t -> unit
 (** Clear the failed state (device replaced / power restored). *)
 
 val is_failed : t -> bool
+
+(** {3 At-rest bit-rot}
+
+    These mutate the backing storage directly, bypassing the command path:
+    rot happens to idle flash, so no simulated time is charged and the
+    failed state is ignored. Counted in [stats.bits_flipped]. *)
+
+val flip_bit : t -> off:int -> bit:int -> unit
+(** Flip bit [bit land 7] of the byte at [off]. *)
+
+val corrupt_range : t -> rng:Leed_sim.Rng.t -> off:int -> len:int -> flips:int -> unit
+(** Flip [flips] seeded-random bits within [off, off+len). *)
+
+val corrupt_resident : t -> rng:Leed_sim.Rng.t -> flips:int -> int
+(** Flip [flips] seeded-random bits across the device's ever-written
+    chunks (walked in sorted order, so same seed ⇒ same rot). Returns the
+    number flipped — 0 if the device holds no data yet. *)

@@ -12,6 +12,10 @@ type counters = {
   joins : int;
   leaves : int;
   failures_handled : int;
+  corrupt_reads : int;
+  read_repairs : int;
+  scrubbed_segments : int;
+  scrub_repairs : int;
 }
 
 let no_counters =
@@ -24,6 +28,10 @@ let no_counters =
     joins = 0;
     leaves = 0;
     failures_handled = 0;
+    corrupt_reads = 0;
+    read_repairs = 0;
+    scrubbed_segments = 0;
+    scrub_repairs = 0;
   }
 
 let nvme_accesses c = c.nvme_reads + c.nvme_writes
@@ -38,6 +46,10 @@ let diff_counters ~after ~before =
     joins = after.joins - before.joins;
     leaves = after.leaves - before.leaves;
     failures_handled = after.failures_handled - before.failures_handled;
+    corrupt_reads = after.corrupt_reads - before.corrupt_reads;
+    read_repairs = after.read_repairs - before.read_repairs;
+    scrubbed_segments = after.scrubbed_segments - before.scrubbed_segments;
+    scrub_repairs = after.scrub_repairs - before.scrub_repairs;
   }
 
 type metrics = {
@@ -56,6 +68,10 @@ type metrics = {
   joins : int;
   leaves : int;
   failures_handled : int;
+  corrupt_reads : int;
+  read_repairs : int;
+  scrubbed_segments : int;
+  scrub_repairs : int;
   watts : float;
   queries_per_joule : float;
 }
@@ -120,6 +136,10 @@ let measure ~label b run =
     joins = delta.joins;
     leaves = delta.leaves;
     failures_handled = delta.failures_handled;
+    corrupt_reads = delta.corrupt_reads;
+    read_repairs = delta.read_repairs;
+    scrubbed_segments = delta.scrubbed_segments;
+    scrub_repairs = delta.scrub_repairs;
     watts = w;
     queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
   }

@@ -26,6 +26,10 @@ type counters = {
   joins : int;             (** membership joins completed (§3.8.1) *)
   leaves : int;            (** graceful leaves / failure expulsions completed *)
   failures_handled : int;  (** failure detections that triggered chain repair *)
+  corrupt_reads : int;     (** checksum failures detected on the read path *)
+  read_repairs : int;      (** corrupt entries healed from a CRRS replica *)
+  scrubbed_segments : int; (** segments walked by the background scrubber *)
+  scrub_repairs : int;     (** rotted values the scrubber healed *)
 }
 
 val no_counters : counters
@@ -53,6 +57,10 @@ type metrics = {
   joins : int;               (** membership events during the window *)
   leaves : int;
   failures_handled : int;
+  corrupt_reads : int;       (** checksum failures detected during the window *)
+  read_repairs : int;
+  scrubbed_segments : int;
+  scrub_repairs : int;
   watts : float;             (** modeled cluster wall power (paper's meters) *)
   queries_per_joule : float; (** throughput / watts — the paper's headline *)
 }

@@ -74,6 +74,10 @@ val read : t -> loff:int -> len:int -> bytes
     Raises [Invalid_argument] if the range was never written or has been
     physically overwritten by the wrap-around. *)
 
+val phys : t -> int -> int
+(** Device offset backing logical offset [loff] — lets fault injection and
+    tests target bit-rot at a specific on-flash entry. *)
+
 val advance_head : t -> int -> unit
 (** Reclaim bytes at the head. Only compaction calls this, after
     relocating every live entry below the new head. *)

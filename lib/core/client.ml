@@ -139,7 +139,9 @@ let issue t (e : Ring.entry) req =
     match req with
     | Messages.Write _ -> 3
     | Messages.Get _ -> 2
-    | Messages.Version_query _ | Messages.Copy_put _ | Messages.Ring_update _ | Messages.Ping _ -> 0
+    | Messages.Version_query _ | Messages.Copy_put _ | Messages.Repair_get _ | Messages.Ring_update _
+    | Messages.Ping _ ->
+        0
   in
   admit t vn cost;
   let v = vstate t vn in

@@ -99,13 +99,18 @@ let check_replica_agreement t key =
             match Engine.submit (Node.engine n) ~pid:e.Ring.owner.Ring.vidx (Engine.Get key) with
             | Engine.Found v -> `Value v
             | Engine.Missing | Engine.Done -> `Missing
-            | Engine.Failed -> `Unknown
+            | Engine.Corrupt -> `Corrupt
+            | Engine.Failed | Engine.Scrubbed _ -> `Unknown
             | exception Engine.Overloaded _ -> `Unknown)
           replicas
       in
       (* A write may have raced the reads; only judge if the key stayed
-         clean across the whole sweep and every replica answered. *)
-      if (not (dirty ())) && not (List.mem `Unknown reads) then
+         clean across the whole sweep and every replica answered. A
+         Corrupt replica is a data fault, not a replication-order bug:
+         it is the scrubber/read-repair's job, so it does not trip the
+         chain invariant here. *)
+      if (not (dirty ())) && (not (List.mem `Unknown reads)) && not (List.mem `Corrupt reads)
+      then
         match reads with
         | [] | [ _ ] -> ()
         | first :: rest ->
@@ -117,6 +122,7 @@ let check_replica_agreement t key =
                     let show = function
                       | `Value v -> Printf.sprintf "%d bytes" (Bytes.length v)
                       | `Missing -> "missing"
+                      | `Corrupt -> "corrupt"
                       | `Unknown -> "unknown"
                     in
                     Printf.sprintf

@@ -7,7 +7,11 @@
    swapping mechanism of §3.6 — with the SSD identifier holding the value.
 
    Value log entries carry enough framing (segment id + key) for the value
-   compactor to decide liveness by consulting the owning bucket. *)
+   compactor to decide liveness by consulting the owning bucket.
+
+   Every on-flash entry — each 512-B bucket and each value entry — carries
+   a CRC-32 over its payload, verified on every decode, so at-rest bit-rot
+   surfaces as [Corrupt] instead of silently parsed garbage. *)
 
 let bucket_size = 512
 let bucket_header_size = 40
@@ -68,6 +72,31 @@ let bucket_bytes_used b =
 
 let bucket_fits b = bucket_bytes_used b <= bucket_size
 
+(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---
+
+   Pure-OCaml and table-driven so checksums are deterministic across
+   platforms and runs — never derived from [Hashtbl.hash], whose value is
+   implementation-defined and unfit for an on-flash format. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
 let set_u8 b off v = Bytes.set_uint8 b off (v land 0xFF)
 let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
 let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
@@ -76,6 +105,15 @@ let get_u8 = Bytes.get_uint8
 let get_u16 = Bytes.get_uint16_le
 let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
 let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+(* The bucket CRC lives in the header at bytes [34,38) (after the log_tail
+   hint; bytes [38,40) stay zero padding) and covers the whole 512-B bucket
+   minus its own field, so both header and items are protected. *)
+let bucket_crc_off = 34
+
+let bucket_crc ?(off = 0) buf =
+  let c = crc32 buf ~pos:off ~len:bucket_crc_off in
+  crc32 ~crc:c buf ~pos:(off + bucket_crc_off + 4) ~len:(bucket_size - bucket_crc_off - 4)
 
 let encode_bucket b =
   if not (bucket_fits b) then
@@ -102,12 +140,16 @@ let encode_bucket b =
       Bytes.blit_string it.key 0 out (!pos + item_fixed_size) klen;
       pos := !pos + item_fixed_size + klen)
     b.items;
+  set_u32 out bucket_crc_off (bucket_crc out);
   out
 
 exception Corrupt of string
 
 let decode_bucket ?(off = 0) buf =
+  if Bytes.length buf < off + bucket_size then raise (Corrupt "truncated bucket");
   if get_u8 buf off <> bucket_magic then raise (Corrupt "bucket magic mismatch");
+  if get_u32 buf (off + bucket_crc_off) <> bucket_crc ~off buf then
+    raise (Corrupt "bucket crc mismatch");
   let chain_len = get_u8 buf (off + 1) in
   let chain_pos = get_u8 buf (off + 2) in
   let nitems = get_u16 buf (off + 4) in
@@ -142,6 +184,21 @@ let decode_segment buf =
   let n = Bytes.length buf / bucket_size in
   List.init n (fun i -> decode_bucket ~off:(i * bucket_size) buf)
 
+(* Salvage decode for write paths and COPY sources: every append is a
+   whole number of 512-B buckets, so a rotted bucket can be skipped at
+   bucket granularity without losing alignment. Returns the buckets that
+   still verify plus the count dropped. *)
+let decode_segment_salvage buf =
+  let n = Bytes.length buf / bucket_size in
+  let dropped = ref 0 in
+  let buckets = ref [] in
+  for i = n - 1 downto 0 do
+    match decode_bucket ~off:(i * bucket_size) buf with
+    | b -> buckets := b :: !buckets
+    | exception Corrupt _ -> incr dropped
+  done;
+  (!buckets, !dropped)
+
 let segment_bytes ~chain_len = chain_len * bucket_size
 
 (* --- value log entries --- *)
@@ -150,6 +207,15 @@ type value_entry = { ve_seg : int; ve_key : string; ve_value : bytes }
 
 let value_entry_size ve = value_header_size + String.length ve.ve_key + Bytes.length ve.ve_value
 
+(* The value-entry CRC occupies the previously reserved header bytes
+   [14,18) (bytes [18,20) stay zero) and covers the whole entry minus its
+   own field: header, key, and payload. *)
+let value_crc_off = 14
+
+let value_crc ~total buf =
+  let c = crc32 buf ~pos:0 ~len:value_crc_off in
+  crc32 ~crc:c buf ~pos:(value_crc_off + 4) ~len:(total - value_crc_off - 4)
+
 let encode_value_entry ve =
   let klen = String.length ve.ve_key and vlen = Bytes.length ve.ve_value in
   let out = Bytes.create (value_header_size + klen + vlen) in
@@ -157,11 +223,11 @@ let encode_value_entry ve =
   set_u8 out 1 klen;
   set_u32 out 2 vlen;
   set_u64 out 6 ve.ve_seg;
-  (* bytes 14..19 reserved *)
   set_u32 out 14 0;
   set_u16 out 18 0;
   Bytes.blit_string ve.ve_key 0 out value_header_size klen;
   Bytes.blit ve.ve_value 0 out (value_header_size + klen) vlen;
+  set_u32 out value_crc_off (value_crc ~total:(Bytes.length out) out);
   out
 
 (* Decode the header given the first [value_header_size] bytes; returns
@@ -175,7 +241,9 @@ let decode_value_header buf =
 
 let decode_value_entry buf =
   let seg_id, klen, vlen = decode_value_header buf in
-  if Bytes.length buf < value_header_size + klen + vlen then raise (Corrupt "truncated value entry");
+  let total = value_header_size + klen + vlen in
+  if Bytes.length buf < total then raise (Corrupt "truncated value entry");
+  if get_u32 buf value_crc_off <> value_crc ~total buf then raise (Corrupt "value crc mismatch");
   let key = Bytes.sub_string buf value_header_size klen in
   let value = Bytes.sub buf (value_header_size + klen) vlen in
   { ve_seg = seg_id; ve_key = key; ve_value = value }

@@ -7,7 +7,11 @@
     sequence of key items; a key item is (key, key length, value length,
     value offset) extended with the SSD id holding the value — the §3.6
     swap metadata. Value-log entries carry framing (segment id + key) so
-    the value compactor can decide liveness from the owning bucket. *)
+    the value compactor can decide liveness from the owning bucket.
+
+    Every on-flash entry (bucket and value entry) carries a CRC-32 over
+    its payload, verified on every decode: at-rest bit-rot surfaces as
+    {!Corrupt} instead of silently parsed garbage. *)
 
 val bucket_size : int
 (** 512 B — "whose size is limited to the SSD block size". *)
@@ -17,6 +21,10 @@ val item_fixed_size : int
 val value_header_size : int
 
 exception Corrupt of string
+
+val crc32 : ?crc:int -> bytes -> pos:int -> len:int -> int
+(** Pure-OCaml CRC-32 (IEEE 802.3, reflected). [?crc] continues a previous
+    checksum so disjoint ranges can be folded into one digest. *)
 
 val hash_key : string -> int
 (** FNV-1a 64 with a SplitMix64 avalanche finalizer (the finalizer is
@@ -53,12 +61,22 @@ val items_capacity : key_size:int -> int
 val bucket_bytes_used : bucket -> int
 val bucket_fits : bucket -> bool
 val encode_bucket : bucket -> bytes
+(** Stamps the bucket CRC-32 into header bytes [34,38). *)
+
 val decode_bucket : ?off:int -> bytes -> bucket
+(** Raises {!Corrupt} on magic or CRC mismatch. *)
 
 val encode_segment : bucket list -> bytes
 (** Renumbers chain_len/chain_pos over the list. *)
 
 val decode_segment : bytes -> bucket list
+
+val decode_segment_salvage : bytes -> bucket list * int
+(** Like {!decode_segment} but skips CRC-bad buckets at 512-B granularity
+    instead of raising; returns (verified buckets, buckets dropped). For
+    write paths that must make progress over a rotted segment so a later
+    repair write can rebuild it. *)
+
 val segment_bytes : chain_len:int -> int
 
 (** {1 Value-log entries} *)
@@ -73,3 +91,5 @@ val decode_value_header : bytes -> int * int * int
     scanner can size the full read. *)
 
 val decode_value_entry : bytes -> value_entry
+(** Raises {!Corrupt} on magic, truncation, or CRC mismatch; the CRC
+    covers header, key, and payload. *)

@@ -146,6 +146,27 @@ let copy_arc_from_any t ~(sources : Ring.entry list) ~(dst : Ring.vnode) ~lo ~hi
   in
   go (List.rev sources)
 
+(* --- scrub escalation (data integrity) --- *)
+
+(* A scrub pass found a segment frame on [vn] too rotted to rebuild entry
+   by entry: its item list is gone, so only an arc re-COPY can restore
+   the range. Re-copy every arc [vn] serves from the other members of
+   each chain (preferring the tail, which always holds committed data);
+   the fence/forward machinery of [copy_arc] keeps this safe under
+   concurrent writes. Returns pairs copied. *)
+let recopy_vnode t (vn : Ring.vnode) =
+  let total = ref 0 in
+  List.iter
+    (fun (e : Ring.entry) ->
+      let chain = Ring.chain_at t.ring ~r:t.r e.Ring.point in
+      if List.exists (fun (m : Ring.entry) -> m.Ring.owner = vn) chain then begin
+        let lo, hi = Ring.arc_of t.ring e in
+        let sources = List.filter (fun (m : Ring.entry) -> m.Ring.owner <> vn) chain in
+        total := !total + copy_arc_from_any t ~sources ~dst:vn ~lo ~hi
+      end)
+    (Ring.entries t.ring);
+  !total
+
 (* --- node join (§3.8.1) --- *)
 
 let join t (n : Node.t) =

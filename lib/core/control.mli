@@ -39,6 +39,12 @@ val register_bootstrap_node : t -> Node.t -> unit
 
 val finish_bootstrap : t -> unit
 
+val recopy_vnode : t -> Ring.vnode -> int
+(** Scrub escalation: a segment frame on the vnode rotted beyond local
+    repair (its item list is gone), so re-copy every arc the vnode
+    serves from the other members of each chain, with the usual COPY
+    fencing. Returns pairs copied. *)
+
 val join : t -> Node.t -> int
 (** Full §3.8.1 join: vnodes enter JOINING, every affected arc's current
     tail COPYs its range over (with write forwarding and fencing), then

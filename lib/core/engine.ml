@@ -20,12 +20,20 @@ open Leed_sim
 open Leed_blockdev
 open Leed_platform
 
-type cmd = Get of string | Put of string * bytes | Del of string
+type cmd = Get of string | Put of string * bytes | Del of string | Scrub of int
 
-type outcome = Found of bytes | Missing | Done | Failed
+type outcome =
+  | Found of bytes
+  | Missing
+  | Done
+  | Failed
+  | Corrupt
+  | Scrubbed of Store.scrub_result
 
-(* Token cost of a command = its NVMe access count (§3.3). *)
-let token_cost = function Get _ -> 2 | Put _ -> 3 | Del _ -> 2
+(* Token cost of a command = its NVMe access count (§3.3). A scrub round
+   reads the segment frame plus its values; 4 tokens prices it as a bulk
+   maintenance read without starving foreground admissions. *)
+let token_cost = function Get _ -> 2 | Put _ -> 3 | Del _ -> 2 | Scrub _ -> 4
 
 type config = {
   partitions_per_ssd : int;
@@ -235,7 +243,13 @@ let run_pending t (s : ssd_sched) (pend : pending) =
       | Del k ->
           Store.del st k;
           Done
-    with Blockdev.Failed _ -> Failed
+      | Scrub seg -> Scrubbed (Store.scrub_segment st seg)
+    with
+    | Blockdev.Failed _ -> Failed
+    (* Rot at rest: the store already counted it; complete the single
+       command as Corrupt so the node can read-repair, never tear down the
+       scheduler loop. *)
+    | Store.Corrupt _ | Codec.Corrupt _ -> Corrupt
   in
   s.executed <- s.executed + 1;
   (* Adapt the token capacity from the measured per-IO *service* latency
@@ -371,7 +385,7 @@ let submit t ~pid cmd =
   let home = p.sched in
   let tokens = token_cost cmd in
   let completion = Sim.Ivar.create () in
-  let is_put = match cmd with Put _ -> true | Get _ | Del _ -> false in
+  let is_put = match cmd with Put _ -> true | Get _ | Del _ | Scrub _ -> false in
   (match (is_put, swap_candidate t home) with
   | true, Some other ->
       (* Redirect the write: foreign queue, foreign logs (§3.6). *)

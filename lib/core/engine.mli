@@ -13,15 +13,27 @@
     segment table references it, nothing toward it is in flight, and no
     reader pins it. *)
 
-type cmd = Get of string | Put of string * bytes | Del of string
+type cmd = Get of string | Put of string * bytes | Del of string | Scrub of int
+(** [Scrub seg] verifies one segment's checksums end-to-end
+    ({!Store.scrub_segment}); scheduled through the same token engine so
+    maintenance reads are priced like any other I/O. *)
 
-type outcome = Found of bytes | Missing | Done | Failed
-(** [Failed] reports a command that hit a dead device (injected SSD
-    brown-out): the store's state for that key is unchanged and the node
-    turns the completion into a NACK. *)
+type outcome =
+  | Found of bytes
+  | Missing
+  | Done
+  | Failed
+      (** the command hit a dead device (injected SSD brown-out): the
+          store's state for that key is unchanged and the node turns the
+          completion into a NACK *)
+  | Corrupt
+      (** the command hit rot at rest (checksum failure after torn-read
+          retries): the node read-repairs from the next CRRS replica *)
+  | Scrubbed of Store.scrub_result  (** completion of a {!cmd.Scrub} *)
 
 val token_cost : cmd -> int
-(** A command's cost = its NVMe access count (§3.3): GET 2, PUT 3, DEL 2. *)
+(** A command's cost = its NVMe access count (§3.3): GET 2, PUT 3, DEL 2,
+    SCRUB 4 (bulk maintenance read). *)
 
 type config = {
   partitions_per_ssd : int;

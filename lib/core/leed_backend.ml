@@ -41,6 +41,20 @@ let counters t =
       (0, 0, 0.) (Cluster.clients t)
   in
   let cs = Control.stats (Cluster.control t) in
+  let corrupt = ref 0 in
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun p -> corrupt := !corrupt + (Store.counters (Engine.store p)).Store.corrupt)
+        (Engine.partitions (Node.engine n)))
+    (Cluster.nodes t);
+  let rr, scrubbed, srep =
+    List.fold_left
+      (fun (rr, sc, sr) n ->
+        let s = Node.stats n in
+        (rr + s.Node.n_read_repairs, sc + s.Node.n_scrubbed_segments, sr + s.Node.n_scrub_repairs))
+      (0, 0, 0) (Cluster.nodes t)
+  in
   {
     Backend.nvme_reads = !nvme_reads;
     nvme_writes = !nvme_writes;
@@ -50,6 +64,10 @@ let counters t =
     joins = cs.Control.n_joins;
     leaves = cs.Control.n_leaves;
     failures_handled = cs.Control.n_failures_handled;
+    corrupt_reads = !corrupt;
+    read_repairs = rr;
+    scrubbed_segments = scrubbed;
+    scrub_repairs = srep;
   }
 
 let watts t =

@@ -22,6 +22,10 @@ type request =
          tail whether the key's latest write has committed *)
   | Copy_put of { vn : Ring.vnode; key : string; value : bytes }
       (* COPY traffic into a JOINING/repairing vnode (§3.8). *)
+  | Repair_get of { vn : Ring.vnode; key : string }
+      (* read-repair fetch after a local checksum failure: the receiver
+         serves strictly from its own store (never repairs recursively, so
+         two rotted replicas cannot ping-pong). *)
   | Ring_update of Ring.snapshot
   | Ping of { node : int }
 
@@ -42,6 +46,7 @@ let request_size = function
       64 + String.length key + (match value with Some v -> Bytes.length v | None -> 0)
   | Version_query { key; _ } -> 48 + String.length key
   | Copy_put { key; value; _ } -> 64 + String.length key + Bytes.length value
+  | Repair_get { key; _ } -> 48 + String.length key
   | Ring_update snap -> 64 + (48 * List.length snap.Ring.snap_entries)
   | Ping _ -> 64
 

@@ -22,6 +22,10 @@ type request =
           tail whether the key's latest write has committed. *)
   | Copy_put of { vn : Ring.vnode; key : string; value : bytes }
       (** COPY traffic into a JOINING/repairing vnode (§3.8). *)
+  | Repair_get of { vn : Ring.vnode; key : string }
+      (** Read-repair fetch after a local checksum failure: the receiver
+          serves strictly from its own store (never repairs recursively,
+          so two rotted replicas cannot ping-pong). *)
   | Ring_update of Ring.snapshot
   | Ping of { node : int }
 

@@ -54,6 +54,10 @@ type t = {
   mutable shipped_reads : int;
   mutable served_reads : int;
   mutable version_queries : int;
+  mutable read_repairs : int;      (* corrupt entries healed from a replica *)
+  mutable repair_failures : int;   (* no replica could supply the value *)
+  mutable scrubbed_segments : int; (* segments verified by the scrubber *)
+  mutable scrub_repairs : int;     (* rotted values the scrubber healed *)
 }
 
 (* Cycles to pull a request out of the RDMA stack and dispatch it. *)
@@ -95,6 +99,10 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
     shipped_reads = 0;
     served_reads = 0;
     version_queries = 0;
+    read_repairs = 0;
+    repair_failures = 0;
+    scrubbed_segments = 0;
+    scrub_repairs = 0;
   }
 
 let id t = t.id
@@ -206,7 +214,7 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
             in
             match Engine.submit t.engine ~pid:vs.pid cmd with
             | Engine.Done | Engine.Found _ | Engine.Missing -> ()
-            | Engine.Failed -> ok := false
+            | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> ok := false
             | exception Engine.Overloaded _ -> ok := false
           in
           let forward () =
@@ -250,12 +258,60 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
             Messages.Nack Messages.Not_serving
           end)
 
+(* --- read-repair (data integrity): a checksum-corrupt local entry is
+   healed transparently from the CRRS chain. The [Repair_get] fetch is
+   served strictly locally by the peer (no recursive repair, so two rotted
+   replicas cannot ping-pong); the chain is tried tail first — the tail
+   always holds committed data. --- *)
+
+let fetch_from_replicas t vs key =
+  let chain = Ring.chain t.ring ~r:t.r key in
+  let others = List.filter (fun (e : Ring.entry) -> e.Ring.owner <> vs.vn) chain in
+  let rec go = function
+    | [] -> None
+    | (e : Ring.entry) :: rest -> (
+        let req = Messages.Repair_get { vn = e.Ring.owner; key } in
+        match
+          Rpc.call_timeout t.rpc
+            ~dst:(t.peer e.Ring.owner.Ring.node)
+            ~size:(Messages.request_size req) ~timeout:0.5 req
+        with
+        | Some (Messages.Value { value = Some v; _ }) -> Some v
+        | Some _ | None -> go rest)
+  in
+  go (List.rev others)
+
+(* Fetch the committed value and rewrite it through the engine: the PUT
+   rebuilds the key's segment with fresh checksums. Returns the healed
+   value even when the local rewrite could not land (dead SSD, overload) —
+   the fetched bytes are verified, so serving them is always safe. *)
+let read_repair t vs ~key =
+  match fetch_from_replicas t vs key with
+  | None ->
+      t.repair_failures <- t.repair_failures + 1;
+      None
+  | Some v ->
+      (match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, v)) with
+      | Engine.Done | Engine.Found _ | Engine.Missing | Engine.Scrubbed _ ->
+          t.read_repairs <- t.read_repairs + 1
+      | Engine.Failed | Engine.Corrupt -> t.repair_failures <- t.repair_failures + 1
+      | exception Engine.Overloaded _ -> t.repair_failures <- t.repair_failures + 1);
+      Some v
+
 let serve_local_read t vs ~key ~tenant =
   t.served_reads <- t.served_reads + 1;
   match Engine.submit t.engine ~pid:vs.pid (Engine.Get key) with
   | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
   | Engine.Missing -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
-  | Engine.Done -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
+  | Engine.Done | Engine.Scrubbed _ -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
+  | Engine.Corrupt -> (
+      (* Never serve (or silently drop) a rotted entry: heal it from the
+         chain and answer with the verified replica value, or NACK. *)
+      match read_repair t vs ~key with
+      | Some v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
+      | None ->
+          t.nacks <- t.nacks + 1;
+          Messages.Nack Messages.Not_serving)
   | Engine.Failed -> Messages.Nack Messages.Not_serving
   | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
 
@@ -312,9 +368,22 @@ let handle_copy_put t ~vn ~key ~value =
       else begin
         match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, value)) with
         | Engine.Done | Engine.Found _ | Engine.Missing -> Messages.Ok { tokens = tokens_for t vs }
-        | Engine.Failed -> Messages.Nack Messages.Not_serving
+        | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> Messages.Nack Messages.Not_serving
         | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
       end
+
+(* Read-repair fetch: serve strictly from the local store. A local
+   checksum failure answers Not_serving — the asker moves on to the next
+   chain member; no recursive repair. *)
+let handle_repair_get t ~vn ~key =
+  match vnode_opt t vn.Ring.vidx with
+  | None -> Messages.Nack Messages.Not_serving
+  | Some vs -> (
+      match Engine.submit t.engine ~pid:vs.pid (Engine.Get key) with
+      | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for t vs }
+      | Engine.Missing | Engine.Done -> Messages.Value { value = None; tokens = tokens_for t vs }
+      | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> Messages.Nack Messages.Not_serving
+      | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded)
 
 let handle_version_query t ~vn ~key =
   match vnode_opt t vn.Ring.vidx with
@@ -329,6 +398,7 @@ let handle t (req : Messages.request) : Messages.response =
       handle_write t ~vn ~key ~value ~hop ~version ~tenant
   | Messages.Version_query { vn; key } -> handle_version_query t ~vn ~key
   | Messages.Copy_put { vn; key; value } -> handle_copy_put t ~vn ~key ~value
+  | Messages.Repair_get { vn; key } -> handle_repair_get t ~vn ~key
   | Messages.Ring_update snap ->
       install_ring t snap;
       Messages.Ok { tokens = 0 }
@@ -404,11 +474,64 @@ let copy_range t ~vidx ~lo ~hi ~(dst : Ring.vnode) =
   if !pending > 0 then Sim.Ivar.read drained;
   !copied
 
+(* --- background scrubbing (data integrity) ---
+
+   One pass walks every materialised segment of every partition through
+   the token engine: a Scrub command is only submitted once the partition
+   shows spare tokens, so scrub reads yield to foreground traffic. Rotted
+   values found are read-repaired key by key; a rotted segment frame
+   cannot be rebuilt locally (its item list is gone), so the owning vnode
+   is returned for escalation to the control plane's COPY path. *)
+
+let scrub_pass t =
+  let escalate = ref [] in
+  (* Sorted walk: scrub order charges device time, so it must not depend
+     on hash-bucket layout.  simlint: allow hashtbl-order *)
+  Hashtbl.fold (fun vidx vs acc -> (vidx, vs) :: acc) t.vnodes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (_, vs) ->
+         let p = Engine.partition t.engine vs.pid in
+         let st = Engine.store p in
+         let bad_frame = ref false in
+         for seg = 0 to Store.nsegments st - 1 do
+           if Segtbl.is_materialised (Segtbl.entry (Store.segtbl st) seg) then begin
+             let cost = Engine.token_cost (Engine.Scrub seg) in
+             while t.up && Engine.available_tokens p < cost do
+               Sim.delay (Sim.us 500.)
+             done;
+             if t.up then
+               match Engine.submit t.engine ~pid:vs.pid (Engine.Scrub seg) with
+               | Engine.Scrubbed (Store.Scrub_clean _) ->
+                   t.scrubbed_segments <- t.scrubbed_segments + 1
+               | Engine.Scrubbed (Store.Scrub_repair keys) ->
+                   t.scrubbed_segments <- t.scrubbed_segments + 1;
+                   List.iter
+                     (fun key ->
+                       match read_repair t vs ~key with
+                       | Some _ -> t.scrub_repairs <- t.scrub_repairs + 1
+                       | None -> ())
+                     keys
+               | Engine.Scrubbed Store.Scrub_bad_segment ->
+                   t.scrubbed_segments <- t.scrubbed_segments + 1;
+                   bad_frame := true
+               | Engine.Found _ | Engine.Missing | Engine.Done | Engine.Failed
+               | Engine.Corrupt ->
+                   ()
+               | exception Engine.Overloaded _ -> ()
+           end
+         done;
+         if !bad_frame then escalate := vs.vn :: !escalate);
+  List.rev !escalate
+
 type stats = {
   n_nacks : int;
   n_shipped_reads : int;
   n_served_reads : int;
   n_version_queries : int;
+  n_read_repairs : int;
+  n_repair_failures : int;
+  n_scrubbed_segments : int;
+  n_scrub_repairs : int;
 }
 
 let stats t =
@@ -417,4 +540,8 @@ let stats t =
     n_shipped_reads = t.shipped_reads;
     n_served_reads = t.served_reads;
     n_version_queries = t.version_queries;
+    n_read_repairs = t.read_repairs;
+    n_repair_failures = t.repair_failures;
+    n_scrubbed_segments = t.scrubbed_segments;
+    n_scrub_repairs = t.scrub_repairs;
   }

@@ -86,11 +86,23 @@ val copy_range : t -> vidx:int -> lo:int -> hi:int -> dst:Ring.vnode -> int
     as a pipelined bulk transfer (COPY competes with foreground traffic —
     the Figure 9 dips). Returns pairs copied. *)
 
+val scrub_pass : t -> Ring.vnode list
+(** One background-scrub pass (data integrity): walk every materialised
+    segment of every partition through the token engine, submitting Scrub
+    commands only when the partition shows spare tokens (maintenance I/O
+    yields to foreground traffic). Rotted values are read-repaired from
+    the CRRS chain; returns the vnodes owning segment frames too rotted to
+    rebuild locally, for escalation to the control plane's COPY path. *)
+
 type stats = {
   n_nacks : int;
   n_shipped_reads : int;
   n_served_reads : int;
   n_version_queries : int;
+  n_read_repairs : int;      (** corrupt entries healed from a replica *)
+  n_repair_failures : int;   (** repairs no replica could supply *)
+  n_scrubbed_segments : int;
+  n_scrub_repairs : int;     (** rotted values the scrubber healed *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,34 @@
+(** Cluster-level scrub orchestration (data integrity).
+
+    Per-node scrubbing ({!Node.scrub_pass}) heals rotted values by
+    read-repair from the CRRS chain; segment frames too rotted to read
+    escalate here to the control plane's COPY path, which re-streams the
+    affected arcs from surviving chain members. *)
+
+type report = {
+  escalated_vnodes : int;  (** vnodes whose rot needed an arc re-COPY *)
+  recopied_pairs : int;    (** pairs streamed by those re-COPYs *)
+}
+
+val run_once : Cluster.t -> report
+(** One full pass: every up node scrubs all its segments, then each
+    vnode left with an unreadable segment frame is rebuilt from its
+    chain peers via {!Control.recopy_vnode}. Blocks for the scrub and
+    COPY I/O — run from a spawned process. *)
+
+type verify = {
+  values_checked : int;  (** live values whose checksums verified *)
+  bad_values : int;      (** value entries failing their CRC *)
+  bad_segments : int;    (** segment frames failing their CRC *)
+}
+
+val verify_clean : verify -> bool
+
+val verify_all : Cluster.t -> verify
+(** Ground truth: a direct checksum walk of every materialised segment
+    on every up node, bypassing the token engine. The chaos harness
+    runs this after its final heal pass to prove no rot survives. *)
+
+val spawn : ?period:float -> stop:(unit -> bool) -> Cluster.t -> unit
+(** Background scrubber: repeat {!run_once} every [period] sim-seconds
+    until [stop ()] turns true. *)

@@ -86,7 +86,14 @@ type t = {
   prefetch_cache : (int, bytes) Hashtbl.t; (* klog loff -> segment bytes *)
   mutable swapped_puts : int;
   mutable merged_back : int;
+  mutable corrupt_reads : int;      (* CRC/decode failures surfaced to callers *)
+  mutable salvaged_segments : int;  (* write-path reads that dropped rotted buckets *)
 }
+
+exception Corrupt of string
+(* A read exhausted its torn-read retries on a checksum failure: the entry
+   is rotted at rest, not torn in flight. Surfaced (never swallowed) so the
+   node above can read-repair from the next CRRS replica. *)
 
 let create ?(config = default_config) ~name ~klog ~vlog () =
   let home_dev = Circular_log.dev_id klog in
@@ -111,6 +118,8 @@ let create ?(config = default_config) ~name ~klog ~vlog () =
     prefetch_cache = Hashtbl.create 64;
     swapped_puts = 0;
     merged_back = 0;
+    corrupt_reads = 0;
+    salvaged_segments = 0;
   }
 
 let set_resolver t f = t.resolve <- f
@@ -181,7 +190,12 @@ let check_segment_chain t ~(e : Segtbl.entry) (buckets : Codec.bucket list) =
    marks lockless readers (GET), whose snapshot may legitimately be torn by
    a concurrent compaction — they detect and retry, so the chain-order
    sanitizer only runs for readers holding the segment lock. *)
-let read_segment ?(torn_ok = false) ctx t (e : Segtbl.entry) =
+(* [salvage] marks write-path readers (PUT/DEL/compaction/COPY source) that
+   must make progress over a rotted segment: CRC-bad buckets are dropped at
+   512-B granularity instead of raising, so the rewrite that follows
+   rebuilds the segment clean. GET keeps the strict decode — a corrupt
+   bucket there must surface as [Corrupt] and trigger read-repair. *)
+let read_segment ?(torn_ok = false) ?(salvage = false) ctx t (e : Segtbl.entry) =
   let log = log_for t e.Segtbl.dev in
   let len = Codec.segment_bytes ~chain_len:e.Segtbl.chain_len in
   let buf =
@@ -191,8 +205,11 @@ let read_segment ?(torn_ok = false) ctx t (e : Segtbl.entry) =
         Circular_log.with_pin log (fun () ->
             timed_ssd ctx (fun () -> Circular_log.read log ~loff:e.Segtbl.off ~len))
   in
-  let buckets = Codec.decode_segment buf in
-  if (not torn_ok) && Invariant.active () then check_segment_chain t ~e buckets;
+  let buckets, dropped =
+    if salvage then Codec.decode_segment_salvage buf else (Codec.decode_segment buf, 0)
+  in
+  if dropped > 0 then t.salvaged_segments <- t.salvaged_segments + 1;
+  if (not torn_ok) && dropped = 0 && Invariant.active () then check_segment_chain t ~e buckets;
   let items = List.concat_map (fun b -> b.Codec.items) buckets in
   charge ctx t (Costs.decode_per_item *. float_of_int (List.length items));
   items
@@ -266,7 +283,7 @@ let get t key =
      and retried through the segment table. *)
   let rec attempt tries =
     let e = Segtbl.entry t.segtbl seg in
-    if not (Segtbl.is_materialised e) then None
+    if not (Segtbl.is_materialised e) then `Ok None
     else
       match
         let items = read_segment ~torn_ok:true ctx t e in
@@ -285,14 +302,23 @@ let get t key =
             if not (String.equal ve.Codec.ve_key key) then raise (Codec.Corrupt "key mismatch");
             Some ve.Codec.ve_value
       with
-      | result -> result
+      | result -> `Ok result
       | exception (Codec.Corrupt _ | Invalid_argument _) when tries < 4 ->
           Sim.yield ();
           attempt (tries + 1)
+      (* Retries exhausted: not a torn in-flight read but rot at rest.
+         Count it and surface [Corrupt] — never silently escape. *)
+      | exception Codec.Corrupt msg -> `Corrupt msg
+      | exception Invalid_argument msg -> `Corrupt msg
   in
-  let result = attempt 0 in
-  finish ctx t Get t0;
-  result
+  match attempt 0 with
+  | `Ok result ->
+      finish ctx t Get t0;
+      result
+  | `Corrupt msg ->
+      t.corrupt_reads <- t.corrupt_reads + 1;
+      finish ctx t Get t0;
+      raise (Corrupt msg)
 
 (* Backpressure when a log is out of space: PUTs "are served slowly if the
    new log entry generation speed cannot catch up" (§3.3.1) — the caller
@@ -344,7 +370,7 @@ let put ?target t key value =
           (fun () ->
             let ve = { Codec.ve_seg = seg; ve_key = key; ve_value = value } in
             voff := timed_ssd ctx (fun () -> Circular_log.append vlog_target (Codec.encode_value_entry ve)));
-          (fun () -> if Segtbl.is_materialised e then items := read_segment ctx t e);
+          (fun () -> if Segtbl.is_materialised e then items := read_segment ~salvage:true ctx t e);
         ];
       charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length !items));
       let item =
@@ -381,7 +407,7 @@ let del t key =
   Segtbl.with_lock t.segtbl seg (fun () ->
       let e = Segtbl.entry t.segtbl seg in
       if Segtbl.is_materialised e then begin
-        let items = read_segment ctx t e in
+        let items = read_segment ~salvage:true ctx t e in
         charge ctx t (Costs.bucket_search_per_item *. float_of_int (List.length items));
         match List.find_opt (fun it -> String.equal it.Codec.key key) items with
         | None -> ()
@@ -419,13 +445,20 @@ let scan_key_window ctx t ~window =
     let rec parse pos acc =
       if pos + Codec.bucket_size > len then List.rev acc
       else begin
-        let b = Codec.decode_bucket ~off:pos buf in
-        let seg_len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
-        if pos + seg_len > len then List.rev acc (* frame extends past the window *)
-        else begin
-          Hashtbl.replace t.prefetch_cache (head + pos) (Bytes.sub buf pos seg_len);
-          parse (pos + seg_len) ((head + pos, b.Codec.seg_id, b.Codec.chain_len) :: acc)
-        end
+        match Codec.decode_bucket ~off:pos buf with
+        | exception Codec.Corrupt _ ->
+            (* A rotted frame header: its chain_len is untrustworthy, so the
+               scan cannot size a skip. Stop the window here — the head will
+               not advance past the rot until a repair rewrites it. *)
+            t.corrupt_reads <- t.corrupt_reads + 1;
+            List.rev acc
+        | b ->
+            let seg_len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
+            if pos + seg_len > len then List.rev acc (* frame extends past the window *)
+            else begin
+              Hashtbl.replace t.prefetch_cache (head + pos) (Bytes.sub buf pos seg_len);
+              parse (pos + seg_len) ((head + pos, b.Codec.seg_id, b.Codec.chain_len) :: acc)
+            end
       end
     in
     parse 0 []
@@ -454,7 +487,7 @@ let compact_key_log ?(subcompactions = 0) t =
           let e = Segtbl.entry t.segtbl seg in
           if e.Segtbl.dev = t.home_dev && e.Segtbl.off = loff then begin
             let sub = { ssd = 0.; cpu = 0.; accesses = 0 } in
-            let items = read_segment sub t e in
+            let items = read_segment ~salvage:true sub t e in
             let live = List.filter (fun it -> not (Codec.is_tombstone it)) items in
             (if live <> [] then
                try ignore (write_segment sub t ~seg ~items:live ~target:t.klog)
@@ -535,10 +568,16 @@ let compact_value_log ?(subcompactions = 0) t =
       let rec parse pos acc =
         if pos + Codec.value_header_size > len then List.rev acc
         else begin
-          let seg, klen, vlen = Codec.decode_value_header (Bytes.sub buf pos Codec.value_header_size) in
-          let entry_len = Codec.value_header_size + klen + vlen in
-          if pos + entry_len > len then List.rev acc
-          else parse (pos + entry_len) ((head + pos, seg, entry_len) :: acc)
+          match Codec.decode_value_header (Bytes.sub buf pos Codec.value_header_size) with
+          | exception Codec.Corrupt _ ->
+              (* Rotted entry framing: length fields untrustworthy, stop the
+                 window at the rot (same rule as the key-log scan). *)
+              t.corrupt_reads <- t.corrupt_reads + 1;
+              List.rev acc
+          | seg, klen, vlen ->
+              let entry_len = Codec.value_header_size + klen + vlen in
+              if pos + entry_len > len then List.rev acc
+              else parse (pos + entry_len) ((head + pos, seg, entry_len) :: acc)
         end
       in
       (parse 0 [], buf)
@@ -564,7 +603,7 @@ let compact_value_log ?(subcompactions = 0) t =
         let e = Segtbl.entry t.segtbl seg in
         if Segtbl.is_materialised e then begin
           let sub = { ssd = 0.; cpu = 0.; accesses = 0 } in
-          let items = read_segment sub t e in
+          let items = read_segment ~salvage:true sub t e in
           let changed = ref false in
           let items' =
             List.map
@@ -612,7 +651,7 @@ let merge_swapped_back t =
           let e = Segtbl.entry t.segtbl seg in
           if e.Segtbl.dev <> t.home_dev && Segtbl.is_materialised e then begin
             let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
-            let items = read_segment ctx t e in
+            let items = read_segment ~salvage:true ctx t e in
             (* write_segment pulls the foreign values home as it goes. *)
             ignore (write_segment ctx t ~seg ~items ~target:t.klog);
             t.merged_back <- t.merged_back + 1
@@ -680,14 +719,22 @@ let recover t =
   let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
   let objects = ref 0 in
   let seen = Hashtbl.create 1024 in
-  while !loff < stop do
-    let hdr = timed_ssd ctx (fun () -> Circular_log.read t.klog ~loff:!loff ~len:Codec.bucket_size) in
-    let b = Codec.decode_bucket hdr in
-    let len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
-    Segtbl.update t.segtbl ~seg:b.Codec.seg_id ~dev:t.home_dev ~off:!loff ~chain_len:b.Codec.chain_len;
-    Hashtbl.replace seen b.Codec.seg_id !loff;
-    loff := !loff + len
-  done;
+  (* The scan walks frame headers in append order; a CRC-bad header means
+     the rot ate the only record of the frame's length, so the scan stops
+     there — exactly like the torn-tail rule, everything beyond it is
+     unreachable and the truncated entries re-enter via COPY repair. *)
+  (try
+     while !loff < stop do
+       let hdr =
+         timed_ssd ctx (fun () -> Circular_log.read t.klog ~loff:!loff ~len:Codec.bucket_size)
+       in
+       let b = Codec.decode_bucket hdr in
+       let len = Codec.segment_bytes ~chain_len:b.Codec.chain_len in
+       Segtbl.update t.segtbl ~seg:b.Codec.seg_id ~dev:t.home_dev ~off:!loff ~chain_len:b.Codec.chain_len;
+       Hashtbl.replace seen b.Codec.seg_id !loff;
+       loff := !loff + len
+     done
+   with Codec.Corrupt _ | Invalid_argument _ -> t.corrupt_reads <- t.corrupt_reads + 1);
   (* Count live objects from the final segment copies, in sorted segment
      order: each read charges simulated device time, so the scan order
      must not depend on hash-bucket layout. *)
@@ -697,7 +744,7 @@ let recover t =
     (fun seg ->
       let e = Segtbl.entry t.segtbl seg in
       if Segtbl.is_materialised e then begin
-        let items = read_segment ctx t e in
+        let items = read_segment ~salvage:true ctx t e in
         List.iter (fun it -> if not (Codec.is_tombstone it) then incr objects) items
       end)
     segs;
@@ -718,7 +765,7 @@ let fold_live ?(parallel = 8) t ~init ~f =
         let e = Segtbl.entry t.segtbl seg in
         if Segtbl.is_materialised e then begin
           let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
-          let items = read_segment ctx t e in
+          let items = read_segment ~salvage:true ctx t e in
           let live = List.filter (fun it -> not (Codec.is_tombstone it)) items in
           let fetched =
             List.map
@@ -735,10 +782,16 @@ let fold_live ?(parallel = 8) t ~init ~f =
                    Circular_log.with_pin vlog (fun () ->
                        timed_ssd ctx (fun () -> Circular_log.read vlog ~loff:it.Codec.voff ~len)))
                fetched);
+          (* Never stream a rotted value to a COPY destination: a corrupt
+             entry is skipped (counted) and left for scrub/read-repair. *)
           collected :=
-            List.map
+            List.filter_map
               (fun ((it : Codec.item), _, _, slot) ->
-                (it.Codec.key, (Codec.decode_value_entry !slot).Codec.ve_value))
+                match Codec.decode_value_entry !slot with
+                | ve -> Some (it.Codec.key, ve.Codec.ve_value)
+                | exception Codec.Corrupt _ ->
+                    t.corrupt_reads <- t.corrupt_reads + 1;
+                    None)
               fetched
         end)
   in
@@ -752,6 +805,62 @@ let fold_live ?(parallel = 8) t ~init ~f =
   done;
   !acc
 
+(* --- scrubbing: verify one segment and its values end-to-end --- *)
+
+type scrub_result =
+  | Scrub_clean of int          (* items whose checksums all verified *)
+  | Scrub_repair of string list (* keys whose value entries are rotted *)
+  | Scrub_bad_segment           (* the segment frame itself is rotted *)
+
+(* Walk one segment under its lock: strict-decode the frame, then verify
+   every live value entry's CRC. Rotted values are repairable key by key
+   (read-repair from a CRRS replica); a rotted frame is not — its item
+   list is gone, so only an arc re-COPY can rebuild it. Device time is
+   charged normally, which is what lets the engine price scrub reads in
+   tokens. *)
+let scrub_segment t seg =
+  if seg < 0 || seg >= Segtbl.nsegments t.segtbl then invalid_arg "Store.scrub_segment";
+  let ctx = { ssd = 0.; cpu = 0.; accesses = 0 } in
+  Segtbl.with_lock t.segtbl seg (fun () ->
+      let e = Segtbl.entry t.segtbl seg in
+      if not (Segtbl.is_materialised e) then Scrub_clean 0
+      else
+        match read_segment ctx t e with
+        | exception (Codec.Corrupt _ | Invalid_argument _) ->
+            t.corrupt_reads <- t.corrupt_reads + 1;
+            Scrub_bad_segment
+        | items ->
+            let live = List.filter (fun it -> not (Codec.is_tombstone it)) items in
+            charge ctx t (Costs.decode_per_item *. float_of_int (List.length live));
+            let bad =
+              List.filter_map
+                (fun (it : Codec.item) ->
+                  let vlog =
+                    if it.Codec.vdev = t.home_dev then t.vlog else t.resolve it.Codec.vdev
+                  in
+                  let len = Codec.value_header_size + String.length it.Codec.key + it.Codec.vlen in
+                  match
+                    Circular_log.with_pin vlog (fun () ->
+                        timed_ssd ctx (fun () -> Circular_log.read vlog ~loff:it.Codec.voff ~len))
+                  with
+                  | exception Invalid_argument _ ->
+                      t.corrupt_reads <- t.corrupt_reads + 1;
+                      Some it.Codec.key
+                  | buf -> (
+                      match Codec.decode_value_entry buf with
+                      | ve when String.equal ve.Codec.ve_key it.Codec.key -> None
+                      | _ ->
+                          t.corrupt_reads <- t.corrupt_reads + 1;
+                          Some it.Codec.key
+                      | exception Codec.Corrupt _ ->
+                          t.corrupt_reads <- t.corrupt_reads + 1;
+                          Some it.Codec.key))
+                live
+            in
+            if bad = [] then Scrub_clean (List.length live) else Scrub_repair bad)
+
+let nsegments t = Segtbl.nsegments t.segtbl
+
 type counters = {
   gets : int;
   puts : int;
@@ -759,6 +868,8 @@ type counters = {
   compaction_runs : int;
   swapped : int;
   merged : int;
+  corrupt : int;
+  salvaged : int;
 }
 
 let counters t =
@@ -769,4 +880,6 @@ let counters t =
     compaction_runs = t.compactions;
     swapped = t.swapped_puts;
     merged = t.merged_back;
+    corrupt = t.corrupt_reads;
+    salvaged = t.salvaged_segments;
   }

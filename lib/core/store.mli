@@ -66,10 +66,17 @@ val index_bytes_per_object : t -> float
 
 (** {1 Commands (§3.3)} *)
 
+exception Corrupt of string
+(** A read exhausted its torn-read retries on a checksum failure: the
+    entry is rotted at rest, not torn in flight. Raised by {!get} (and
+    counted) so the node above can read-repair from the next CRRS
+    replica — never silently swallowed. *)
+
 val get : t -> string -> bytes option
 (** Two NVMe accesses. Lock-free: a concurrent compaction may relocate
     what the GET's snapshot points at; stale entries remain readable until
-    the log wraps over them and the rare torn read is retried internally. *)
+    the log wraps over them and the rare torn read is retried internally.
+    Raises {!Corrupt} when retries exhaust on a CRC failure. *)
 
 val put : ?target:Circular_log.t * Circular_log.t -> t -> string -> bytes -> unit
 (** Three NVMe accesses, value append overlapped with the segment read.
@@ -108,20 +115,43 @@ val run_compactor : ?period:float -> t -> unit
 
 val recover : t -> unit
 (** Rebuild the DRAM segment table by scanning the key log in append
-    order (newest copy of each segment wins) and recount live objects. *)
+    order (newest copy of each segment wins) and recount live objects.
+    The scan stops at the first CRC-bad frame header — like the torn-tail
+    rule, everything beyond it is unreachable and re-enters via COPY. *)
 
 val fold_live : ?parallel:int -> t -> init:'a -> f:('a -> string -> bytes -> 'a) -> 'a
 (** Visit every live (key, value) pair — the substrate of COPY. Segments
     are visited [parallel] at a time, each locked for the duration of its
     visit, so copied pairs are immutable while in flight. *)
 
+(** {1 Scrubbing (data integrity)} *)
+
+type scrub_result =
+  | Scrub_clean of int
+      (** the segment and all its live values verified; payload = items checked *)
+  | Scrub_repair of string list
+      (** keys whose value entries are rotted — each repairable individually
+          from a CRRS replica *)
+  | Scrub_bad_segment
+      (** the segment frame itself is rotted: its item list is gone, only an
+          arc re-COPY can rebuild it *)
+
+val scrub_segment : t -> int -> scrub_result
+(** Verify one segment end-to-end under its lock: strict frame decode plus
+    a CRC check of every live value entry. Charges device time normally so
+    the engine can price scrub reads in tokens. *)
+
+val nsegments : t -> int
+
 type counters = {
   gets : int;
   puts : int;
   dels : int;
   compaction_runs : int;
-  swapped : int; (** PUTs executed against a foreign swap region *)
-  merged : int;  (** segments merged back home *)
+  swapped : int;  (** PUTs executed against a foreign swap region *)
+  merged : int;   (** segments merged back home *)
+  corrupt : int;  (** CRC/decode failures surfaced to callers *)
+  salvaged : int; (** write-path reads that dropped rotted buckets *)
 }
 
 val counters : t -> counters

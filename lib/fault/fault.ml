@@ -44,6 +44,7 @@ module Schedule = struct
     | Link_jitter of { node : int; extra : float; duration : float }
     | Ssd_degrade of { node : int; ssd : int; factor : float; duration : float }
     | Ssd_fail of { node : int; ssd : int }
+    | Bit_rot of { node : int; flips : int }
 
   type event = { at : float; fault : fault }
 
@@ -67,6 +68,7 @@ module Schedule = struct
     | Ssd_degrade { node; ssd; factor; duration } ->
         Printf.sprintf "ssd-degrade node %d ssd %d x%.1f for %.3fs" node ssd factor duration
     | Ssd_fail { node; ssd } -> Printf.sprintf "ssd-fail node %d ssd %d" node ssd
+    | Bit_rot { node; flips } -> Printf.sprintf "bit-rot node %d (%d bit flips)" node flips
 
   let to_string t =
     String.concat "\n"
@@ -79,7 +81,7 @@ module Schedule = struct
      R >= 2 sufficient for zero acknowledged-write loss. Link loss and
      SSD degradation are not failures (they only slow or retry traffic),
      so they may overlap anything. *)
-  let random ~seed ~nnodes ~duration () =
+  let random ?(bit_rot = false) ~seed ~nnodes ~duration () =
     if nnodes < 2 then invalid_arg "Schedule.random: need at least 2 nodes";
     if duration <= 0. then invalid_arg "Schedule.random: duration must be positive";
     let rng = Rng.create seed in
@@ -121,6 +123,22 @@ module Schedule = struct
             { node = victims.(nnodes - 1); prob = 0.02; duration = 0.3 *. duration };
       }
       :: !ev;
+    (* At-rest bit-rot, aimed at the partition victim and only when that
+       victim is distinct from every crash-restart victim: a node that
+       replays its logs with a rotted frame truncates its recovery scan
+       at the rot (the torn-tail rule), and without a COPY afterwards the
+       truncated tail would read as silently stale — a data-loss scenario
+       the scrubber cannot see. The partition victim never replays unless
+       expelled, and an expelled node rejoins through the full COPY. *)
+    if bit_rot && n_restarts < nnodes then begin
+      let victim = victims.(n_restarts mod nnodes) in
+      List.iter
+        (fun frac ->
+          let at = t0 +. (frac *. slot) in
+          let flips = 24 + Rng.int rng 16 in
+          ev := { at; fault = Bit_rot { node = victim; flips } } :: !ev)
+        [ 0.15; 0.55 ]
+    end;
     make !ev
 end
 
@@ -225,6 +243,20 @@ module Injector = struct
            arcs: escalate to fail-stop so the failure detector expels the
            node and chains repair from surviving replicas. *)
         Node.crash n
+    | Schedule.Bit_rot { node; flips } ->
+        note t (Schedule.fault_to_string fault);
+        let devs = Engine.devices (Node.engine (find_node t node)) in
+        let r = Rng.split t.rng in
+        let ndev = Array.length devs in
+        (* Spread the flips over the node's drives so both key-log frames
+           (escalation path) and value entries (read-repair path) can
+           rot; only resident data is targeted, so every flip lands on
+           bytes some reader can actually hit. *)
+        let flipped = ref 0 in
+        for _ = 1 to flips do
+          flipped := !flipped + Blockdev.corrupt_resident devs.(Rng.int r ndev) ~rng:r ~flips:1
+        done;
+        note t (Printf.sprintf "bit-rot node %d: %d bits flipped" node !flipped)
 
   let arm ?(rng = Rng.create 4242) cluster (sched : Schedule.t) =
     let t = { cluster; rng = Rng.split rng; pending = 0; log = [] } in
@@ -265,6 +297,8 @@ module Chaos = struct
     outage_bound : float;
     ssd_capacity : int;
     schedule : Schedule.t option;
+    bit_rot : bool;
+        (* inject at-rest bit flips and run the background scrubber *)
   }
 
   let default_config =
@@ -282,6 +316,7 @@ module Chaos = struct
       outage_bound = 2.5;
       ssd_capacity = 192 * 1024 * 1024;
       schedule = None;
+      bit_rot = false;
     }
 
   type report = {
@@ -306,6 +341,10 @@ module Chaos = struct
     retries : int;
     backoff_time : float;
     nvme_accesses : int;
+    scrubbed_segments : int;
+    read_repairs : int;
+    scrub_repairs : int;
+    verify_bad : int;
     ok : bool;
     digest : string;
   }
@@ -367,7 +406,9 @@ module Chaos = struct
         let sched =
           match cfg.schedule with
           | Some s -> s
-          | None -> Schedule.random ~seed:cfg.seed ~nnodes:cfg.nnodes ~duration:cfg.duration ()
+          | None ->
+              Schedule.random ~bit_rot:cfg.bit_rot ~seed:cfg.seed ~nnodes:cfg.nnodes
+                ~duration:cfg.duration ()
         in
         (* Per-key write ledgers. [attempted] is the highest sequence a
            client ever issued toward the key; [acked] the highest whose
@@ -396,6 +437,12 @@ module Chaos = struct
         in
         let inj = Injector.arm ~rng:(Rng.create (cfg.seed lxor 0x5eed)) cluster sched in
         let stop_at = Sim.now () +. cfg.duration in
+        (* Background scrubbing runs for the whole faulted window; its
+           token-gated segment walks heal rot concurrently with the
+           foreground load. Stopped before the end-of-run judgement so
+           the final heal pass below is the last integrity actor. *)
+        let scrub_stop = ref false in
+        if cfg.bit_rot then Scrub.spawn ~period:0.4 ~stop:(fun () -> !scrub_stop) cluster;
         (* Closed-loop workers. Worker [w] owns keys congruent to w mod
            nclients, so no two processes ever race a write to the same
            key — the ledger stays exact without cross-worker ordering
@@ -440,6 +487,18 @@ module Chaos = struct
            window to drain before judging end-state invariants. *)
         Injector.wait_quiesced inj;
         Sim.delay 1.0;
+        scrub_stop := true;
+        (* Final blocking heal: one full scrub pass (read-repair plus arc
+           re-COPY escalation), then the ground-truth verify walk — after
+           healing, every replica of every key must be checksum-clean. *)
+        let verify_bad =
+          if cfg.bit_rot then begin
+            ignore (Scrub.run_once cluster);
+            let v = Scrub.verify_all cluster in
+            v.Scrub.bad_values + v.Scrub.bad_segments
+          end
+          else 0
+        in
         let control = Cluster.control cluster in
         let live = Control.node_ids control in
         let full_chain = min cfg.r (List.length live) in
@@ -476,6 +535,7 @@ module Chaos = struct
                   | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
                   | _ -> incr stale)
               | Engine.Missing | Engine.Done | Engine.Failed -> incr stale
+              | Engine.Corrupt | Engine.Scrubbed _ -> incr corrupt
               | exception Engine.Overloaded _ -> ())
             chain
         done;
@@ -483,7 +543,8 @@ module Chaos = struct
         let fstats = Netsim.fabric_stats (Cluster.fabric cluster) in
         let outage_ok = cfg.outage_bound <= 0. || !max_gap <= cfg.outage_bound in
         let ok =
-          !lost = 0 && !stale = 0 && !bad_chains = 0 && !corrupt = 0 && outage_ok
+          !lost = 0 && !stale = 0 && !bad_chains = 0 && !corrupt = 0 && verify_bad = 0
+          && outage_ok
         in
         let digest =
           digest_of_fields
@@ -509,6 +570,11 @@ module Chaos = struct
               string_of_int counters.Backend.retries;
               Printf.sprintf "%h" counters.Backend.backoff_time;
               string_of_int (Backend.nvme_accesses counters);
+              string_of_int counters.Backend.scrubbed_segments;
+              string_of_int counters.Backend.read_repairs;
+              string_of_int counters.Backend.scrub_repairs;
+              string_of_int counters.Backend.corrupt_reads;
+              string_of_int verify_bad;
             ]
         in
         {
@@ -533,6 +599,10 @@ module Chaos = struct
           retries = counters.Backend.retries;
           backoff_time = counters.Backend.backoff_time;
           nvme_accesses = Backend.nvme_accesses counters;
+          scrubbed_segments = counters.Backend.scrubbed_segments;
+          read_repairs = counters.Backend.read_repairs;
+          scrub_repairs = counters.Backend.scrub_repairs;
+          verify_bad;
           ok;
           digest;
         })
@@ -549,11 +619,12 @@ module Chaos = struct
        network    dropped %d, delayed %d@,\
        clients    nacks %d, retries %d, backoff %.3fs@,\
        nvme       %d accesses@,\
+       integrity  scrubbed %d segments; read-repairs %d, scrub-repairs %d, post-heal bad %d@,\
        digest     %s@,\
        verdict    %s@]"
       r.schedule r.ops r.reads r.writes r.failed_ops r.null_reads r.corrupt_reads r.lost_writes
       r.stale_replicas r.incomplete_chains r.max_outage r.live_nodes r.joins r.leaves
       r.failures_handled r.msgs_dropped r.msgs_delayed r.nacks r.retries r.backoff_time
-      r.nvme_accesses r.digest
+      r.nvme_accesses r.scrubbed_segments r.read_repairs r.scrub_repairs r.verify_bad r.digest
       (if r.ok then "OK" else "INVARIANT VIOLATED")
 end

@@ -26,6 +26,10 @@ module Schedule : sig
     | Ssd_fail of { node : int; ssd : int }
         (** kill one drive; escalates to node fail-stop, since a JBOF
             missing a live partition cannot serve its arcs *)
+    | Bit_rot of { node : int; flips : int }
+        (** flip [flips] random bits in resident (written) data across
+            the node's drives — at-rest corruption the checksums must
+            catch and the scrubber / read-repair must heal *)
 
   type event = { at : float; fault : fault }
 
@@ -37,12 +41,15 @@ module Schedule : sig
   val fault_to_string : fault -> string
   val to_string : t -> string
 
-  val random : seed:int -> nnodes:int -> duration:float -> unit -> t
+  val random : ?bit_rot:bool -> seed:int -> nnodes:int -> duration:float -> unit -> t
   (** A seeded random schedule under the safety envelope: >= 2
       crash-restarts and one partition in disjoint time slots (at most
       one node-level fault in flight, so R >= 2 suffices for zero
       acknowledged-write loss), plus one long SSD degradation and light
-      link loss, which may overlap anything. *)
+      link loss, which may overlap anything. [bit_rot] adds at-rest bit
+      flips aimed at the partition victim — never a crash-restart victim,
+      whose recovery replay would truncate at the rot without the COPY
+      an expelled node gets on rejoin. *)
 end
 
 module Injector : sig
@@ -81,6 +88,10 @@ module Chaos : sig
     ssd_capacity : int;     (** scaled-down drive capacity *)
     schedule : Schedule.t option;
         (** [None]: generate [Schedule.random] from [seed] *)
+    bit_rot : bool;
+        (** inject at-rest bit flips, run the background scrubber during
+            the load window, and require a checksum-clean cluster after
+            the final heal pass *)
   }
 
   val default_config : config
@@ -107,6 +118,10 @@ module Chaos : sig
     retries : int;
     backoff_time : float;
     nvme_accesses : int;
+    scrubbed_segments : int; (** segments walked by the background scrubber *)
+    read_repairs : int;      (** corrupt entries healed from a CRRS replica *)
+    scrub_repairs : int;     (** rotted values the scrubber healed *)
+    verify_bad : int;        (** checksum failures left after the final heal — must be 0 *)
     ok : bool;               (** all invariants held *)
     digest : string;         (** hex digest — bit-identical across same-seed runs *)
   }

@@ -1,0 +1,1 @@
+let checksum entry = Hashtbl.hash entry land 0xffffffff

@@ -1,0 +1,1 @@
+val checksum : 'a -> int

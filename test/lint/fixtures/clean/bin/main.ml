@@ -1,1 +1,2 @@
 let cpu () = Sys.time ()
+let shard x n = Hashtbl.hash x mod n

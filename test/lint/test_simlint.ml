@@ -65,11 +65,12 @@ let () =
   expect_line out "R2 effect flagged" "lib/core/bad_effect.ml:1: R2";
   expect_line out "R3 missing mli flagged" "lib/core/no_iface.ml:1: R3";
   expect_line out "R4 Hashtbl.fold flagged" "lib/core/bad_hashtbl.ml:1: R4";
+  expect_line out "R4 Hashtbl.hash-as-checksum flagged" "lib/core/bad_hash.ml:1: R4";
   expect_line out "R4 Hashtbl.iter flagged" "lib/core/bad_hashtbl.ml:2: R4";
   expect_absent out "suppressed Hashtbl.fold not flagged" "bad_hashtbl.ml:4";
   expect_line out "R4 Obj.magic flagged" "lib/core/bad_obj.ml:1: R4";
   expect_line out "R4 compare-on-closure flagged" "lib/core/bad_compare.ml:1: R4";
-  expect_line out "exact violation count" "simlint: 9 violation(s)";
+  expect_line out "exact violation count" "simlint: 10 violation(s)";
   (* --- clean tree: allowlists and suppressions must hold --- *)
   let status, out = run_simlint ~dir:"fixtures/clean" [ "lib"; "bin"; "bench" ] in
   if status <> 0 then fail "clean tree: expected exit 0, got %d:\n%s" status out

@@ -17,13 +17,16 @@
      R4 banned constructs [Obj.magic]; order-sensitive [Hashtbl.iter]/
                          [Hashtbl.fold] in lib/ (annotate reviewed sites
                          with a "simlint: allow hashtbl-order" comment);
-                         polymorphic [compare] applied to function literals
+                         polymorphic [compare] applied to function literals;
+                         [Hashtbl.hash] under lib/core/ — on-flash
+                         integrity checks must be real checksums
+                         (Codec.crc32), never the memory-layout hash
 
    Violations print "file:line: rule: message" and the exit status is
    non-zero. A finding can be suppressed by a comment containing
    "simlint: allow <tag>" on the same or the preceding line, where <tag>
    is the rule id (R1..R4) or its specific name (random, wall-clock,
-   effect, hashtbl-order, obj-magic, compare-fun). *)
+   effect, hashtbl-order, hashtbl-hash, obj-magic, compare-fun). *)
 
 let scope_default = [ "lib"; "bin"; "bench" ]
 
@@ -133,6 +136,13 @@ let lint_structure ~file (str : Parsetree.structure) =
            (event-heap callbacks must not perform effects)"
     | [ "Obj"; "magic" ] ->
         report ~file ~line ~rule:"R4" ~tag:"obj-magic" "Obj.magic is banned"
+    | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") as fn ] when under "lib/core" file ->
+        report ~file ~line ~rule:"R4" ~tag:"hashtbl-hash"
+          (Printf.sprintf
+             "Hashtbl.%s is not a checksum: it hashes the in-memory representation, \
+              is not stable across versions, and detects no bit rot; on-flash \
+              integrity must use Codec.crc32"
+             fn)
     | [ "Hashtbl"; ("iter" | "fold") as fn ] when in_lib file ->
         report ~file ~line ~rule:"R4" ~tag:"hashtbl-order"
           (Printf.sprintf
