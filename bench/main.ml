@@ -9,6 +9,9 @@
      bench/main.exe micro           only the microbenchmarks
      bench/main.exe ycsb [backend]  YCSB-B through the unified KV_BACKEND
                                     path (leed/fawn/kvell; default all)
+     bench/main.exe trace [file]    YCSB-B on LEED twice (untraced, traced),
+                                    write the Chrome trace and report the
+                                    wall-clock overhead of capture
      bench/main.exe chaos [seed..]  seeded fault-injection runs (crash-restarts,
                                     partition, SSD degradation) under load *)
 
@@ -56,6 +59,47 @@ let ycsb backends =
           in
           Exp_common.report_metrics m))
     backends
+
+(* --- traced benchmark: capture one YCSB run and report the overhead --- *)
+
+(* One LEED YCSB-B measurement, used both untraced (baseline) and traced. *)
+let ycsb_leed_once () =
+  let open Leed_sim in
+  let open Leed_workload in
+  Sim.run (fun () ->
+      let nkeys, workers, window = ycsb_sizing "leed" in
+      let setup = Exp_common.setup_of_name ~nclients:4 "leed" in
+      Exp_common.preload setup ~nkeys ~value_size:1008;
+      let gen = Workload.generator ~object_size:1024 (Workload.ycsb_b ()) ~nkeys (Rng.create 9) in
+      Exp_common.measure_closed ~label:"leed" ~setup ~clients:workers
+        ~duration:(Exp_common.dur window) ~gen ())
+
+let trace_mode args =
+  let module Trace = Leed_trace.Trace in
+  let module Backend = Leed_core.Backend in
+  let out = match args with f :: _ -> f | [] -> "bench-trace.json" in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  print_endline "== traced YCSB-B (1KB) on LEED ==";
+  let m_off, wall_off = timed ycsb_leed_once in
+  Trace.start ();
+  let m_on, wall_on = timed ycsb_leed_once in
+  Trace.stop ();
+  Trace.write_file out;
+  Printf.printf "untraced: %.0f ops/s simulated, %.2f s wall\n" m_off.Backend.throughput wall_off;
+  Printf.printf "traced:   %.0f ops/s simulated, %.2f s wall (%+.0f%% wall overhead)\n"
+    m_on.Backend.throughput wall_on
+    (100. *. ((wall_on /. wall_off) -. 1.));
+  Printf.printf "wrote %d events to %s\n" (Trace.count ()) out;
+  (* Tracing must never perturb virtual time: same seed, same simulated
+     throughput, bit for bit. *)
+  if m_on.Backend.throughput <> m_off.Backend.throughput then begin
+    prerr_endline "bench trace: traced run diverged from untraced run (virtual-time perturbation)";
+    exit 1
+  end
 
 (* --- seeded chaos runs through the fault-injection subsystem --- *)
 
@@ -164,6 +208,7 @@ let () =
   match selected with
   | "ycsb" :: rest ->
       ycsb (if rest = [] then Exp_common.backend_names else rest)
+  | "trace" :: rest -> trace_mode rest
   | "chaos" :: rest -> chaos rest
   | _ ->
   let micro_only = selected = [ "micro" ] in

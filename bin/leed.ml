@@ -63,12 +63,124 @@ let smoke_cmd =
           n
           ((t2 -. t1) *. 1e3)
           !bad (Backend.nvme_accesses c)
-          (Backend.watts setup.Leed_experiments.Exp_common.backend);
+          (let util = if t2 > 0. then Float.min 1.0 (c.Backend.device_busy /. t2) else 0. in
+           Backend.watts setup.Leed_experiments.Exp_common.backend ~util);
         if !bad > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "smoke" ~doc:"Put/get 500 objects through a cluster of the chosen backend")
     Term.(const run $ backend)
+
+(* Shared driver for the observability commands: a small LEED cluster
+   under a short YCSB-A closed loop with the gauge sampler attached.
+   [k] runs inside the simulation after the load completes. *)
+let observed_ycsb ~seed ~nclients ~nkeys ~duration k =
+  let open Leed_sim in
+  let open Leed_core in
+  let open Leed_workload in
+  Sim.run (fun () ->
+      (* Probe fast enough that heartbeat rounds (control spans) land
+         inside even the default 50 ms capture window. *)
+      let cluster =
+        Cluster.create
+          ~config:{ Cluster.default_config with Cluster.heartbeat_period = 0.02 }
+          ()
+      in
+      let obs = Obs.attach ~period:0.002 cluster in
+      let clients = List.init nclients (fun _ -> Cluster.client cluster) in
+      let c0 = List.hd clients in
+      for id = 0 to nkeys - 1 do
+        Client.put c0 (Workload.key_of_id id) (Workload.value_for ~id ~version:1 ~size:240)
+      done;
+      let gen = Workload.generator ~object_size:256 (Workload.ycsb_a ()) ~nkeys (Rng.create seed) in
+      let r =
+        Workload.Driver.closed_loop ~clients:(List.length clients) ~duration ~gen
+          ~execute:(Workload.Driver.round_robin Client.execute clients)
+          ()
+      in
+      Obs.stop obs;
+      k cluster obs r)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "leed-trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file (Chrome trace_event JSON).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let duration =
+    Arg.(
+      value & opt float 0.05
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated load window to capture.")
+  in
+  let run out seed duration =
+    let module Trace = Leed_trace.Trace in
+    Trace.start ();
+    observed_ycsb ~seed ~nclients:4 ~nkeys:300 ~duration (fun _cluster obs r ->
+        Printf.printf "trace: %d ops at %.0f ops/s over %.3f s simulated\n" r.Leed_workload.Workload.Driver.ops
+          r.Leed_workload.Workload.Driver.throughput r.Leed_workload.Workload.Driver.duration;
+        Leed_core.Obs.report obs);
+    Trace.stop ();
+    Trace.write_file out;
+    (* Per-category census so the capture is legible without a viewer. *)
+    let cats = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Trace.event) ->
+        Hashtbl.replace cats e.Trace.cat (1 + Option.value ~default:0 (Hashtbl.find_opt cats e.Trace.cat)))
+      (Trace.events ());
+    let rows =
+      (* simlint: allow hashtbl-order — bindings are sorted before use *)
+      Hashtbl.fold (fun c n acc -> (c, n) :: acc) cats [] |> List.sort compare
+    in
+    Printf.printf "trace: wrote %d events to %s (open at https://ui.perfetto.dev)\n" (Trace.count ())
+      out;
+    List.iter (fun (c, n) -> Printf.printf "  %-8s %6d events\n" c n) rows
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a short YCSB-A load on a small LEED cluster with tracing on and write the capture \
+          as Chrome trace_event JSON — every layer (client, net, node, engine, dev, control) \
+          appears as its own track; see docs/TRACING.md for the schema.")
+    Term.(const run $ out $ seed $ duration)
+
+let top_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let duration =
+    Arg.(
+      value & opt float 0.05
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated load window before the snapshot.")
+  in
+  let run seed duration =
+    let open Leed_core in
+    observed_ycsb ~seed ~nclients:4 ~nkeys:300 ~duration (fun cluster obs _r ->
+        Obs.top cluster;
+        Obs.report obs)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a short YCSB-A load on a small LEED cluster and print a top-style per-SSD snapshot \
+          (token occupancy, queue depths, swap state) plus the sampled gauge summary.")
+    Term.(const run $ seed $ duration)
+
+let trace_validate_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace JSON to check.")
+  in
+  let run file =
+    match Leed_trace.Trace.validate_file file with
+    | Ok summary -> print_endline summary
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Check a trace file against the schema in docs/TRACING.md (well-formed Chrome \
+          trace_event JSON, known phases, typed fields, matched async spans).")
+    Term.(const run $ file)
 
 let chaos_cmd =
   let seed =
@@ -97,15 +209,33 @@ let chaos_cmd =
           ~doc:"Arm the runtime invariant sanitizer for the run (otherwise inherited from \
                 LEED_SANITIZE).")
   in
-  let run seed runs fast bit_rot sanitize =
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Capture the first run as Chrome trace_event JSON into $(docv).")
+  in
+  let run seed runs fast bit_rot sanitize trace_out =
     let open Leed_fault.Fault in
+    let module Trace = Leed_trace.Trace in
     let cfg =
       let base = { Chaos.default_config with Chaos.seed; bit_rot } in
       if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
       else base
     in
     let checks = if sanitize then Some true else None in
-    let reports = List.init (max 1 runs) (fun _ -> Chaos.run ?checks cfg) in
+    let traced_run i =
+      match trace_out with
+      | Some file when i = 0 ->
+          Trace.start ();
+          let r = Chaos.run ?checks cfg in
+          Trace.stop ();
+          Trace.write_file file;
+          Printf.printf "chaos: wrote %d trace events to %s\n" (Trace.count ()) file;
+          r
+      | _ -> Chaos.run ?checks cfg
+    in
+    let reports = List.init (max 1 runs) traced_run in
     let first = List.hd reports in
     Format.printf "%a@." Chaos.pp_report first;
     List.iteri (fun i r -> Printf.printf "run %d digest %s\n" (i + 1) r.Chaos.digest) reports;
@@ -128,7 +258,7 @@ let chaos_cmd =
           loss) under closed-loop load and check the end-of-run invariants: zero \
           acknowledged-write loss, full replication restored, bounded unavailability, \
           deterministic digest.")
-    Term.(const run $ seed $ runs $ fast $ bit_rot $ sanitize)
+    Term.(const run $ seed $ runs $ fast $ bit_rot $ sanitize $ trace_out)
 
 
 let scrub_cmd =
@@ -226,4 +356,16 @@ let experiment_cmd =
 
 let () =
   let info = Cmd.info "leed" ~doc:"LEED: low-power persistent KV store on SmartNIC JBOFs" in
-  exit (Cmd.eval (Cmd.group info [ platforms_cmd; smoke_cmd; chaos_cmd; scrub_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            platforms_cmd;
+            smoke_cmd;
+            trace_cmd;
+            top_cmd;
+            trace_validate_cmd;
+            chaos_cmd;
+            scrub_cmd;
+            experiment_cmd;
+          ]))

@@ -207,15 +207,19 @@ let total_objects t = Array.fold_left (fun acc n -> acc + Fawn_store.objects n.s
 
 let counters t =
   let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  let busy = ref 0. in
   Array.iter
     (fun n ->
       let s = Blockdev.stats n.dev in
       nvme_reads := !nvme_reads + s.Blockdev.n_reads;
-      nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+      nvme_writes := !nvme_writes + s.Blockdev.n_writes;
+      busy := !busy +. Blockdev.busy_seconds n.dev)
     t.nodes;
+  let ndevs = Array.length t.nodes in
   {
     Backend.nvme_reads = !nvme_reads;
     nvme_writes = !nvme_writes;
+    device_busy = (if ndevs > 0 then !busy /. float_of_int ndevs else 0.);
     nacks = t.client_nacks;
     retries = 0; (* classic FAWN front-ends do not retry *)
     backoff_time = 0.;
@@ -234,5 +238,5 @@ let counters t =
     scrub_repairs = 0;
   }
 
-let watts t =
-  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util:1.0
+let watts t ~util =
+  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util

@@ -180,18 +180,22 @@ let total_objects t = Array.fold_left (fun acc n -> acc + Kvell_store.objects n.
 
 let counters t =
   let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  let busy = ref 0. and ndevs = ref 0 in
   Array.iter
     (fun n ->
       Array.iter
         (fun dev ->
           let s = Blockdev.stats dev in
           nvme_reads := !nvme_reads + s.Blockdev.n_reads;
-          nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+          nvme_writes := !nvme_writes + s.Blockdev.n_writes;
+          busy := !busy +. Blockdev.busy_seconds dev;
+          incr ndevs)
         n.devs)
     t.nodes;
   {
     Backend.nvme_reads = !nvme_reads;
     nvme_writes = !nvme_writes;
+    device_busy = (if !ndevs > 0 then !busy /. float_of_int !ndevs else 0.);
     nacks = t.client_nacks;
     retries = 0; (* client-side replication: no retry loop *)
     backoff_time = 0.;
@@ -207,5 +211,5 @@ let counters t =
     scrub_repairs = 0;
   }
 
-let watts t =
-  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util:1.0
+let watts t ~util =
+  float_of_int (Array.length t.nodes) *. Platform.wall_power t.platform ~util

@@ -8,6 +8,7 @@
    read/write bandwidth discrepancy LEED's token engine reacts to (§3.4). *)
 
 open Leed_sim
+module Trace = Leed_trace.Trace
 
 type profile = {
   name : string;
@@ -147,6 +148,7 @@ type t = {
   write_pipe : Sim.Resource.t;
   rng : Rng.t;
   stats : stats;
+  track : Trace.track;
   mutable inflight : int;
   max_queue : int;
   (* fault-injection state: a degraded drive multiplies every service
@@ -161,7 +163,7 @@ type t = {
    lost its admission control somewhere above. *)
 let default_max_queue = 1 lsl 20
 
-let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) profile =
+let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) ?(track = Trace.root) profile =
   if max_queue <= 0 then invalid_arg "Blockdev.create: max_queue must be positive";
   {
     profile;
@@ -170,6 +172,7 @@ let create ?(rng = Rng.create 0) ?(max_queue = default_max_queue) profile =
     write_pipe = Sim.Resource.create ~name:(profile.name ^ ".pipe") ~capacity:1 ();
     rng = Rng.split rng;
     stats = { n_reads = 0; n_writes = 0; bytes_read = 0; bytes_written = 0; bits_flipped = 0 };
+    track;
     inflight = 0;
     max_queue;
     service_factor = 1.0;
@@ -253,6 +256,11 @@ let check_queue_depth t =
       Printf.sprintf "%s: %d commands outstanding exceeds the configured bound %d"
         t.profile.name t.inflight t.max_queue)
 
+(* Queue-depth counter samples: one at submit, one at complete, so the
+   viewer reconstructs the exact depth staircase from the trace alone. *)
+let trace_depth t =
+  Trace.counter ~track:t.track ~cat:"dev" "inflight" [ ("cmds", float_of_int t.inflight) ]
+
 let read t ~off ~len =
   check_alive t;
   check_bounds t ~off ~len;
@@ -262,8 +270,14 @@ let read t ~off ~len =
     (Sim.us (jittered t t.profile.read_us) +. transfer_time len t.profile.seq_read_mbps)
     *. t.service_factor
   in
-  Sim.Resource.with_ t.read_units (fun () -> Sim.delay service);
+  let serve () = Sim.Resource.with_ t.read_units (fun () -> Sim.delay service) in
+  if Trace.on () then begin
+    trace_depth t;
+    Trace.span ~track:t.track ~cat:"dev" "read" ~args:[ ("bytes", Trace.Int len) ] serve
+  end
+  else serve ();
   t.inflight <- t.inflight - 1;
+  if Trace.on () then trace_depth t;
   t.stats.n_reads <- t.stats.n_reads + 1;
   t.stats.bytes_read <- t.stats.bytes_read + len;
   Storage.read t.storage ~off ~len
@@ -278,11 +292,22 @@ let write_kind t ~off data kind =
   (* A random write smaller than a flash page still costs a full
      read-modify-write of the page. *)
   let priced_len = match kind with `Seq -> len | `Rand -> max len t.profile.block_size in
-  Sim.Resource.with_ t.read_units (fun () ->
-      Sim.Resource.with_ t.write_pipe (fun () ->
-          Sim.delay (transfer_time priced_len bw *. t.service_factor));
-      Sim.delay (Sim.us (jittered t t.profile.write_us) *. t.service_factor));
+  let serve () =
+    Sim.Resource.with_ t.read_units (fun () ->
+        Sim.Resource.with_ t.write_pipe (fun () ->
+            Sim.delay (transfer_time priced_len bw *. t.service_factor));
+        Sim.delay (Sim.us (jittered t t.profile.write_us) *. t.service_factor))
+  in
+  if Trace.on () then begin
+    trace_depth t;
+    Trace.span ~track:t.track ~cat:"dev"
+      (match kind with `Seq -> "write.seq" | `Rand -> "write.rand")
+      ~args:[ ("bytes", Trace.Int len) ]
+      serve
+  end
+  else serve ();
   t.inflight <- t.inflight - 1;
+  if Trace.on () then trace_depth t;
   t.stats.n_writes <- t.stats.n_writes + 1;
   t.stats.bytes_written <- t.stats.bytes_written + len;
   Storage.write t.storage ~off data
@@ -298,10 +323,17 @@ let write_rand t ~off data = write_kind t ~off data `Rand
    dead drive) is physical, so it survives the reboot too. *)
 let reboot t =
   {
-    (create ~rng:t.rng ~max_queue:t.max_queue t.profile) with
+    (create ~rng:t.rng ~max_queue:t.max_queue ~track:t.track t.profile) with
     storage = t.storage;
     service_factor = t.service_factor;
     failed = t.failed;
   }
 
 let utilisation t = Sim.Resource.utilisation t.read_units
+
+(* Equivalent fully-busy device-seconds since the run started: the time
+   integral of in-use read units over their capacity. This is the
+   observed-activity signal the energy model consumes — degraded drives
+   (longer service times) accumulate it faster at equal load. *)
+let busy_seconds t =
+  Sim.Resource.busy_time t.read_units /. float_of_int (Sim.Resource.capacity t.read_units)

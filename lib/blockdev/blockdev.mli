@@ -55,12 +55,14 @@ type stats = {
 
 type t
 
-val create : ?rng:Leed_sim.Rng.t -> ?max_queue:int -> profile -> t
+val create : ?rng:Leed_sim.Rng.t -> ?max_queue:int -> ?track:Leed_trace.Trace.track -> profile -> t
 (** [create profile] builds a device. [max_queue] bounds outstanding
     commands (queued + executing); exceeding it trips the
     {!Leed_sim.Invariant} sanitizer when that is enabled. The default is
     deliberately generous (2^20) — it exists to catch lost admission
-    control above the device, not to model queue limits. *)
+    control above the device, not to model queue limits. [track] is the
+    trace row the device's IO spans and queue-depth counters land on
+    (default: the root track); the engine passes a per-SSD row. *)
 
 val profile : t -> profile
 val stats : t -> stats
@@ -87,6 +89,13 @@ val reboot : t -> t
     {!fail}) is physical and survives the reboot. *)
 
 val utilisation : t -> float
+(** Time-averaged fraction of read units in use since the run started. *)
+
+val busy_seconds : t -> float
+(** Equivalent fully-busy device-seconds since the run started (busy
+    integral over unit capacity). The observed-activity signal the
+    energy model derives watts from: degraded drives accumulate it
+    faster at equal load. *)
 
 (** {2 Fault-injection hooks}
 

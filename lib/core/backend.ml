@@ -6,6 +6,7 @@
 type counters = {
   nvme_reads : int;
   nvme_writes : int;
+  device_busy : float;
   nacks : int;
   retries : int;
   backoff_time : float;
@@ -22,6 +23,7 @@ let no_counters =
   {
     nvme_reads = 0;
     nvme_writes = 0;
+    device_busy = 0.;
     nacks = 0;
     retries = 0;
     backoff_time = 0.;
@@ -40,6 +42,7 @@ let diff_counters ~after ~before =
   {
     nvme_reads = after.nvme_reads - before.nvme_reads;
     nvme_writes = after.nvme_writes - before.nvme_writes;
+    device_busy = after.device_busy -. before.device_busy;
     nacks = after.nacks - before.nacks;
     retries = after.retries - before.retries;
     backoff_time = after.backoff_time -. before.backoff_time;
@@ -93,7 +96,7 @@ module type S = sig
   val execute : client -> Leed_workload.Workload.op -> unit
   val total_objects : t -> int
   val counters : t -> counters
-  val watts : t -> float
+  val watts : t -> util:float -> float
 end
 
 type t = Pack : (module S with type t = 'a and type client = 'c) * 'a -> t
@@ -107,7 +110,7 @@ let stop (Pack ((module M), b)) = M.stop b
 let client (Pack ((module M), b)) = Client ((module M), M.client b)
 let total_objects (Pack ((module M), b)) = M.total_objects b
 let counters (Pack ((module M), b)) = M.counters b
-let watts (Pack ((module M), b)) = M.watts b
+let watts (Pack ((module M), b)) ~util = M.watts b ~util
 
 let get (Client ((module M), c)) key = M.get c key
 let put (Client ((module M), c)) key value = M.put c key value
@@ -119,7 +122,13 @@ let measure ~label b run =
   let before = counters b in
   let r = run () in
   let delta = diff_counters ~after:(counters b) ~before in
-  let w = watts b in
+  (* Energy from *observed* device activity over the window, not
+     config-time constants: a fault-degraded SSD burns its longer service
+     times here, where a static model would never notice. *)
+  let util =
+    if r.D.duration > 0. then Float.min 1.0 (delta.device_busy /. r.D.duration) else 0.
+  in
+  let w = watts b ~util in
   {
     label;
     ops = r.D.ops;

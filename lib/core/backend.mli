@@ -18,6 +18,11 @@
 type counters = {
   nvme_reads : int;   (** block-device read commands issued (§3.3 accesses) *)
   nvme_writes : int;  (** block-device write commands issued *)
+  device_busy : float;
+      (** mean equivalent fully-busy device-seconds across the cluster's
+          block devices ({!Leed_blockdev.Blockdev.busy_seconds}) — the
+          observed-activity signal the energy model derives utilisation
+          from. Linear, so window deltas are meaningful. *)
   nacks : int;        (** client-observed rejections (NACK / error / timeout) *)
   retries : int;      (** client-side retries after a rejection *)
   backoff_time : float;
@@ -101,8 +106,13 @@ module type S = sig
   val counters : t -> counters
   (** Cumulative since creation; callers take deltas. *)
 
-  val watts : t -> float
-  (** Modeled wall power of the whole cluster at full utilisation. *)
+  val watts : t -> util:float -> float
+  (** Modeled wall power of the whole cluster at average device
+      utilisation [util] ∈ [0,1]. Polling stacks (LEED's SmartNICs,
+      KVell's Xeons) burn near-max regardless of [util]; interrupt-driven
+      platforms (FAWN's Pis) scale between idle and active power. Callers
+      derive [util] from observed {!counters.device_busy} deltas — see
+      {!measure}. *)
 end
 
 (** {1 Packed instances}
@@ -121,7 +131,7 @@ val stop : t -> unit
 val client : t -> client
 val total_objects : t -> int
 val counters : t -> counters
-val watts : t -> float
+val watts : t -> util:float -> float
 
 val get : client -> string -> bytes option
 val put : client -> string -> bytes -> unit
@@ -133,4 +143,8 @@ val measure :
 (** [measure ~label b run] snapshots the backend's counters around [run]
     (a workload-driver invocation) and combines the driver's result with
     the counter deltas and the backend's modeled power into one
-    {!metrics} record. *)
+    {!metrics} record. Power is evaluated at the device utilisation
+    actually observed during the window ([device_busy] delta over
+    duration), so fault-degraded devices — which stay busy longer per
+    command — raise the reported watts on power-proportional platforms
+    instead of being invisible to a config-time constant. *)

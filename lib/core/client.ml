@@ -13,6 +13,7 @@
 open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
+module Trace = Leed_trace.Trace
 
 exception Unavailable of string
 
@@ -49,6 +50,7 @@ type vstate = {
 
 type t = {
   config : config;
+  track : Trace.track;
   rpc : (Messages.request, Messages.response) Rpc.t;
   ring : Ring.t;
   peer : int -> (Messages.request, Messages.response) Rpc.t;
@@ -61,12 +63,14 @@ type t = {
   mutable backoff : float;   (* cumulative seconds slept in retry backoff *)
 }
 
-let create ?(config = default_config) ?(rng = Rng.create 77) ~fabric ~name ~peer ~refresh () =
+let create ?(config = default_config) ?(rng = Rng.create 77) ?(track = Trace.root) ~fabric ~name
+    ~peer ~refresh () =
   let rpc = Rpc.create fabric ~name ~gbps:100. in
   Rpc.client rpc;
   let t =
     {
       config;
+      track;
       rpc;
       ring = Ring.create ();
       peer;
@@ -83,6 +87,7 @@ let create ?(config = default_config) ?(rng = Rng.create 77) ~fabric ~name ~peer
   t
 
 let ring t = t.ring
+let pending_rpcs t = Rpc.pending_count t.rpc
 let nacks t = t.nacks
 let retries t = t.retries
 let throttled_time t = t.throttled
@@ -202,13 +207,22 @@ let rec with_retries t n f =
     | Some r -> r
     | None ->
         t.retries <- t.retries + 1;
+        if Trace.on () then
+          Trace.instant ~track:t.track ~cat:"client" "retry" ~args:[ ("attempt", Trace.Int n) ];
         let d = backoff_delay t n in
         t.backoff <- t.backoff +. d;
         Sim.delay d;
         refresh_ring t;
         with_retries t (n + 1) f
 
+(* Wrap one client-visible operation in a span covering retries, token
+   throttling, and the RPCs themselves — the top of a request's trace. *)
+let op_span t name key f =
+  if not (Trace.on ()) then f ()
+  else Trace.span ~track:t.track ~cat:"client" name ~args:[ ("key", Trace.Str key) ] f
+
 let get t key =
+  op_span t "get" key @@ fun () ->
   with_retries t 0 (fun () ->
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match read_target t chain with
@@ -225,7 +239,8 @@ let get t key =
               None
           | None -> None))
 
-let write t key value =
+let write t op_name key value =
+  op_span t op_name key @@ fun () ->
   with_retries t 0 (fun () ->
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match chain with
@@ -250,8 +265,8 @@ let write t key value =
               None
           | None -> None))
 
-let put t key value = write t key (Some value)
-let del t key = write t key None
+let put t key value = write t "put" key (Some value)
+let del t key = write t "del" key None
 
 (* Convenience dispatcher for workload drivers. *)
 let execute t (op : Leed_workload.Workload.op) =

@@ -34,6 +34,7 @@ type t
 val create :
   ?config:config ->
   ?rng:Leed_sim.Rng.t ->
+  ?track:Leed_trace.Trace.track ->
   fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
   name:string ->
   peer:(int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) ->
@@ -42,13 +43,23 @@ val create :
   t
 (** [peer] resolves a physical node id to its RPC endpoint; [refresh]
     reads the control plane's current ring (the etcd watch). [rng] seeds
-    the client's private backoff-jitter stream (split off, not shared). *)
+    the client's private backoff-jitter stream (split off, not shared).
+    [track] is the trace row the client's operation spans land on
+    (default: the root track; the cluster passes a shared [clients]
+    row). *)
 
 val ring : t -> Ring.t
 (** The client's local ring view. *)
 
+val pending_rpcs : t -> int
+(** RPCs this client has in flight right now (the outstanding-request
+    gauge sampled by {!Obs}). *)
+
 val nacks : t -> int
+(** Cumulative NACK responses received. *)
+
 val retries : t -> int
+(** Cumulative operation retries (timeouts and NACKs). *)
 
 val throttled_time : t -> float
 (** Cumulative seconds spent blocked by Algorithm 1's token gate. *)

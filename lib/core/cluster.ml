@@ -7,6 +7,7 @@ open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
 open Leed_platform
+module Trace = Leed_trace.Trace
 
 type config = {
   nnodes : int;
@@ -37,6 +38,7 @@ type t = {
   config : config;
   fabric : (Messages.request, Messages.response) Rpc.wire Netsim.fabric;
   control : Control.t;
+  clients_track : Trace.track; (* one shared row for all front-end clients *)
   (* newest first: membership changes prepend (appending to a growing
      list is quadratic); the accessors below restore arrival order *)
   mutable nodes_rev : Node.t list;
@@ -148,6 +150,7 @@ let create ?(config = default_config) () =
       config;
       fabric;
       control;
+      clients_track = Trace.new_track "clients";
       nodes_rev = [];
       clients_rev = [];
       next_node_id = 0;
@@ -184,7 +187,7 @@ let client ?(config : Client.config option) t =
   let c =
     Client.create ~config:cfg
       ~rng:(Rng.create (40000 + t.next_client_id))
-      ~fabric:t.fabric
+      ~track:t.clients_track ~fabric:t.fabric
       ~name:(Printf.sprintf "client%d" t.next_client_id)
       ~peer:(Control.peer_resolver t.control)
       ~refresh:(fun () -> Control.snapshot t.control)

@@ -11,12 +11,14 @@
 open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
+module Trace = Leed_trace.Trace
 
 type node_state = { node : Node.t; mutable missed : int; mutable alive : bool }
 
 type t = {
   ring : Ring.t; (* authoritative *)
   r : int;
+  track : Trace.track;
   rpc : (Messages.request, Messages.response) Rpc.t; (* manager's probe endpoint *)
   nodes : (int, node_state) Hashtbl.t;
   directory : (int, Node.t) Hashtbl.t; (* every node ever registered; insert-only *)
@@ -36,6 +38,7 @@ let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) fabric =
   {
     ring = Ring.create ();
     r;
+    track = Trace.new_track "control";
     rpc;
     nodes = Hashtbl.create 8;
     directory = Hashtbl.create 8;
@@ -73,6 +76,9 @@ let peer_resolver t id =
    clients via their etcd watch (modeled as a jittered install). *)
 let broadcast t =
   let snap = Ring.snapshot t.ring in
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" "ring.broadcast"
+      ~args:[ ("version", Trace.Int snap.Ring.snap_version) ];
   (* Iterate in sorted node-id order: the spawn order here becomes event
      order on the heap, so it must not depend on hash-bucket layout. *)
   List.iter
@@ -119,12 +125,22 @@ let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
   | None -> 0
   | Some sns when not sns.alive -> 0
   | Some sns ->
+      let since = Sim.now () in
       let dst_node = node t dst.Ring.node in
       Node.begin_fence dst_node dst.Ring.vidx;
       Node.add_copy_forward sns.node ~lo ~hi ~dst;
       let copied = Node.copy_range sns.node ~vidx:src.Ring.owner.Ring.vidx ~lo ~hi ~dst in
       Node.remove_copy_forward sns.node ~dst;
       Node.end_fence dst_node dst.Ring.vidx;
+      if Trace.on () then
+        Trace.complete ~track:t.track ~cat:"control"
+          ~args:
+            [
+              ("src", Trace.Int src.Ring.owner.Ring.node);
+              ("dst", Trace.Int dst.Ring.node);
+              ("copied", Trace.Int copied);
+            ]
+          "copy.arc" ~since;
       copied
 
 (* Stream an arc trying each candidate source in turn, preferring the
@@ -170,6 +186,8 @@ let recopy_vnode t (vn : Ring.vnode) =
 (* --- node join (§3.8.1) --- *)
 
 let join t (n : Node.t) =
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" "join" ~args:[ ("node", Trace.Int (Node.id n)) ];
   Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
   Hashtbl.replace t.directory (Node.id n) n;
   Node.set_peer_resolver n (peer_resolver t);
@@ -251,6 +269,8 @@ let rebuild_chains_without t (old_ring : Ring.t) leaver_id =
   !total_copied
 
 let leave t leaver_id =
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" "leave" ~args:[ ("node", Trace.Int leaver_id) ];
   let old_ring = Ring.copy t.ring in
   (* Mark LEAVING: clients stop addressing it immediately; replica count
      temporarily drops to R-1. *)
@@ -271,6 +291,8 @@ let leave t leaver_id =
   copied
 
 let handle_failure t dead_id =
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" "failure" ~args:[ ("node", Trace.Int dead_id) ];
   (match Hashtbl.find_opt t.nodes dead_id with
   | Some ns -> ns.alive <- false
   | None -> ());
@@ -307,6 +329,7 @@ let restart t (n : Node.t) =
 let probe_round t =
   (* Sorted node-id order: fork_join spawns in list order, which is event
      order — probe scheduling must not depend on hash-bucket layout. *)
+  let since = Sim.now () in
   let checks =
     List.filter_map
       (fun id ->
@@ -326,7 +349,11 @@ let probe_round t =
                   if ns.missed >= t.miss_limit then Sim.spawn (fun () -> handle_failure t id)))
       (node_ids t)
   in
-  Sim.fork_join checks
+  Sim.fork_join checks;
+  if Trace.on () then
+    Trace.complete ~track:t.track ~cat:"control"
+      ~args:[ ("probed", Trace.Int (List.length checks)) ]
+      "probe_round" ~since
 
 let start t =
   if not t.running then begin

@@ -19,8 +19,11 @@
 open Leed_sim
 open Leed_blockdev
 open Leed_platform
+module Trace = Leed_trace.Trace
 
 type cmd = Get of string | Put of string * bytes | Del of string | Scrub of int
+
+let cmd_name = function Get _ -> "get" | Put _ -> "put" | Del _ -> "del" | Scrub _ -> "scrub"
 
 type outcome =
   | Found of bytes
@@ -68,6 +71,7 @@ type pending = {
   target : (Circular_log.t * Circular_log.t) option;
   completion : outcome Sim.Ivar.t;
   enqueued_at : float;
+  trace_id : int; (* async trace span from submit to completion; 0 untraced *)
 }
 
 and partition = {
@@ -82,6 +86,7 @@ and ssd_sched = {
   dev_idx : int;
   dev : Blockdev.t;
   core : Sim.Resource.t;
+  track : Trace.track;
   mutable partitions : partition array;
   swap_log : Circular_log.t;
   foreign : pending Queue.t; (* swapped-in commands from other SSDs *)
@@ -94,6 +99,8 @@ and ssd_sched = {
   mutable executed : int;
   mutable swapped_out : int;
   mutable swapped_in : int;
+  mutable deferred : int; (* commands that had to wait for tokens *)
+  mutable denied : int; (* submissions rejected with Overloaded *)
   (* sanitizer ledger: independently accounts every token issued to a
      launched command and consumed at its completion *)
   tok_acct : Invariant.Tokens.t;
@@ -128,9 +135,17 @@ let base_capacity platform =
      units needs twice as many tokens as units. *)
   2 * platform.Platform.ssd.Blockdev.read_concurrency
 
-let create ?(config = default_config) ?(rng = Rng.create 11) platform =
+let create ?(config = default_config) ?(rng = Rng.create 11) ?track platform =
   let nssd = platform.Platform.ssd_count in
-  let devs = Array.init nssd (fun _ -> Blockdev.create ~rng:(Rng.split rng) platform.Platform.ssd) in
+  let parent = match track with Some tr -> tr | None -> Trace.new_track "jbof" in
+  let ssd_tracks = Array.init nssd (fun d -> Trace.new_track ~parent (Printf.sprintf "ssd%d" d)) in
+  let dev_tracks =
+    Array.init nssd (fun d -> Trace.new_track ~parent (Printf.sprintf "ssd%d.dev" d))
+  in
+  let devs =
+    Array.init nssd (fun d ->
+        Blockdev.create ~rng:(Rng.split rng) ~track:dev_tracks.(d) platform.Platform.ssd)
+  in
   let cap_dev = platform.Platform.ssd.Blockdev.capacity_bytes in
   let swap_bytes = int_of_float (config.swap_frac *. float_of_int cap_dev) in
   let part_bytes = (cap_dev - swap_bytes) / config.partitions_per_ssd in
@@ -140,6 +155,7 @@ let create ?(config = default_config) ?(rng = Rng.create 11) platform =
           dev_idx = d;
           dev = devs.(d);
           core = Platform.Cpu.pinned_core platform d;
+          track = ssd_tracks.(d);
           partitions = [||];
           swap_log =
             Circular_log.create
@@ -157,6 +173,8 @@ let create ?(config = default_config) ?(rng = Rng.create 11) platform =
           executed = 0;
           swapped_out = 0;
           swapped_in = 0;
+          deferred = 0;
+          denied = 0;
           swap_inflight = 0;
           tok_acct = Invariant.Tokens.create ~name:(Printf.sprintf "ssd%d.tokens" d);
         })
@@ -231,7 +249,7 @@ let waiting_depth p = Queue.length p.waiting
 let run_pending t (s : ssd_sched) (pend : pending) =
   let exec_start = Sim.now () in
   let st = pend.part.store in
-  let outcome =
+  let execute () =
     (* A dead SSD (injected brown-out) turns the command into a Failed
        completion instead of tearing down the scheduler loop. *)
     try
@@ -251,6 +269,14 @@ let run_pending t (s : ssd_sched) (pend : pending) =
        scheduler loop. *)
     | Store.Corrupt _ | Codec.Corrupt _ -> Corrupt
   in
+  let outcome =
+    if Trace.on () then
+      Trace.span ~track:s.track ~cat:"engine"
+        ("exec." ^ cmd_name pend.cmd)
+        ~args:[ ("pid", Trace.Int pend.part.pid); ("tokens", Trace.Int pend.tokens) ]
+        execute
+    else execute ()
+  in
   s.executed <- s.executed + 1;
   (* Adapt the token capacity from the measured per-IO *service* latency
      (§3.4): a slowed drive (compaction, interference) shrinks the pool,
@@ -265,14 +291,28 @@ let run_pending t (s : ssd_sched) (pend : pending) =
   s.capacity <- max t.config.token_min (min t.config.token_max scaled);
   outcome
 
+let trace_tokens (s : ssd_sched) kind pend =
+  Trace.instant ~track:s.track ~cat:"engine" kind
+    ~args:
+      [
+        ("tokens", Trace.Int pend.tokens);
+        ("active", Trace.Int s.active_tokens);
+        ("capacity", Trace.Int s.capacity);
+      ];
+  Trace.counter ~track:s.track ~cat:"engine" "tokens"
+    [ ("active", float_of_int s.active_tokens); ("capacity", float_of_int s.capacity) ]
+
 let launch t (s : ssd_sched) (pend : pending) =
   s.active_tokens <- s.active_tokens + pend.tokens;
+  if Sim.now () > pend.enqueued_at then s.deferred <- s.deferred + 1;
+  if Trace.on () then trace_tokens s "tok.grant" pend;
   Invariant.Tokens.issue s.tok_acct ~time:(Sim.now ()) pend.tokens;
   Invariant.Tokens.check_balance s.tok_acct ~time:(Sim.now ())
     ~expect_outstanding:s.active_tokens;
   Sim.spawn (fun () ->
       let outcome = run_pending t s pend in
       s.active_tokens <- s.active_tokens - pend.tokens;
+      if Trace.on () then trace_tokens s "tok.release" pend;
       Invariant.Tokens.consume s.tok_acct ~time:(Sim.now ()) pend.tokens;
       Invariant.Tokens.check_balance s.tok_acct ~time:(Sim.now ())
         ~expect_outstanding:s.active_tokens;
@@ -281,6 +321,9 @@ let launch t (s : ssd_sched) (pend : pending) =
         ~detail:(fun () ->
           Printf.sprintf "ssd%d: negative token balance (active=%d foreign=%d)"
             s.dev_idx s.active_tokens s.foreign_tokens);
+      if pend.trace_id <> 0 then
+        Trace.async_end ~track:s.track ~cat:"engine" ~id:pend.trace_id
+          ("cmd." ^ cmd_name pend.cmd);
       Sim.Ivar.fill pend.completion outcome;
       Sim.Mailbox.send s.wake ())
 
@@ -386,9 +429,20 @@ let submit t ~pid cmd =
   let tokens = token_cost cmd in
   let completion = Sim.Ivar.create () in
   let is_put = match cmd with Put _ -> true | Get _ | Del _ | Scrub _ -> false in
+  let open_span (s : ssd_sched) =
+    let trace_id = Trace.next_id () in
+    if trace_id <> 0 then
+      Trace.async_begin ~track:s.track ~cat:"engine" ~id:trace_id ("cmd." ^ cmd_name cmd)
+        ~args:[ ("pid", Trace.Int pid); ("tokens", Trace.Int tokens) ];
+    trace_id
+  in
   (match (is_put, swap_candidate t home) with
   | true, Some other ->
       (* Redirect the write: foreign queue, foreign logs (§3.6). *)
+      let trace_id = open_span other in
+      if trace_id <> 0 then
+        Trace.instant ~track:home.track ~cat:"engine" "swap.redirect"
+          ~args:[ ("to_ssd", Trace.Int other.dev_idx); ("pid", Trace.Int pid) ];
       let pend =
         {
           cmd;
@@ -397,6 +451,7 @@ let submit t ~pid cmd =
           target = Some (other.swap_log, other.swap_log);
           completion;
           enqueued_at = Sim.now ();
+          trace_id;
         }
       in
       home.swapped_out <- home.swapped_out + 1;
@@ -407,8 +462,23 @@ let submit t ~pid cmd =
       other.foreign_tokens <- other.foreign_tokens + tokens;
       Sim.Mailbox.send other.wake ()
   | _ ->
-      if Queue.length p.waiting >= t.config.waiting_cap then raise (Overloaded pid);
-      let pend = { cmd; tokens; part = p; target = None; completion; enqueued_at = Sim.now () } in
+      if Queue.length p.waiting >= t.config.waiting_cap then begin
+        home.denied <- home.denied + 1;
+        Trace.instant ~track:home.track ~cat:"engine" "tok.deny"
+          ~args:[ ("pid", Trace.Int pid) ];
+        raise (Overloaded pid)
+      end;
+      let pend =
+        {
+          cmd;
+          tokens;
+          part = p;
+          target = None;
+          completion;
+          enqueued_at = Sim.now ();
+          trace_id = open_span home;
+        }
+      in
       Queue.push pend p.waiting;
       p.queued_tokens <- p.queued_tokens + tokens;
       Sim.Mailbox.send home.wake ());
@@ -420,6 +490,8 @@ type ssd_stats = {
   swapped_in : int;
   capacity : int;
   ewma_access_us : float;
+  deferred : int;
+  denied : int;
 }
 
 let ssd_stats (s : ssd_sched) =
@@ -429,4 +501,15 @@ let ssd_stats (s : ssd_sched) =
     swapped_in = s.swapped_in;
     capacity = s.capacity;
     ewma_access_us = s.ewma_access_us;
+    deferred = s.deferred;
+    denied = s.denied;
   }
+
+(* --- live gauges for the observability sampler --- *)
+
+let active_tokens (s : ssd_sched) = s.active_tokens
+let token_capacity (s : ssd_sched) = s.capacity
+let ssd_device (s : ssd_sched) = s.dev
+let ssd_track (s : ssd_sched) = s.track
+let queued_tokens (p : partition) = p.queued_tokens
+let swapped_segments (p : partition) = List.length (Segtbl.swapped_out (Store.segtbl p.store))

@@ -48,29 +48,50 @@ type config = {
 }
 
 val default_config : config
+(** The paper-faithful defaults: 2 partitions per SSD, swapping on,
+    tokens adapted within [8, 96], waiting queues capped at 256. *)
 
 type partition
-type ssd_sched
-type t
+(** One intra-SSD partition: a store plus its FCFS waiting queue. *)
 
-val create : ?config:config -> ?rng:Leed_sim.Rng.t -> Leed_platform.Platform.t -> t
+type ssd_sched
+(** One SSD's scheduler: token pool, active set, foreign (swapped-in)
+    queue, and the round-robin cursor over its home partitions. *)
+
+type t
+(** One JBOF's engine: every SSD scheduler plus the swap machinery. *)
+
+val create : ?config:config -> ?rng:Leed_sim.Rng.t -> ?track:Leed_trace.Trace.track -> Leed_platform.Platform.t -> t
+(** Build the engine for one JBOF of the given platform (devices, token
+    schedulers, partitioned stores). [track] is the parent trace row the
+    per-SSD rows ([ssd0], [ssd0.dev], ...) are registered under; a fresh
+    top-level ["jbof"] row when omitted. *)
 
 val start : t -> unit
 (** Spawn the per-SSD schedulers, the stores' compactors, and the
     swap-region reclaimer. *)
 
 val stop : t -> unit
+(** Stop the scheduler loops (each exits at its next wake-up). *)
 
 val partitions : t -> partition array
+(** All partitions of the JBOF, indexed by partition id. *)
+
 val partition : t -> int -> partition
+(** The partition with the given id. *)
+
 val npartitions : t -> int
+(** Number of partitions ([ssd_count * partitions_per_ssd]). *)
+
 val ssds : t -> ssd_sched array
+(** The per-SSD schedulers, indexed by device. *)
 
 val devices : t -> Leed_blockdev.Blockdev.t array
 (** The JBOF's block devices, one per SSD — the uniform NVMe-access
     counter source for the {!Backend} metrics. *)
 
 val store : partition -> Store.t
+(** The partition's log-structured store. *)
 
 val ssd_load : ssd_sched -> int
 (** Tokens committed on an SSD: executing + queued, home and swapped-in. *)
@@ -84,12 +105,14 @@ val set_tenant_weight : t -> tenant:int -> weight:float -> unit
     unregistered tenants weigh 1. *)
 
 val tenant_weight : t -> int -> float
+(** A tenant's configured weight (1 when unregistered). *)
 
 val available_tokens_for : t -> tenant:int -> partition -> int
 (** A tenant's weighted share of the partition's available tokens — what
     gets piggybacked to that tenant's clients. *)
 
 val waiting_depth : partition -> int
+(** Commands parked in the partition's FCFS waiting queue. *)
 
 exception Overloaded of int
 (** Raised by {!submit} when the partition's waiting queue is full; the
@@ -100,11 +123,38 @@ val submit : t -> pid:int -> cmd -> outcome
     Overloaded PUTs may be swapped to another SSD (§3.6). *)
 
 type ssd_stats = {
-  executed : int;
-  swapped_out : int;
-  swapped_in : int;
-  capacity : int;
-  ewma_access_us : float;
+  executed : int;  (** commands completed on this SSD *)
+  swapped_out : int;  (** PUTs this (home) SSD redirected away (§3.6) *)
+  swapped_in : int;  (** foreign PUTs this SSD accepted *)
+  capacity : int;  (** current adaptive token capacity *)
+  ewma_access_us : float;  (** smoothed per-token service latency *)
+  deferred : int;  (** commands that had to wait for tokens before launch *)
+  denied : int;  (** submissions rejected with {!Overloaded} *)
 }
 
 val ssd_stats : ssd_sched -> ssd_stats
+(** Cumulative per-SSD scheduler statistics. *)
+
+(** {1 Live gauges}
+
+    Cheap point-in-time reads for the observability sampler
+    ({!Obs}); all O(1) except {!swapped_segments}. *)
+
+val active_tokens : ssd_sched -> int
+(** Tokens currently held by executing commands. *)
+
+val token_capacity : ssd_sched -> int
+(** Current adaptive token capacity of the SSD. *)
+
+val ssd_device : ssd_sched -> Leed_blockdev.Blockdev.t
+(** The scheduler's block device. *)
+
+val ssd_track : ssd_sched -> Leed_trace.Trace.track
+(** The scheduler's trace row (counters for this SSD land here). *)
+
+val queued_tokens : partition -> int
+(** Tokens committed in the partition's waiting queue. *)
+
+val swapped_segments : partition -> int
+(** Segments of this partition currently living in a foreign SSD's swap
+    region — the per-vnode swap-state gauge. *)

@@ -26,13 +26,16 @@ let total_objects = Cluster.total_objects
 
 let counters t =
   let nvme_reads = ref 0 and nvme_writes = ref 0 in
+  let busy = ref 0. and ndevs = ref 0 in
   List.iter
     (fun n ->
       Array.iter
         (fun d ->
           let s = Blockdev.stats d in
           nvme_reads := !nvme_reads + s.Blockdev.n_reads;
-          nvme_writes := !nvme_writes + s.Blockdev.n_writes)
+          nvme_writes := !nvme_writes + s.Blockdev.n_writes;
+          busy := !busy +. Blockdev.busy_seconds d;
+          incr ndevs)
         (Engine.devices (Node.engine n)))
     (Cluster.nodes t);
   let nacks, retries, backoff_time =
@@ -58,6 +61,7 @@ let counters t =
   {
     Backend.nvme_reads = !nvme_reads;
     nvme_writes = !nvme_writes;
+    device_busy = (if !ndevs > 0 then !busy /. float_of_int !ndevs else 0.);
     nacks;
     retries;
     backoff_time;
@@ -70,6 +74,6 @@ let counters t =
     scrub_repairs = srep;
   }
 
-let watts t =
+let watts t ~util =
   let nnodes = List.length (Cluster.nodes t) in
-  float_of_int nnodes *. Platform.wall_power (Cluster.config t).Cluster.platform ~util:1.0
+  float_of_int nnodes *. Platform.wall_power (Cluster.config t).Cluster.platform ~util

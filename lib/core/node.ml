@@ -17,6 +17,7 @@ open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
 open Leed_platform
+module Trace = Leed_trace.Trace
 
 type vnode_state = {
   vn : Ring.vnode;
@@ -39,6 +40,7 @@ type t = {
   id : int;
   platform : Platform.t;
   engine : Engine.t;
+  track : Trace.track;
   rpc : (Messages.request, Messages.response) Rpc.t;
   ring : Ring.t; (* local view, refreshed by control-plane broadcasts *)
   r : int;
@@ -64,7 +66,8 @@ type t = {
 let rx_cycles = 2500.
 
 let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
-  let engine = Engine.create ~config:engine_config ~rng:(Rng.create (1000 + id)) platform in
+  let track = Trace.new_track (Printf.sprintf "jbof%d" id) in
+  let engine = Engine.create ~config:engine_config ~rng:(Rng.create (1000 + id)) ~track platform in
   let rpc = Rpc.create fabric ~name:(Printf.sprintf "jbof%d" id) ~gbps:platform.Platform.nic_gbps in
   let nparts = Engine.npartitions engine in
   let vnodes = Hashtbl.create nparts in
@@ -82,6 +85,7 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
     id;
     platform;
     engine;
+    track;
     rpc;
     ring = Ring.create ();
     r;
@@ -107,6 +111,7 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
 
 let id t = t.id
 let engine t = t.engine
+let track t = t.track
 let rpc t = t.rpc
 let ring t = t.ring
 let set_peer_resolver t f = t.peer <- f
@@ -286,6 +291,8 @@ let fetch_from_replicas t vs key =
    value even when the local rewrite could not land (dead SSD, overload) —
    the fetched bytes are verified, so serving them is always safe. *)
 let read_repair t vs ~key =
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"node" "read_repair" ~args:[ ("key", Trace.Str key) ];
   match fetch_from_replicas t vs key with
   | None ->
       t.repair_failures <- t.repair_failures + 1;
@@ -317,6 +324,9 @@ let serve_local_read t vs ~key ~tenant =
 
 let ship_to_tail t ~key ~tenant (te : Ring.entry) =
   t.shipped_reads <- t.shipped_reads + 1;
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"node" "get.ship"
+      ~args:[ ("key", Trace.Str key); ("tail", Trace.Int te.Ring.owner.Ring.node) ];
   let req = Messages.Get { vn = te.Ring.owner; key; shipped = true; tenant } in
   let resp =
     Rpc.call_timeout t.rpc
@@ -390,8 +400,7 @@ let handle_version_query t ~vn ~key =
   | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
   | Some vs -> Messages.Version { dirty = is_dirty vs key; tokens = tokens_for t vs }
 
-let handle t (req : Messages.request) : Messages.response =
-  charge_rx t;
+let dispatch t (req : Messages.request) : Messages.response =
   match req with
   | Messages.Get { vn; key; shipped; tenant } -> handle_get t ~vn ~key ~shipped ~tenant
   | Messages.Write { vn; key; value; hop; version; tenant } ->
@@ -403,6 +412,27 @@ let handle t (req : Messages.request) : Messages.response =
       install_ring t snap;
       Messages.Ok { tokens = 0 }
   | Messages.Ping { node = _ } -> Messages.Ok { tokens = 0 }
+
+let handle t (req : Messages.request) : Messages.response =
+  charge_rx t;
+  if not (Trace.on ()) then dispatch t req
+  else begin
+    (* One span per request on the node's row; the hop argument makes a
+       CRRS chain write readable straight off the timeline (hop 0 on the
+       head's row, hop 1 on the next node's, ...). *)
+    let name, args =
+      match req with
+      | Messages.Get { key; shipped; _ } ->
+          ("get", [ ("key", Trace.Str key); ("shipped", Trace.Bool shipped) ])
+      | Messages.Write { key; hop; _ } -> ("write", [ ("key", Trace.Str key); ("hop", Trace.Int hop) ])
+      | Messages.Version_query { key; _ } -> ("version_query", [ ("key", Trace.Str key) ])
+      | Messages.Copy_put { key; _ } -> ("copy_put", [ ("key", Trace.Str key) ])
+      | Messages.Repair_get { key; _ } -> ("repair_get", [ ("key", Trace.Str key) ])
+      | Messages.Ring_update _ -> ("ring_update", [])
+      | Messages.Ping _ -> ("ping", [])
+    in
+    Trace.span ~track:t.track ~cat:"node" name ~args (fun () -> dispatch t req)
+  end
 
 let start t =
   Engine.start t.engine;

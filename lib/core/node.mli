@@ -31,8 +31,17 @@ val create :
   t
 
 val id : t -> int
+(** The node's cluster-unique id. *)
+
 val engine : t -> Engine.t
+(** The node's token-scheduled I/O engine. *)
+
+val track : t -> Leed_trace.Trace.track
+(** The node's trace row ([jbof<id>]); request spans land here and the
+    engine's per-SSD rows are registered beneath it. *)
+
 val rpc : t -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t
+(** The node's RPC endpoint on the fabric. *)
 
 val ring : t -> Ring.t
 (** The node's local ring view (refreshed by control-plane broadcasts). *)

@@ -8,12 +8,14 @@
    injected for §3.8 experiments. *)
 
 open Leed_sim
+module Trace = Leed_trace.Trace
 
 type 'p endpoint = {
   name : string;
   id : int;
   gbps : float;
   nic : Sim.Resource.t;
+  trace : Trace.track; (* the owning fabric's trace row *)
   mutable receiver : ('p envelope -> unit) option;
   mutable up : bool;
   mutable sent_msgs : int;
@@ -23,7 +25,13 @@ type 'p endpoint = {
   backlog : 'p envelope Queue.t; (* messages arriving before a receiver is set *)
 }
 
-and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 'p }
+and 'p envelope = {
+  src : 'p endpoint;
+  dst : 'p endpoint;
+  size : int;
+  payload : 'p;
+  trace_id : int; (* async span id of the in-flight message; 0 when untraced *)
+}
 
 (* Link-level fault verdicts: a fault rule inspects (src, dst) once per
    message on the send path and may drop the message in flight or add
@@ -34,6 +42,7 @@ type verdict = Drop | Delay of float
 
 type 'p fabric = {
   base_latency : float;
+  trace : Trace.track;
   mutable next_id : int;
   mutable endpoints : 'p endpoint list;
   mutable next_rule : int;
@@ -46,6 +55,7 @@ type 'p fabric = {
 let fabric ?(base_latency_us = 3.0) () =
   {
     base_latency = Sim.us base_latency_us;
+    trace = Trace.new_track "net";
     next_id = 0;
     endpoints = [];
     next_rule = 0;
@@ -63,6 +73,7 @@ let endpoint fab ~name ~gbps =
       id;
       gbps;
       nic = Sim.Resource.create ~name:(name ^ ".nic") ~capacity:1 ();
+      trace = fab.trace;
       receiver = None;
       up = true;
       sent_msgs = 0;
@@ -124,6 +135,8 @@ let deliver env =
   if ep.up then begin
     ep.recv_msgs <- ep.recv_msgs + 1;
     ep.recv_bytes <- ep.recv_bytes + env.size;
+    if env.trace_id <> 0 then
+      Trace.async_end ~track:ep.trace ~cat:"net" ~id:env.trace_id "msg";
     match ep.receiver with
     | Some f -> f env
     | None -> Queue.push env ep.backlog
@@ -138,15 +151,28 @@ let send fab ~src ~dst ~size payload =
   else begin
     src.sent_msgs <- src.sent_msgs + 1;
     src.sent_bytes <- src.sent_bytes + size;
+    (* Open the in-flight span before the sender pays NIC occupancy, so
+       the viewer shows the full send-to-deliver extent of the message. *)
+    let trace_id = Trace.next_id () in
+    if trace_id <> 0 then
+      Trace.async_begin ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
+        ~args:[ ("src", Trace.Str src.name); ("dst", Trace.Str dst.name); ("size", Trace.Int size) ];
     Sim.Resource.with_ src.nic (fun () -> Sim.delay (wire_time size src.gbps));
     (* Fault rules apply after the sender has paid its NIC occupancy: the
        packet left the NIC and was lost (or delayed) in the fabric, so
        sender-side timing is identical with and without an armed fault. *)
     match judge fab ~src ~dst with
-    | Drop -> fab.dropped_msgs <- fab.dropped_msgs + 1
+    | Drop ->
+        fab.dropped_msgs <- fab.dropped_msgs + 1;
+        if trace_id <> 0 then begin
+          Trace.instant ~track:fab.trace ~cat:"net" "drop"
+            ~args:[ ("src", Trace.Str src.name); ("dst", Trace.Str dst.name) ];
+          Trace.async_end ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
+            ~args:[ ("dropped", Trace.Bool true) ]
+        end
     | Delay extra ->
         if extra > 0. then fab.delayed_msgs <- fab.delayed_msgs + 1;
-        let env = { src; dst; size; payload } in
+        let env = { src; dst; size; payload; trace_id } in
         Sim.after (fab.base_latency +. extra) (fun () ->
             if dst.up then
               Sim.spawn (fun () ->
@@ -265,4 +291,5 @@ module Rpc = struct
   let set_down t = set_down t.ep
   let set_up t = set_up t.ep
   let is_up t = is_up t.ep
+  let pending_count t = Hashtbl.length t.pending
 end

@@ -8,7 +8,13 @@
 
 type 'p endpoint
 
-and 'p envelope = { src : 'p endpoint; dst : 'p endpoint; size : int; payload : 'p }
+and 'p envelope = {
+  src : 'p endpoint;
+  dst : 'p endpoint;
+  size : int;
+  payload : 'p;
+  trace_id : int;  (** async trace-span id of the in-flight message; 0 when untraced *)
+}
 
 type 'p fabric
 
@@ -94,4 +100,8 @@ module Rpc : sig
   val set_down : ('q, 'r) t -> unit
   val set_up : ('q, 'r) t -> unit
   val is_up : ('q, 'r) t -> bool
+
+  val pending_count : ('q, 'r) t -> int
+  (** Number of outstanding calls (issued, no response yet) — sampled by
+      the observability layer as the per-client outstanding-RPC gauge. *)
 end

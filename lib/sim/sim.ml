@@ -15,6 +15,7 @@ type engine = {
   heap : Event_heap.t;
   mutable stopped : bool;
   mutable spawned : int;
+  mutable dispatched : int;
 }
 
 let current : engine option ref = ref None
@@ -86,9 +87,21 @@ let stop () =
   let eng = get_engine () in
   eng.stopped <- true
 
+(* Scheduler introspection, sampled by the observability layer. *)
+let events_dispatched () = (get_engine ()).dispatched
+let heap_depth () = Event_heap.length (get_engine ()).heap
+let processes_spawned () = (get_engine ()).spawned
+
 let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
   let eng =
-    { now = 0.; seq = 0; heap = Event_heap.create (); stopped = false; spawned = 0 }
+    {
+      now = 0.;
+      seq = 0;
+      heap = Event_heap.create ();
+      stopped = false;
+      spawned = 0;
+      dispatched = 0;
+    }
   in
   let saved = !current in
   current := Some eng;
@@ -124,6 +137,7 @@ let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
                  Printf.sprintf "heap yielded an event at t=%.9g behind the clock"
                    ev.Event_heap.time);
              eng.now <- ev.Event_heap.time;
+             eng.dispatched <- eng.dispatched + 1;
              ev.Event_heap.run ()
            end
      done
@@ -294,6 +308,10 @@ module Resource = struct
     account t;
     if now () <= 0. then 0.
     else t.busy_area /. (float_of_int t.capacity *. now ())
+
+  let busy_time t =
+    account t;
+    t.busy_area
 end
 
 (* Spawn all thunks and block until every one has finished. *)

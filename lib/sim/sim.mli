@@ -60,6 +60,21 @@ val yield : unit -> unit
 val stop : unit -> unit
 (** Terminate the event loop after the current event completes. *)
 
+(** {1 Scheduler introspection}
+
+    Cheap counters over the running engine, read by the observability
+    layer's periodic sampler ([Leed_core.Obs]). All must be called
+    inside {!run}. *)
+
+val events_dispatched : unit -> int
+(** Number of heap events executed since the current run started. *)
+
+val heap_depth : unit -> int
+(** Number of events currently pending on the heap. *)
+
+val processes_spawned : unit -> int
+(** Number of processes started with {!spawn} since the run started. *)
+
 val fork_join : (unit -> unit) list -> unit
 (** Spawn every thunk and block until all have finished. *)
 
@@ -83,8 +98,10 @@ val to_us : float -> float
 (** Write-once variables. *)
 module Ivar : sig
   type 'a t
+  (** A variable that is filled at most once; readers block until then. *)
 
   val create : unit -> 'a t
+  (** A fresh, empty variable. *)
 
   val fill : 'a t -> 'a -> unit
   (** Fill the variable and wake all readers. Raises [Invalid_argument] if
@@ -94,7 +111,10 @@ module Ivar : sig
   (** Like {!fill} but returns [false] instead of raising. *)
 
   val is_filled : 'a t -> bool
+  (** Whether the variable has been filled. *)
+
   val peek : 'a t -> 'a option
+  (** The value if already filled, without blocking. *)
 
   val on_fill : 'a t -> ('a -> unit) -> unit
   (** Register a callback run at fill time (immediately if already full). *)
@@ -109,17 +129,26 @@ end
 (** Unbounded FIFO channels with blocking receive. *)
 module Mailbox : sig
   type 'a t
+  (** A FIFO channel; sends never block, receives may. *)
 
   val create : unit -> 'a t
+  (** A fresh, empty channel. *)
+
   val length : 'a t -> int
+  (** Number of queued (sent but not yet received) values. *)
+
   val is_empty : 'a t -> bool
+  (** Whether no values are queued. *)
 
   val send : 'a t -> 'a -> unit
   (** Never blocks: hands the value to the oldest waiting receiver, or
       queues it. *)
 
   val try_recv : 'a t -> 'a option
+  (** The oldest queued value, or [None] without blocking. *)
+
   val recv : 'a t -> 'a
+  (** Block until a value is available, then return the oldest. *)
 
   val recv_timeout : 'a t -> float -> 'a option
   (** [None] if nothing arrives within the timeout. *)
@@ -129,18 +158,40 @@ end
     cores, device queue slots, link capacity. *)
 module Resource : sig
   type t
+  (** A counted resource: up to [capacity] units held at once, FIFO
+      admission for waiters. *)
 
   val create : ?name:string -> capacity:int -> unit -> t
+  (** A fresh resource with the given (positive) capacity; [name] appears
+      in error messages and sanitizer reports. *)
+
   val acquire : ?amount:int -> t -> unit
+  (** Take [amount] units (default 1), blocking behind earlier waiters
+      until they fit. Raises [Invalid_argument] if [amount] exceeds the
+      total capacity. *)
+
   val release : ?amount:int -> t -> unit
+  (** Return [amount] units (default 1) and wake fitting waiters in FIFO
+      order. Raises [Invalid_argument] on over-release. *)
 
   val with_ : ?amount:int -> t -> (unit -> 'a) -> 'a
   (** Acquire, run, release (also on exception). *)
 
   val in_use : t -> int
+  (** Units currently held. *)
+
   val waiting : t -> int
+  (** Number of processes queued behind {!acquire}. *)
+
   val capacity : t -> int
+  (** Total capacity the resource was created with. *)
 
   val utilisation : t -> float
   (** Time-averaged fraction of capacity in use since the run started. *)
+
+  val busy_time : t -> float
+  (** Cumulative busy integral in unit-seconds: the time integral of
+      {!in_use} since the run started. Divide by elapsed time for mean
+      occupancy; the energy model uses it to derive observed device
+      activity. *)
 end

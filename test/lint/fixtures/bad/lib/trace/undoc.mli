@@ -1,0 +1,7 @@
+val documented : int -> int
+(** Documented: the docstring after an item attaches to it. *)
+
+val undocumented : string -> unit
+
+(* simlint: allow doc — reviewed, intentionally terse *)
+val suppressed : unit -> unit

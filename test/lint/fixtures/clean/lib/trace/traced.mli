@@ -1,0 +1,9 @@
+(** A fully documented trace interface — R5 must stay quiet here. *)
+
+val emit : string -> unit
+(** Record one named event. *)
+
+module Scope : sig
+  val enter : string -> unit
+  (** Open a nested scope (nested values are checked too). *)
+end

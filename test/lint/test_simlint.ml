@@ -1,7 +1,7 @@
 (* Driver for the simlint fixture suite.
 
    Runs the linter over two fixture trees: one seeded with a known set of
-   R1-R4 violations that must all be flagged at the right file:line, and a
+   R1-R5 violations that must all be flagged at the right file:line, and a
    clean tree (including allowlisted Random/Effect/wall-clock uses and a
    suppression comment) that must pass. Invoked by dune with the path to
    the simlint executable as the single argument. *)
@@ -70,7 +70,9 @@ let () =
   expect_absent out "suppressed Hashtbl.fold not flagged" "bad_hashtbl.ml:4";
   expect_line out "R4 Obj.magic flagged" "lib/core/bad_obj.ml:1: R4";
   expect_line out "R4 compare-on-closure flagged" "lib/core/bad_compare.ml:1: R4";
-  expect_line out "exact violation count" "simlint: 10 violation(s)";
+  expect_line out "R5 undocumented value flagged" "lib/trace/undoc.mli:4: R5";
+  expect_absent out "suppressed undocumented value not flagged" "undoc.mli:7";
+  expect_line out "exact violation count" "simlint: 11 violation(s)";
   (* --- clean tree: allowlists and suppressions must hold --- *)
   let status, out = run_simlint ~dir:"fixtures/clean" [ "lib"; "bin"; "bench" ] in
   if status <> 0 then fail "clean tree: expected exit 0, got %d:\n%s" status out

@@ -66,7 +66,11 @@ let conformance name () =
       (* Observability is live on every backend. *)
       let ctrs = Backend.counters b in
       Alcotest.(check bool) "nvme writes seen" true (ctrs.Backend.nvme_writes > 0);
-      Alcotest.(check bool) "watts positive" true (Backend.watts b > 0.);
+      Alcotest.(check bool) "watts positive" true (Backend.watts b ~util:1.0 > 0.);
+      Alcotest.(check bool) "device busy observed" true (ctrs.Backend.device_busy > 0.);
+      Alcotest.(check bool)
+        "idle power <= active power" true
+        (Backend.watts b ~util:0.0 <= Backend.watts b ~util:1.0);
       Backend.stop b)
 
 (* The same seeded workload in two fresh simulation worlds must produce

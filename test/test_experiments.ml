@@ -37,7 +37,14 @@ let test_fawn_setup_measures () =
         Exp_common.measure_closed ~label:"t" ~setup:s ~clients:8 ~duration:0.1 ~gen ())
   in
   Alcotest.(check bool) "ops" true (m.Backend.ops > 20);
-  Alcotest.(check (float 0.01)) "watts" 16.8 m.Backend.watts
+  (* FAWN's Pis are interrupt-driven, so reported power scales with the
+     device utilisation observed in the window: 4 nodes land between the
+     all-idle floor (4 x 3.6 W) and the flat-out ceiling (4 x 4.2 W),
+     strictly above idle because the workload did real I/O. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "watts in power-proportional band (%.3f)" m.Backend.watts)
+    true
+    (m.Backend.watts > 14.4 && m.Backend.watts <= 16.8)
 
 let test_kvell_setup_measures () =
   let m =

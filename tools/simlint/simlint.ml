@@ -21,12 +21,17 @@
                          [Hashtbl.hash] under lib/core/ — on-flash
                          integrity checks must be real checksums
                          (Codec.crc32), never the memory-layout hash
+     R5 doc coverage     every exported value of the curated interfaces
+                         (lib/sim/sim.mli, lib/core/engine.mli, every
+                         lib/trace/*.mli) carries a doc comment — the
+                         container has no odoc, so this stands in for
+                         failing the build on missing-doc warnings
 
    Violations print "file:line: rule: message" and the exit status is
    non-zero. A finding can be suppressed by a comment containing
    "simlint: allow <tag>" on the same or the preceding line, where <tag>
-   is the rule id (R1..R4) or its specific name (random, wall-clock,
-   effect, hashtbl-order, hashtbl-hash, obj-magic, compare-fun). *)
+   is the rule id (R1..R5) or its specific name (random, wall-clock,
+   effect, hashtbl-order, hashtbl-hash, obj-magic, compare-fun, doc). *)
 
 let scope_default = [ "lib"; "bin"; "bench" ]
 
@@ -169,17 +174,16 @@ let lint_structure ~file (str : Parsetree.structure) =
   let it = { Ast_iterator.default_iterator with expr = expr_iter } in
   it.structure it str
 
-let lint_file file =
+(* Read [file], run [lint text] (which reports violations), then drop the
+   fresh findings that a "simlint: allow" comment in the file covers. *)
+let with_suppressions file lint =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
   let text = really_input_string ic n in
   close_in ic;
   let marks = allow_marks text in
   let before = !violations in
-  (try
-     let lexbuf = Lexing.from_string text in
-     Location.init lexbuf file;
-     lint_structure ~file (Parse.implementation lexbuf)
+  (try lint text
    with exn ->
      let line =
        match exn with
@@ -200,6 +204,48 @@ let lint_file file =
   violations :=
     List.filter (fun v -> not (suppressed marks ~line:v.line ~rule:v.rule ~tag:v.tag)) fresh
     @ rest
+
+let lint_file file =
+  with_suppressions file (fun text ->
+      let lexbuf = Lexing.from_string text in
+      Location.init lexbuf file;
+      lint_structure ~file (Parse.implementation lexbuf))
+
+(* ------------------------------------------------------------------ *)
+(* R5: documentation coverage for the curated interfaces. *)
+
+let doc_required_files = [ "lib/sim/sim.mli"; "lib/core/engine.mli" ]
+
+let doc_required file =
+  Filename.check_suffix file ".mli"
+  && (List.mem file doc_required_files || under "lib/trace" file)
+
+let has_doc_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = "ocaml.doc" || a.attr_name.txt = "doc")
+    attrs
+
+let lint_interface ~file (sg : Parsetree.signature) =
+  let open Ast_iterator in
+  let item_iter (it : Ast_iterator.iterator) (item : Parsetree.signature_item) =
+    (match item.psig_desc with
+    | Psig_value vd when not (has_doc_attr vd.pval_attributes) ->
+        report ~file ~line:item.psig_loc.loc_start.pos_lnum ~rule:"R5" ~tag:"doc"
+          (Printf.sprintf
+             "undocumented value %s: every exported value of this interface must \
+              carry a (** ... *) comment"
+             vd.pval_name.txt)
+    | _ -> ());
+    Ast_iterator.default_iterator.signature_item it item
+  in
+  let it = { Ast_iterator.default_iterator with signature_item = item_iter } in
+  it.signature it sg
+
+let lint_mli file =
+  with_suppressions file (fun text ->
+      let lexbuf = Lexing.from_string text in
+      Location.init lexbuf file;
+      lint_interface ~file (Parse.interface lexbuf))
 
 (* ------------------------------------------------------------------ *)
 (* R3: interface coverage. *)
@@ -229,6 +275,7 @@ let rec walk path acc =
        Array.sort compare entries;
        entries)
   else if Filename.check_suffix path ".ml" then path :: acc
+  else if doc_required path then path :: acc
   else acc
 
 let () =
@@ -246,8 +293,11 @@ let () =
   in
   List.iter
     (fun f ->
-      check_mli_coverage f;
-      lint_file f)
+      if Filename.check_suffix f ".mli" then lint_mli f
+      else begin
+        check_mli_coverage f;
+        lint_file f
+      end)
     files;
   let vs =
     List.sort
