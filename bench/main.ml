@@ -13,9 +13,74 @@
                                     write the Chrome trace and report the
                                     wall-clock overhead of capture
      bench/main.exe chaos [seed..]  seeded fault-injection runs (crash-restarts,
-                                    partition, SSD degradation) under load *)
+                                    partition, SSD degradation) under load
+     bench/main.exe race [target..] simultaneous-event race detection over the
+                                    registered targets (default all)
+
+   The ycsb and race modes additionally write machine-readable
+   BENCH_ycsb.json / BENCH_race.json (throughput, p99, events/sec, wall
+   time) for trend tracking across commits. *)
 
 open Leed_experiments
+
+(* --- minimal JSON emitter (no JSON library in the container) --- *)
+
+module Json = struct
+  type t =
+    | Str of string
+    | Num of float
+    | Int of int
+    | Bool of bool
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
+        | c -> Buffer.add_char b c)
+      s
+
+  let rec emit b = function
+    | Str s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | Num f ->
+        if Float.is_finite f then Printf.bprintf b "%.9g" f else Buffer.add_string b "null"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b (Str k);
+            Buffer.add_char b ':';
+            emit b v)
+          fields;
+        Buffer.add_char b '}'
+
+  let write file t =
+    let b = Buffer.create 4096 in
+    emit b t;
+    Buffer.add_char b '\n';
+    let oc = open_out file in
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
 
 let experiments =
   [
@@ -45,20 +110,54 @@ let ycsb_sizing = function
 let ycsb backends =
   let open Leed_sim in
   let open Leed_workload in
+  let module Backend = Leed_core.Backend in
   print_endline "== YCSB-B (1KB) through the unified backend path ==";
-  List.iter
-    (fun name ->
-      Sim.run (fun () ->
-          let nkeys, workers, window = ycsb_sizing name in
-          let setup = Exp_common.setup_of_name ~nclients:4 name in
-          Exp_common.preload setup ~nkeys ~value_size:1008;
-          let gen = Workload.generator ~object_size:1024 (Workload.ycsb_b ()) ~nkeys (Rng.create 9) in
-          let m =
-            Exp_common.measure_closed ~label:name ~setup ~clients:workers
-              ~duration:(Exp_common.dur window) ~gen ()
-          in
-          Exp_common.report_metrics m))
-    backends
+  let rows =
+    List.map
+      (fun name ->
+        let wall0 = Unix.gettimeofday () in
+        let m, events =
+          Sim.run (fun () ->
+              let nkeys, workers, window = ycsb_sizing name in
+              let setup = Exp_common.setup_of_name ~nclients:4 name in
+              Exp_common.preload setup ~nkeys ~value_size:1008;
+              let gen =
+                Workload.generator ~object_size:1024 (Workload.ycsb_b ()) ~nkeys (Rng.create 9)
+              in
+              let m =
+                Exp_common.measure_closed ~label:name ~setup ~clients:workers
+                  ~duration:(Exp_common.dur window) ~gen ()
+              in
+              (m, Sim.events_dispatched ()))
+        in
+        let wall = Unix.gettimeofday () -. wall0 in
+        Exp_common.report_metrics m;
+        Json.Obj
+          [
+            ("backend", Json.Str name);
+            ("ops", Json.Int m.Backend.ops);
+            ("sim_duration_s", Json.Num m.Backend.duration);
+            ("throughput_ops_s", Json.Num m.Backend.throughput);
+            ("avg_lat_s", Json.Num m.Backend.avg_lat);
+            ("p99_s", Json.Num m.Backend.p99);
+            ("p999_s", Json.Num m.Backend.p999);
+            ("nvme_accesses", Json.Int m.Backend.nvme_accesses);
+            ("watts", Json.Num m.Backend.watts);
+            ("events", Json.Int events);
+            ("wall_s", Json.Num wall);
+            ("events_per_s", Json.Num (if wall > 0. then float_of_int events /. wall else 0.));
+          ])
+      backends
+  in
+  Json.write "BENCH_ycsb.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "ycsb");
+         ("workload", Json.Str "YCSB-B");
+         ("object_size", Json.Int 1024);
+         ("results", Json.List rows);
+       ]);
+  Printf.printf "wrote BENCH_ycsb.json (%d backends)\n" (List.length rows)
 
 (* --- traced benchmark: capture one YCSB run and report the overhead --- *)
 
@@ -113,6 +212,59 @@ let chaos seeds =
       Format.printf "%a@." Chaos.pp_report r;
       if not r.Chaos.ok then exit 1)
     seeds
+
+(* --- simultaneous-event race detection (leed race, benchmarked) --- *)
+
+let race ~fast names =
+  let module Race = Leed_race.Race in
+  let targets =
+    match names with
+    | [] -> Race.targets ~fast ()
+    | names -> List.map (Race.find_target ~fast) names
+  in
+  let runs = 8 in
+  Printf.printf "== race detection: %d targets, %d perturbed orderings each ==\n%!"
+    (List.length targets) runs;
+  let rows =
+    List.map
+      (fun (t : Race.target) ->
+        let wall0 = Unix.gettimeofday () in
+        let r = Race.check ~runs t in
+        let wall = Unix.gettimeofday () -. wall0 in
+        Format.printf "%a@." Race.pp_result r;
+        (* (runs + 1) full executions of ~events each, plus any
+           attribution bisection — events_per_s is the detector's
+           aggregate dispatch rate, the race-mode BENCH trend metric. *)
+        let total_events = r.Race.events * (runs + 1) in
+        ( r,
+          Json.Obj
+            [
+              ("target", Json.Str r.Race.target);
+              ("passed", Json.Bool (Race.passed r));
+              ("expect_divergence", Json.Bool r.Race.expect_divergence);
+              ("runs", Json.Int r.Race.runs);
+              ("divergences", Json.Int (List.length r.Race.divergences));
+              ("base_digest", Json.Str r.Race.base_digest);
+              ("events", Json.Int r.Race.events);
+              ("wall_s", Json.Num wall);
+              ( "events_per_s",
+                Json.Num (if wall > 0. then float_of_int total_events /. wall else 0.) );
+            ] ))
+      targets
+  in
+  Json.write "BENCH_race.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "race");
+         ("runs", Json.Int runs);
+         ("fast", Json.Bool fast);
+         ("results", Json.List (List.map snd rows));
+       ]);
+  Printf.printf "wrote BENCH_race.json (%d targets)\n" (List.length rows);
+  if List.exists (fun (r, _) -> not (Leed_race.Race.passed r)) rows then begin
+    prerr_endline "bench race: determinism contract violated";
+    exit 1
+  end
 
 (* --- Bechamel microbenchmarks of the core data structures --- *)
 
@@ -210,6 +362,7 @@ let () =
       ycsb (if rest = [] then Exp_common.backend_names else rest)
   | "trace" :: rest -> trace_mode rest
   | "chaos" :: rest -> chaos rest
+  | "race" :: rest -> race ~fast rest
   | _ ->
   let micro_only = selected = [ "micro" ] in
   let run_micro = selected = [] || List.mem "micro" selected in

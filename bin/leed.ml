@@ -261,6 +261,70 @@ let chaos_cmd =
     Term.(const run $ seed $ runs $ fast $ bit_rot $ sanitize $ trace_out)
 
 
+let race_cmd =
+  let runs =
+    Arg.(
+      value & opt int 8
+      & info [ "runs" ] ~docv:"K" ~doc:"Perturbed equal-time orderings to try per target.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed the K perturbation seeds derive from.")
+  in
+  let target =
+    Arg.(
+      value & opt (some string) None
+      & info [ "target" ] ~docv:"NAME" ~doc:"Check a single target (default: all; see --list).")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Smaller keyspaces and op budgets (smoke mode).")
+  in
+  let list_targets =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered targets and exit.")
+  in
+  let no_attribution =
+    Arg.(
+      value & flag
+      & info [ "no-attribution" ]
+          ~doc:"Report divergences without bisecting to the first commuting event pair \
+                (skips the O(log events) extra runs per divergence).")
+  in
+  let run runs seed target fast list_targets no_attribution =
+    let module Race = Leed_race.Race in
+    if list_targets then
+      List.iter
+        (fun (t : Race.target) ->
+          Printf.printf "%-16s %s%s\n" t.Race.name t.Race.descr
+            (if t.Race.expect_divergence then " [expects divergence]" else ""))
+        (Race.targets ~fast ())
+    else begin
+      let ts =
+        match target with
+        | Some n -> [ Race.find_target ~fast n ]
+        | None -> Race.targets ~fast ()
+      in
+      let results =
+        List.map (Race.check ~runs ~seed ~attribute_divergences:(not no_attribution)) ts
+      in
+      List.iter (fun r -> Format.printf "%a@." Race.pp_result r) results;
+      let bad = List.filter (fun r -> not (Race.passed r)) results in
+      if bad <> [] then begin
+        Printf.eprintf "race: %d target(s) failed the determinism contract\n" (List.length bad);
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Simultaneous-event race detector: run each target once under the FIFO tie-break and K \
+          times under seeded perturbations of equal-time event order, diff the observable \
+          digests, and bisect any divergence to the first commuting event pair (the two \
+          same-instant events whose order the observables illegally depend on). Clean targets \
+          must agree across all orderings; the racy-demo fixture must diverge.")
+    Term.(const run $ runs $ seed $ target $ fast $ list_targets $ no_attribution)
+
 let scrub_cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Bit-rot placement seed.")
@@ -366,6 +430,7 @@ let () =
             top_cmd;
             trace_validate_cmd;
             chaos_cmd;
+            race_cmd;
             scrub_cmd;
             experiment_cmd;
           ]))

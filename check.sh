@@ -41,6 +41,14 @@ echo "== bit-rot chaos (scrub + read-repair under faults, determinism diff) =="
 # and the two same-seed runs must still be bit-identical.
 dune exec bin/leed.exe -- chaos --fast --sanitize --bit-rot --seed 7 --runs 2
 
+echo "== race smoke (perturbed equal-time orderings, clean target + racy fixture) =="
+# The detector reruns each target under 8 seeded equal-time orderings
+# and diffs the observable digests: the chaos schedule must be
+# order-invariant, and the deliberately racy fixture must diverge with
+# its first commuting event pair named (exit 1 otherwise).
+dune exec bin/leed.exe -- race --fast --runs 8 --target chaos
+dune exec bin/leed.exe -- race --fast --runs 8 --target racy-demo
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 

@@ -304,7 +304,7 @@ let trace_tokens (s : ssd_sched) kind pend =
 
 let launch t (s : ssd_sched) (pend : pending) =
   s.active_tokens <- s.active_tokens + pend.tokens;
-  if Sim.now () > pend.enqueued_at then s.deferred <- s.deferred + 1;
+  if Sim.past pend.enqueued_at then s.deferred <- s.deferred + 1;
   if Trace.on () then trace_tokens s "tok.grant" pend;
   Invariant.Tokens.issue s.tok_acct ~time:(Sim.now ()) pend.tokens;
   Invariant.Tokens.check_balance s.tok_acct ~time:(Sim.now ())

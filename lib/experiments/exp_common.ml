@@ -176,7 +176,9 @@ let default_nkeys = 10_000
 let default_duration = 0.25
 let default_clients = 96
 
-(* Global knob for quick runs: multiplies every measurement window
-   (`bench fast` sets it below 1). *)
+(* Reviewed singleton: CLI-scoped knob set once at process start (before
+   any Sim.run) by `leed experiment --fast` / `bench fast`, read-only
+   afterwards — it cannot couple simulations to each other. *)
+(* simlint: allow toplevel-state *)
 let time_scale = ref 1.0
 let dur x = x *. !time_scale

@@ -18,7 +18,7 @@ let measure_ssd profile =
         let d = Blockdev.create scaled in
         let n = ref 0 in
         let worker () =
-          while Sim.now () < 0.05 do
+          while not (Sim.reached 0.05) do
             ignore (Blockdev.read d ~off:(4096 * (!n mod 1000)) ~len:4096);
             incr n
           done
@@ -33,7 +33,7 @@ let measure_ssd profile =
         let block = Bytes.create 4096 in
         let worker i () =
           let off = ref (i * 8_000_000) in
-          while Sim.now () < 0.05 do
+          while not (Sim.reached 0.05) do
             Blockdev.write_seq d ~off:!off block;
             off := !off + 4096;
             incr n

@@ -51,7 +51,7 @@ let measure_point ~swap ~object_size ~skew =
       let t0 = Sim.now () in
       let stop = t0 +. Exp_common.dur 0.12 in
       let worker () =
-        while Sim.now () < stop do
+        while not (Sim.reached stop) do
           let part = by_part.(Zipf.next zipf) in
           let id = part.(Rng.int rng (Array.length part)) in
           let k = Workload.key_of_id id in

@@ -35,7 +35,7 @@ let leed_throughput ~object_size ~put_frac =
       let t0 = Sim.now () in
       let stop = t0 +. 0.1 in
       let worker () =
-        while Sim.now () < stop do
+        while not (Sim.reached stop) do
           let id = Rng.int rng nkeys in
           let k = Workload.key_of_id id in
           (if Rng.float rng < put_frac then
@@ -78,7 +78,7 @@ let fawn_pi_throughput ~object_size ~put_frac =
       let t0 = Sim.now () in
       let stop = t0 +. 0.3 in
       let worker () =
-        while Sim.now () < stop do
+        while not (Sim.reached stop) do
           let id = Rng.int rng nkeys in
           let k = Workload.key_of_id id in
           Sim.Resource.with_ lock (fun () ->

@@ -60,7 +60,7 @@ let run_clients ~store ~wl ~duration ~workers ~charge =
   let t0 = Sim.now () in
   let stop = t0 +. duration in
   let worker () =
-    while Sim.now () < stop do
+    while not (Sim.reached stop) do
       let id, read = pick_op wl rng zipf in
       let k = Workload.key_of_id id in
       if read then ignore (Store.get store k)
@@ -133,7 +133,7 @@ let inter_point ~wl ~concurrent =
       let stop = t0 +. 0.2 in
       let worker w () =
         let store = List.nth stores (w mod 4) in
-        while Sim.now () < stop do
+        while not (Sim.reached stop) do
           let id, read = pick_op wl rng zipf in
           let k = Workload.key_of_id id in
           if read then ignore (Store.get store k)

@@ -59,7 +59,7 @@ let run_workload mix =
          arrivals beyond the window are shed instead of queuing forever —
          which is exactly how the completion-rate drop becomes visible. *)
       let inflight = ref 0 in
-      while Sim.now () < stop do
+      while not (Sim.reached stop) do
         Sim.delay (Rng.exponential rng ~mean:(1. /. rate));
         if !inflight < 1500 then begin
           incr inflight;

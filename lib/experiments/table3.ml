@@ -74,7 +74,7 @@ let measure ~label ~preload ~execute_read ~execute_write =
     let t0 = Sim.now () in
     let stop = t0 +. 0.15 in
     let worker () =
-      while Sim.now () < stop do
+      while not (Sim.reached stop) do
         let s0 = Sim.now () in
         exec ();
         Leed_stats.Histogram.record h (Sim.now () -. s0);

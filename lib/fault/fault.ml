@@ -204,10 +204,24 @@ module Injector = struct
     | Schedule.Link_loss { node; prob; duration } ->
         note t (Schedule.fault_to_string fault);
         let eid = endpoint_id t node in
-        let r = Rng.split t.rng in
+        (* Drop decisions are a stateless hash of (key, src, dst,
+           per-pair message index), not draws from a shared stream: two
+           messages on different links sent at the same instant would
+           otherwise swap their draws when the tie-break order flips,
+           and the loss pattern — hence retries, timeouts, the digest —
+           would differ across legal orderings. Per-pair indices are
+           stable because each sender's messages on one link are issued
+           by one sequential process. *)
+        let key = Rng.int t.rng 0x3FFFFFFF in
+        let counts = Hashtbl.create 64 in
         let rule src dst =
-          if Netsim.id src = eid || Netsim.id dst = eid then
-            if Rng.float r < prob then Some Netsim.Drop else None
+          let s = Netsim.id src and d = Netsim.id dst in
+          if s = eid || d = eid then begin
+            let pair = (s lsl 20) lor d in
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts pair) in
+            Hashtbl.replace counts pair (c + 1);
+            if Rng.hash_float key s d c < prob then Some Netsim.Drop else None
+          end
           else None
         in
         let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
@@ -263,7 +277,7 @@ module Injector = struct
     List.iter
       (fun { Schedule.at; fault } ->
         t.pending <- t.pending + 1;
-        Sim.spawn (fun () ->
+        Sim.spawn ~label:("fault:" ^ Schedule.fault_to_string fault) (fun () ->
             Sim.delay at;
             apply t fault;
             t.pending <- t.pending - 1))
@@ -299,6 +313,12 @@ module Chaos = struct
     schedule : Schedule.t option;
     bit_rot : bool;
         (* inject at-rest bit flips and run the background scrubber *)
+    ops_per_worker : int option;
+        (* Some n: each worker issues exactly n ops instead of looping
+           until [duration] elapses. Fixed op counts make the op totals
+           (and hence the race-detection digest) structurally invariant
+           under tie-break perturbation; the race harness uses this
+           mode. *)
   }
 
   let default_config =
@@ -317,6 +337,7 @@ module Chaos = struct
       ssd_capacity = 192 * 1024 * 1024;
       schedule = None;
       bit_rot = false;
+      ops_per_worker = None;
     }
 
   type report = {
@@ -347,6 +368,14 @@ module Chaos = struct
     verify_bad : int;
     ok : bool;
     digest : string;
+    state_digest : string;
+        (* digest of the tie-break-invariant observables only: the final
+           value (key id, sequence) of every key as read through a
+           client, plus the acknowledged-write ledger. Unlike [digest]
+           it excludes timing-shaped fields (max_outage, retries,
+           message counts), so it must be identical not just across
+           same-seed runs but across every legal tie-break ordering —
+           the property `leed race` checks. *)
   }
 
   (* --- sequence-numbered values: "cNNNNNN.sNNNNNNNNN." + padding --- *)
@@ -398,9 +427,9 @@ module Chaos = struct
 
   let digest_of_fields fields = Digest.to_hex (Digest.string (String.concat "|" fields))
 
-  let run ?checks (cfg : config) =
+  let run ?checks ?tiebreak ?on_dispatch (cfg : config) =
     if cfg.nkeys < cfg.nclients then invalid_arg "Chaos.run: nkeys must be >= nclients";
-    Sim.run ?checks (fun () ->
+    Sim.run ?checks ?tiebreak ?on_dispatch (fun () ->
         let cluster = Cluster.create ~config:(cluster_config cfg) () in
         let clients = List.init cfg.nclients (fun _ -> Cluster.client cluster) in
         let sched =
@@ -450,7 +479,14 @@ module Chaos = struct
         let shard = cfg.nkeys / cfg.nclients in
         let worker w c () =
           let wrng = Rng.create (cfg.seed lxor (0x9e3779b9 + w)) in
-          while Sim.now () < stop_at do
+          let issued = ref 0 in
+          let keep_going () =
+            match cfg.ops_per_worker with
+            | Some n -> !issued < n
+            | None -> not (Sim.reached stop_at)
+          in
+          while keep_going () do
+            incr issued;
             let k = (w + (cfg.nclients * Rng.int wrng shard)) mod cfg.nkeys in
             incr ops;
             if Rng.float wrng < cfg.write_ratio then begin
@@ -482,7 +518,8 @@ module Chaos = struct
             end
           done
         in
-        Sim.fork_join (List.mapi worker clients);
+        Sim.fork_join_named
+          (List.mapi (fun w c -> (Some (Printf.sprintf "chaos:w%d" w), worker w c)) clients);
         (* Let the schedule finish healing, then give repairs a grace
            window to drain before judging end-state invariants. *)
         Injector.wait_quiesced inj;
@@ -504,6 +541,8 @@ module Chaos = struct
         let full_chain = min cfg.r (List.length live) in
         let lost = ref 0 and stale = ref 0 and bad_chains = ref 0 in
         let vc = List.hd clients in
+        (* Accumulates one "k:seq/acked" cell per key for [state_digest]. *)
+        let state_buf = Buffer.create (cfg.nkeys * 16) in
         for k = 0 to cfg.nkeys - 1 do
           let key = key_of k in
           let chain = Ring.chain (Control.ring control) ~r:cfg.r key in
@@ -516,10 +555,17 @@ module Chaos = struct
           (match Client.get vc key with
           | Some v -> (
               match decode v with
-              | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
-              | Some _ | None -> incr lost)
-          | None -> incr lost
-          | exception Client.Unavailable _ -> incr lost);
+              | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) ->
+                  Buffer.add_string state_buf (Printf.sprintf "%d:%d/%d;" k s acked.(k))
+              | Some _ | None ->
+                  Buffer.add_string state_buf (Printf.sprintf "%d:garbled/%d;" k acked.(k));
+                  incr lost)
+          | None ->
+              Buffer.add_string state_buf (Printf.sprintf "%d:miss/%d;" k acked.(k));
+              incr lost
+          | exception Client.Unavailable _ ->
+              Buffer.add_string state_buf (Printf.sprintf "%d:unavail/%d;" k acked.(k));
+              incr lost);
           (* Per-replica durability, straight through the engines: every
              chain member must hold the key at >= the acknowledged
              sequence (a failed write may leave a newer value at the
@@ -577,6 +623,15 @@ module Chaos = struct
               string_of_int verify_bad;
             ]
         in
+        let state_digest =
+          digest_of_fields
+            [
+              Buffer.contents state_buf;
+              string_of_int !lost;
+              string_of_int !corrupt;
+              string_of_int verify_bad;
+            ]
+        in
         {
           schedule = Schedule.to_string sched;
           ops = !ops;
@@ -605,6 +660,7 @@ module Chaos = struct
           verify_bad;
           ok;
           digest;
+          state_digest;
         })
 
   let pp_report fmt (r : report) =

@@ -92,6 +92,11 @@ module Chaos : sig
         (** inject at-rest bit flips, run the background scrubber during
             the load window, and require a checksum-clean cluster after
             the final heal pass *)
+    ops_per_worker : int option;
+        (** [Some n]: each worker issues exactly [n] ops instead of
+            looping until [duration] elapses, making op totals — and
+            hence {!report.state_digest} — structurally invariant under
+            tie-break perturbation. Used by the [leed race] targets. *)
   }
 
   val default_config : config
@@ -124,9 +129,21 @@ module Chaos : sig
     verify_bad : int;        (** checksum failures left after the final heal — must be 0 *)
     ok : bool;               (** all invariants held *)
     digest : string;         (** hex digest — bit-identical across same-seed runs *)
+    state_digest : string;
+        (** hex digest of the tie-break-invariant observables only: the
+            final decoded (key, sequence) of every key read through a
+            client plus the acknowledged-write ledger, excluding
+            timing-shaped counters. [leed race] requires this to be
+            identical across perturbed equal-time event orderings, not
+            just across same-seed runs. *)
   }
 
-  val run : ?checks:bool -> config -> report
+  val run :
+    ?checks:bool ->
+    ?tiebreak:Leed_sim.Sim.tiebreak ->
+    ?on_dispatch:(Leed_sim.Sim.dispatch -> unit) ->
+    config ->
+    report
   (** Build a scaled cluster inside [Sim.run ?checks], preload the
       keyspace, run closed-loop sequence-numbered writes and validating
       reads while the schedule plays, then sweep: client-level reads

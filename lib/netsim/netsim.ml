@@ -175,7 +175,7 @@ let send fab ~src ~dst ~size payload =
         let env = { src; dst; size; payload; trace_id } in
         Sim.after (fab.base_latency +. extra) (fun () ->
             if dst.up then
-              Sim.spawn (fun () ->
+              Sim.spawn ~label:dst.name (fun () ->
                   Sim.Resource.with_ dst.nic (fun () -> Sim.delay (wire_time size dst.gbps));
                   deliver env))
   end
@@ -235,7 +235,7 @@ module Rpc = struct
     set_receiver t.ep (fun env ->
         match env.payload with
         | Req (id, q) ->
-            Sim.spawn (fun () ->
+            Sim.spawn ~label:t.ep.name (fun () ->
                 match t.handler with
                 | None -> ()
                 | Some h ->

@@ -1,13 +1,17 @@
 (* Binary min-heap of timestamped events.
 
-   Ordering is (time, seq): events at equal times fire in insertion order,
-   which keeps every simulation deterministic. *)
+   Ordering is (time, key, seq): events at equal times order by [key]
+   first, then insertion order. Under the default FIFO tie-break policy
+   every key is 0, so equal-time events fire in insertion order; the
+   race detector assigns seeded pseudo-random keys instead, exploring a
+   different — but still fully deterministic — legal ordering of
+   simultaneous events (see Sim.tiebreak). *)
 
-type event = { time : float; seq : int; run : unit -> unit }
+type event = { time : float; key : int; seq : int; label : string; run : unit -> unit }
 
 type t = { mutable arr : event array; mutable len : int }
 
-let dummy = { time = 0.; seq = 0; run = (fun () -> ()) }
+let dummy = { time = 0.; key = 0; seq = 0; label = ""; run = (fun () -> ()) }
 
 let create () = { arr = Array.make 64 dummy; len = 0 }
 
@@ -15,7 +19,9 @@ let length h = h.len
 
 let is_empty h = h.len = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time && (a.key < b.key || (a.key = b.key && a.seq < b.seq)))
 
 let grow h =
   let arr = Array.make (2 * Array.length h.arr) dummy in

@@ -1,9 +1,12 @@
 (** Binary min-heap of timestamped events.
 
-    Ordering is (time, seq): events at equal times fire in insertion
-    order, which keeps every simulation deterministic. *)
+    Ordering is (time, key, seq): events at equal times order by their
+    tie-break [key] first, then by insertion order. The default FIFO
+    policy assigns every event key 0 (pure insertion order); the race
+    detector assigns seeded pseudo-random keys to explore alternative
+    legal orderings of simultaneous events. *)
 
-type event = { time : float; seq : int; run : unit -> unit }
+type event = { time : float; key : int; seq : int; label : string; run : unit -> unit }
 
 type t
 

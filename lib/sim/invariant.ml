@@ -12,6 +12,10 @@
 
 exception Violation of string
 
+(* Reviewed singleton: the sanitizer arm/disarm flag is saved and
+   restored by every [Sim.run], so runs cannot leak state into each
+   other; it must predate the engine because [Sim] itself consults it. *)
+(* simlint: allow toplevel-state *)
 let enabled = ref false
 
 let active () = !enabled

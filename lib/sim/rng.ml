@@ -55,6 +55,20 @@ let normal t ~mean ~stddev =
   let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
   mean +. (stddev *. z)
 
+(* Stateless keyed hashing: mix the inputs through the same SplitMix64
+   finalizer the stream generator uses. Unlike drawing from a shared [t],
+   a hash depends only on its inputs — never on how many other consumers
+   drew first — so decisions keyed this way are robust to event
+   reordering at equal simulation instants. *)
+
+let mix2 k x = mix64 (Int64.add (Int64.mul golden (Int64.of_int x)) k)
+
+let hash2 k x = Int64.to_int (Int64.shift_right_logical (mix2 (mix2 (Int64.of_int k) 0x5bd1e995) x) 2)
+
+let hash_float k a b c =
+  let z = mix2 (mix2 (mix2 (mix2 (Int64.of_int k) 0x2545f491) a) b) c in
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

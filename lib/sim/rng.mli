@@ -34,3 +34,14 @@ val normal : t -> mean:float -> stddev:float -> float
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
+
+val hash2 : int -> int -> int
+(** [hash2 k x] is a stateless keyed hash of [x] under key [k], uniform
+    over non-negative ints. Unlike a stream draw it depends only on its
+    inputs, so values are stable under event reordering. *)
+
+val hash_float : int -> int -> int -> int -> float
+(** [hash_float k a b c] is a stateless keyed hash of [(a, b, c)] under
+    key [k], uniform in [0, 1). For per-message stochastic decisions
+    (e.g. link loss) that must not depend on the order simultaneous
+    events drew from a shared stream. *)

@@ -9,6 +9,18 @@
 exception Deadlock of string
 exception Main_incomplete
 
+(* How simultaneous events are ordered. FIFO (key 0 for every event) is
+   the historical insertion-order behaviour; Perturbed keys each event
+   with a seeded stateless hash of its sequence number, exploring a
+   different — equally legal, equally deterministic — ordering of
+   equal-time events. Perturb_first only perturbs the first [limit]
+   scheduled events (the rest get the FIFO key 0), which is what lets
+   the race detector bisect a divergence down to the single event whose
+   reordering flips the observables. *)
+type tiebreak = Fifo | Perturbed of int | Perturb_first of { seed : int; limit : int }
+
+type dispatch = { d_time : float; d_seq : int; d_label : string }
+
 type engine = {
   mutable now : float;
   mutable seq : int;
@@ -16,6 +28,9 @@ type engine = {
   mutable stopped : bool;
   mutable spawned : int;
   mutable dispatched : int;
+  keyfn : int -> int; (* seq -> equal-time ordering key, from [tiebreak] *)
+  on_dispatch : (dispatch -> unit) option;
+  mutable cur_label : string; (* label of the event being executed *)
 }
 
 let current : engine option ref = ref None
@@ -25,7 +40,12 @@ let get_engine () =
   | Some e -> e
   | None -> failwith "Sim: no simulation running (call inside Sim.run)"
 
-let schedule eng ~at run =
+let keyfn_of = function
+  | Fifo -> fun _ -> 0
+  | Perturbed seed -> fun seq -> Rng.hash2 seed seq
+  | Perturb_first { seed; limit } -> fun seq -> if seq <= limit then Rng.hash2 seed seq else 0
+
+let schedule ?label eng ~at run =
   (* [at >= now] is also false for NaN, so a poisoned latency computation
      trips here instead of silently freezing the heap order. *)
   Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
@@ -33,7 +53,9 @@ let schedule eng ~at run =
     ~detail:(fun () ->
       Printf.sprintf "event scheduled into the past (at=%.9g, now=%.9g)" at eng.now);
   eng.seq <- eng.seq + 1;
-  Event_heap.add eng.heap { Event_heap.time = at; seq = eng.seq; run }
+  let label = match label with Some l -> l | None -> eng.cur_label in
+  Event_heap.add eng.heap
+    { Event_heap.time = at; key = eng.keyfn eng.seq; seq = eng.seq; label; run }
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
@@ -57,10 +79,14 @@ let exec : engine -> (unit -> unit) -> unit =
               Some
                 (fun (k : (a, _) continuation) ->
                   let resumed = ref false in
+                  (* The resume closure may run from any other process's
+                     event; tag the wake-up with the suspended process's
+                     own label, not the resumer's. *)
+                  let label = eng.cur_label in
                   register (fun v ->
                       if not !resumed then begin
                         resumed := true;
-                        schedule eng ~at:eng.now (fun () -> continue k v)
+                        schedule ~label eng ~at:eng.now (fun () -> continue k v)
                       end))
           | _ -> None);
     }
@@ -71,11 +97,12 @@ let suspend register = Effect.perform (Suspend register)
 
 (* [spawn] and [after] are not effects: they only mutate the event heap, so
    they are callable from anywhere — including resume-registration callbacks
-   that run outside any process handler. *)
-let spawn f =
+   that run outside any process handler. Unlabelled children inherit the
+   spawner's label, so attribution stays allocation-free on hot paths. *)
+let spawn ?label f =
   let eng = get_engine () in
   eng.spawned <- eng.spawned + 1;
-  schedule eng ~at:eng.now (fun () -> exec eng f)
+  schedule ?label eng ~at:eng.now (fun () -> exec eng f)
 
 (* Run [f] (non-blocking) after [t] seconds without creating a process. *)
 let after t f =
@@ -92,7 +119,7 @@ let events_dispatched () = (get_engine ()).dispatched
 let heap_depth () = Event_heap.length (get_engine ()).heap
 let processes_spawned () = (get_engine ()).spawned
 
-let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
+let run ?(until = infinity) ?checks ?(tiebreak = Fifo) ?on_dispatch (main : unit -> 'a) : 'a =
   let eng =
     {
       now = 0.;
@@ -101,6 +128,9 @@ let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
       stopped = false;
       spawned = 0;
       dispatched = 0;
+      keyfn = keyfn_of tiebreak;
+      on_dispatch;
+      cur_label = "main";
     }
   in
   let saved = !current in
@@ -109,7 +139,7 @@ let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
   (match checks with Some b -> Invariant.set_enabled b | None -> ());
   let result = ref None in
   let main_done = ref false in
-  schedule eng ~at:0. (fun () ->
+  schedule ~label:"main" eng ~at:0. (fun () ->
       exec eng (fun () ->
           result := Some (main ());
           main_done := true));
@@ -138,6 +168,16 @@ let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
                    ev.Event_heap.time);
              eng.now <- ev.Event_heap.time;
              eng.dispatched <- eng.dispatched + 1;
+             eng.cur_label <- ev.Event_heap.label;
+             (match eng.on_dispatch with
+             | None -> ()
+             | Some f ->
+                 f
+                   {
+                     d_time = ev.Event_heap.time;
+                     d_seq = ev.Event_heap.seq;
+                     d_label = ev.Event_heap.label;
+                   });
              ev.Event_heap.run ()
            end
      done
@@ -160,6 +200,14 @@ let run ?(until = infinity) ?checks (main : unit -> 'a) : 'a =
 let us x = x *. 1e-6
 let ms x = x *. 1e-3
 let to_us t = t *. 1e6
+
+(* Virtual-time comparison helpers (epsilon-free: the clock only ever
+   takes values that were scheduled, so exact float comparison is sound
+   — but it belongs here, in one reviewed place, not scattered over the
+   codebase where simlint R7 forbids it). *)
+let reached t = now () >= t
+let past t = now () > t
+let same_instant t = now () = t
 
 (* ------------------------------------------------------------------ *)
 
@@ -315,21 +363,23 @@ module Resource = struct
 end
 
 (* Spawn all thunks and block until every one has finished. *)
-let fork_join (fs : (unit -> unit) list) =
+let fork_join_named (fs : (string option * (unit -> unit)) list) =
   let n = List.length fs in
   if n = 0 then ()
   else begin
     let done_ = Ivar.create () in
     let remaining = ref n in
     List.iter
-      (fun f ->
-        spawn (fun () ->
+      (fun (label, f) ->
+        spawn ?label (fun () ->
             f ();
             decr remaining;
             if !remaining = 0 then Ivar.fill done_ ()))
       fs;
     Ivar.read done_
   end
+
+let fork_join fs = fork_join_named (List.map (fun f -> (None, f)) fs)
 
 (* Run [f] every [period] until it returns [false]. *)
 let every ~period f =

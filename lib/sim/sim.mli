@@ -5,9 +5,16 @@
     call the blocking operations of this module ({!delay}, {!suspend}, the
     synchronisation primitives). Time is a [float] number of seconds.
 
-    Determinism: events scheduled for the same instant fire in scheduling
-    order, and all randomness in the wider simulator flows from seeded
-    {!Rng.t} values, so a simulation is reproducible bit-for-bit. *)
+    Determinism: events scheduled for the same instant fire in a
+    deterministic order chosen by the run's {!tiebreak} policy (FIFO
+    scheduling order by default), and all randomness in the wider
+    simulator flows from seeded {!Rng.t} values, so a simulation is
+    reproducible bit-for-bit. The determinism {e contract} this repo
+    enforces is stronger than "same seed, same numbers": observables
+    must also be invariant across every legal tie-break ordering of
+    simultaneous events — that is what the simrace detector
+    ([leed race]) checks by re-running workloads under perturbed
+    policies. See DESIGN.md §11. *)
 
 exception Deadlock of string
 (** Raised by {!run} when no events remain but the main process has not
@@ -17,7 +24,30 @@ exception Main_incomplete
 (** Raised by {!run} when the [until] horizon was reached (or {!stop} was
     called) before the main process produced its result. *)
 
-val run : ?until:float -> ?checks:bool -> (unit -> 'a) -> 'a
+(** Ordering policy for events scheduled at the same instant.
+
+    [Fifo] (the default) fires equal-time events in scheduling order.
+    [Perturbed seed] orders them by a seeded stateless hash of each
+    event's sequence number instead — a deterministic keyed shuffle
+    exploring a different legal ordering; two runs with the same
+    perturbation seed are still bit-identical. [Perturb_first] applies
+    the perturbed key only to the first [limit] scheduled events and
+    FIFO keys afterwards; the race detector bisects on [limit] to find
+    the first event whose reordering changes the observables. *)
+type tiebreak = Fifo | Perturbed of int | Perturb_first of { seed : int; limit : int }
+
+(** One executed heap event, as seen by [run]'s [?on_dispatch] hook:
+    its virtual time, scheduling sequence number, and the label of the
+    process (or timer context) that scheduled it. *)
+type dispatch = { d_time : float; d_seq : int; d_label : string }
+
+val run :
+  ?until:float ->
+  ?checks:bool ->
+  ?tiebreak:tiebreak ->
+  ?on_dispatch:(dispatch -> unit) ->
+  (unit -> 'a) ->
+  'a
 (** [run main] creates a fresh simulation clock at time 0, executes [main]
     as the root process and drives the event loop until [main]'s result is
     available and the event heap drains, [until] is reached, or {!stop} is
@@ -29,7 +59,12 @@ val run : ?until:float -> ?checks:bool -> (unit -> 'a) -> 'a
     token conservation, replication chain consistency); [~checks:false]
     forces it off. When omitted, the sanitizer state is inherited — off by
     default, on under [LEED_SANITIZE=1]. The previous state is restored
-    when the run finishes. *)
+    when the run finishes.
+
+    [~tiebreak] selects the equal-time event ordering policy (default
+    {!Fifo}). [~on_dispatch] is called once per executed heap event,
+    before it runs — the race detector's execution-log channel; leave it
+    unset on hot paths (the per-event cost when unset is one branch). *)
 
 val now : unit -> float
 (** Current simulation time, in seconds. Must be called inside {!run}. *)
@@ -37,9 +72,12 @@ val now : unit -> float
 val delay : float -> unit
 (** Block the calling process for the given number of seconds. *)
 
-val spawn : (unit -> unit) -> unit
+val spawn : ?label:string -> (unit -> unit) -> unit
 (** Start a new process at the current instant. The caller keeps running
-    until it blocks; the child runs once the caller yields. *)
+    until it blocks; the child runs once the caller yields. [label]
+    names the process in race-attribution output and dispatch logs;
+    when omitted the child inherits the spawner's label (no
+    allocation). *)
 
 val suspend : (('a -> unit) -> unit) -> 'a
 (** [suspend register] parks the calling process and hands [register] a
@@ -78,6 +116,10 @@ val processes_spawned : unit -> int
 val fork_join : (unit -> unit) list -> unit
 (** Spawn every thunk and block until all have finished. *)
 
+val fork_join_named : (string option * (unit -> unit)) list -> unit
+(** {!fork_join} with an optional {!spawn} label per thunk, so workers
+    are attributable in race-detection output. *)
+
 val every : period:float -> (unit -> bool) -> unit
 (** [every ~period f] spawns a process that calls [f] every [period]
     seconds until [f] returns [false]. *)
@@ -92,6 +134,29 @@ val ms : float -> float
 
 val to_us : float -> float
 (** Convert seconds to microseconds (for reporting). *)
+
+(** {1 Virtual-time comparisons}
+
+    The only sanctioned way to compare the clock against a deadline or
+    stored timestamp. The helpers are epsilon-free — the clock only
+    takes values that were actually scheduled, so exact float
+    comparison is sound — but centralising them keeps raw float
+    comparisons on virtual time out of the wider codebase, where they
+    tend to encode hidden assumptions about event ordering (simlint
+    rule R7 rejects [Sim.now () = t] and friends outside lib/sim). *)
+
+val reached : float -> bool
+(** [reached t] is true once the clock is at or past [t]: the loop
+    guard [while not (Sim.reached stop_at) do ... done] replaces
+    [while Sim.now () < stop_at]. *)
+
+val past : float -> bool
+(** [past t] is true strictly after [t] (now > t). *)
+
+val same_instant : float -> bool
+(** [same_instant t] is true exactly at [t] (now = t). Legitimate uses
+    are rare — an event firing at its own scheduled time — and worth a
+    comment at the call site. *)
 
 (** {1 Synchronisation} *)
 

@@ -42,11 +42,16 @@ type state = {
 
 let root = { pid = 0; tid = 0 }
 
+(* Reviewed singleton: the process-wide trace collector. Tracing is a
+   cross-cutting observation channel armed around a run ([start]/[stop]),
+   never an input to simulation behaviour — the leed_trace determinism
+   test proves captures byte-identical and runs unaffected. *)
 let st =
+  (* simlint: allow toplevel-state *)
   {
     enabled = false;
     limit = 0;
-    buf = [||];
+    buf = [||]; (* simlint: allow toplevel-state *)
     len = 0;
     head = 0;
     n_dropped = 0;

@@ -191,7 +191,7 @@ module Driver = struct
     let t0 = Sim.now () in
     let stop_at = t0 +. duration in
     let worker () =
-      while Sim.now () < stop_at do
+      while not (Sim.reached stop_at) do
         let op = next gen in
         let start = Sim.now () in
         execute op;
@@ -203,6 +203,47 @@ module Driver = struct
     let dt = Sim.now () -. t0 in
     { ops = !ops; duration = dt; throughput = float_of_int !ops /. dt; latency = lat }
 
+  (* Race-harness variant of [closed_loop]: [workers] closed-loop
+     workers, each driving its own generator for exactly [ops]
+     operations, with every key remapped into the worker's residue class
+     (worker [w] owns ids congruent to [w] mod [workers]; [nkeys] must
+     be a multiple of [workers] so remapped ids stay in range).
+
+     The point of each choice: per-worker generators mean no shared
+     stream whose draws depend on which simultaneous worker resumed
+     first; fixed op counts mean totals don't depend on how virtual
+     time sliced the last iteration; disjoint write sets mean the final
+     value of every key is the owning worker's last update in its own
+     program order. Together they make the op streams and the final KV
+     state invariant under equal-time event reordering — the property
+     the simrace detector checks. *)
+  let closed_loop_sharded ~workers ~ops ~gen_for ~execute () =
+    if workers <= 0 then invalid_arg "Driver.closed_loop_sharded: workers must be positive";
+    let lat = Leed_stats.Histogram.create () in
+    let total = ref 0 in
+    let t0 = Sim.now () in
+    let shard_key w k = key_of_id (((id_of_key k / workers) * workers) + w) in
+    let shard w = function
+      | Read k -> Read (shard_key w k)
+      | Update (k, v) -> Update (shard_key w k, v)
+      | Insert (k, v) -> Insert (shard_key w k, v)
+      | Read_modify_write (k, v) -> Read_modify_write (shard_key w k, v)
+    in
+    let worker w () =
+      let gen = gen_for w in
+      for _ = 1 to ops do
+        let op = shard w (next gen) in
+        let start = Sim.now () in
+        execute w op;
+        Leed_stats.Histogram.record lat (Sim.now () -. start);
+        incr total
+      done
+    in
+    Sim.fork_join_named
+      (List.init workers (fun w -> (Some (Printf.sprintf "load:w%d" w), fun () -> worker w ())));
+    let dt = Sim.now () -. t0 in
+    { ops = !total; duration = dt; throughput = float_of_int !total /. dt; latency = lat }
+
   (* Open loop: Poisson arrivals at [rate] requests/s for [duration]
      simulated seconds; every request runs in its own process. Completion
      is awaited for up to [drain] extra seconds, so an overloaded system
@@ -213,7 +254,7 @@ module Driver = struct
     let rng = Rng.split gen.rng in
     let t0 = Sim.now () in
     let stop_at = t0 +. duration in
-    while Sim.now () < stop_at do
+    while not (Sim.reached stop_at) do
       Sim.delay (Rng.exponential rng ~mean:(1. /. rate));
       let op = next gen in
       incr issued;

@@ -95,6 +95,24 @@ module Driver : sig
   (** [clients] workers issuing back-to-back requests for [duration]
       simulated seconds. *)
 
+  val closed_loop_sharded :
+    workers:int ->
+    ops:int ->
+    gen_for:(int -> gen) ->
+    execute:(int -> op -> unit) ->
+    unit ->
+    result
+  (** The race-detector variant of {!closed_loop}: [workers] workers,
+      each driving its own generator ([gen_for w]) for exactly [ops]
+      operations, with every key remapped into the worker's residue
+      class of the keyspace (worker [w] owns ids congruent to [w] mod
+      [workers]; the generators' [nkeys] must be a multiple of
+      [workers]). Per-worker streams, fixed op counts and disjoint
+      write sets make the op streams and the final KV state invariant
+      under equal-time event reordering — the property [leed race]
+      checks. [execute] additionally receives the worker index so each
+      worker can pin its own front-end client. *)
+
   val open_loop :
     ?drain:float -> rate:float -> duration:float -> gen:gen -> execute:(op -> unit) -> unit -> result
   (** Poisson arrivals at [rate] for [duration] seconds, each request in

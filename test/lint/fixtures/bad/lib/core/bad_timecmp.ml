@@ -1,0 +1,3 @@
+let expired t = Sim.now () >= t
+let racing t = Sim.now () = t
+let fine t = Sim.reached t

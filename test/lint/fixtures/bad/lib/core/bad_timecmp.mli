@@ -1,0 +1,3 @@
+val expired : float -> bool
+val racing : float -> bool
+val fine : float -> bool

@@ -1,0 +1,5 @@
+let counter = ref 0
+let cache = Hashtbl.create 16
+let table = Array.make 4 0
+let bump () = incr counter; table.(0) <- Hashtbl.length cache
+let local () = let scratch = ref 0 in incr scratch; !scratch

@@ -1,2 +1,6 @@
 val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
 val keys : ('a, 'b) Hashtbl.t -> 'a list
+val fresh_counter : unit -> int ref
+val parity_of : int -> string
+val bump_reviewed : unit -> unit
+val wait_until : float -> unit

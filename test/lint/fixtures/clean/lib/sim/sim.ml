@@ -1,0 +1,4 @@
+(* The substrate's engine pointer: R6-allowlisted by file, no
+   annotation needed. *)
+let current = ref None
+let set_current e = current := e

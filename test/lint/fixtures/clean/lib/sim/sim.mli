@@ -1,0 +1,5 @@
+val current : int option ref
+(** The engine pointer singleton (R6-allowlisted by file path). *)
+
+val set_current : int option -> unit
+(** Install an engine. *)

@@ -1,10 +1,10 @@
 (* Driver for the simlint fixture suite.
 
    Runs the linter over two fixture trees: one seeded with a known set of
-   R1-R5 violations that must all be flagged at the right file:line, and a
-   clean tree (including allowlisted Random/Effect/wall-clock uses and a
-   suppression comment) that must pass. Invoked by dune with the path to
-   the simlint executable as the single argument. *)
+   R1-R7 violations that must all be flagged at the right file:line, and a
+   clean tree (including allowlisted Random/Effect/wall-clock/toplevel-state
+   uses and suppression comments) that must pass. Invoked by dune with the
+   path to the simlint executable as the single argument. *)
 
 let exe =
   if Array.length Sys.argv < 2 then begin
@@ -72,7 +72,14 @@ let () =
   expect_line out "R4 compare-on-closure flagged" "lib/core/bad_compare.ml:1: R4";
   expect_line out "R5 undocumented value flagged" "lib/trace/undoc.mli:4: R5";
   expect_absent out "suppressed undocumented value not flagged" "undoc.mli:7";
-  expect_line out "exact violation count" "simlint: 11 violation(s)";
+  expect_line out "R6 toplevel ref flagged" "lib/core/bad_toplevel.ml:1: R6";
+  expect_line out "R6 toplevel Hashtbl flagged" "lib/core/bad_toplevel.ml:2: R6";
+  expect_line out "R6 mutated toplevel array flagged" "lib/core/bad_toplevel.ml:3: R6";
+  expect_absent out "function-local ref not flagged" "bad_toplevel.ml:5";
+  expect_line out "R7 time inequality flagged" "lib/core/bad_timecmp.ml:1: R7";
+  expect_line out "R7 time equality flagged" "lib/core/bad_timecmp.ml:2: R7";
+  expect_absent out "Sim.reached not flagged" "bad_timecmp.ml:3";
+  expect_line out "exact violation count" "simlint: 16 violation(s)";
   (* --- clean tree: allowlists and suppressions must hold --- *)
   let status, out = run_simlint ~dir:"fixtures/clean" [ "lib"; "bin"; "bench" ] in
   if status <> 0 then fail "clean tree: expected exit 0, got %d:\n%s" status out

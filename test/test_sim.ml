@@ -272,7 +272,9 @@ let heap_sorts =
     (fun times ->
       let h = Event_heap.create () in
       List.iteri
-        (fun i t -> Event_heap.add h { Event_heap.time = t; seq = i; run = (fun () -> ()) })
+        (fun i t ->
+          Event_heap.add h
+            { Event_heap.time = t; key = 0; seq = i; label = ""; run = (fun () -> ()) })
         times;
       let rec drain acc =
         match Event_heap.pop h with

@@ -26,18 +26,42 @@
                          lib/trace/*.mli) carries a doc comment — the
                          container has no odoc, so this stands in for
                          failing the build on missing-doc warnings
+     R6 toplevel state   no mutable state created at module
+                         initialisation time under lib/: a module-level
+                         [ref]/[Hashtbl.create]/[Queue.create]/... is
+                         state shared by every simulation in the
+                         process, survives across [Sim.run] calls, and
+                         is exactly the kind of cross-process channel
+                         the race detector (leed race) exists to catch.
+                         Arrays and record literals are flagged only
+                         when the file also mutates the binding
+                         (init-only lookup tables stay legal). The
+                         substrate's own engine pointer is allowlisted.
+     R7 time compare     no raw float comparison against [Sim.now ()]
+                         outside lib/sim/: [Sim.now () < t] encodes a
+                         hidden assumption about equal-time event order;
+                         deadline logic must go through the epsilon-free
+                         helpers [Sim.reached]/[Sim.past]/
+                         [Sim.same_instant]
 
    Violations print "file:line: rule: message" and the exit status is
    non-zero. A finding can be suppressed by a comment containing
    "simlint: allow <tag>" on the same or the preceding line, where <tag>
-   is the rule id (R1..R5) or its specific name (random, wall-clock,
-   effect, hashtbl-order, hashtbl-hash, obj-magic, compare-fun, doc). *)
+   is the rule id (R1..R7) or its specific name (random, wall-clock,
+   effect, hashtbl-order, hashtbl-hash, obj-magic, compare-fun, doc,
+   toplevel-state, time-compare). *)
 
-let scope_default = [ "lib"; "bin"; "bench" ]
+let scope_default = [ "lib"; "bin"; "bench"; "tools" ]
 
 let mli_exempt_dirs = []
 
 let random_allowed_files = [ "lib/sim/rng.ml" ]
+
+(* R6 allowlist: the engine substrate itself. [Sim]'s current-engine
+   pointer is the mechanism that gives every other module a process-local
+   view; it is re-initialised by each [Sim.run] and cannot be expressed
+   any other way with effects. *)
+let r6_allowed_files = [ "lib/sim/sim.ml" ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -117,6 +141,97 @@ let is_function_literal (e : Parsetree.expression) =
   | Pexp_fun _ | Pexp_function _ -> true
   | _ -> false
 
+(* --- R6 helpers --- *)
+
+(* Constructors whose toplevel evaluation is mutable state by itself. *)
+let mutable_creator parts =
+  match parts with
+  | [ "ref" ] -> Some "ref"
+  | [ ("Hashtbl" | "Queue" | "Stack" | "Buffer"); "create" ] ->
+      Some (String.concat "." parts)
+  | [ "Atomic"; "make" ] -> Some "Atomic.make"
+  | _ -> None
+
+(* Constructors that are only *potentially* mutable (lookup tables are
+   fine); flagged when the file later mutates the binding. *)
+let array_creator parts =
+  match parts with
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ] -> true
+  | [ "Bytes"; ("make" | "create" | "init") ] -> true
+  | _ -> false
+
+(* Names the file mutates in place: [name.field <- e], [name.(i) <- e]
+   (parsed as [Array.set name i e]), [Array.fill name ...], etc. *)
+let mutated_names (str : Parsetree.structure) =
+  let open Ast_iterator in
+  let names = Hashtbl.create 16 in
+  let ident_name (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } -> Some n
+    | _ -> None
+  in
+  let expr_iter (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_setfield (target, _, _) -> (
+        match ident_name target with
+        | Some n -> Hashtbl.replace names n ()
+        | None -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, first) :: _) -> (
+        match path_of txt with
+        | [ ("Array" | "Bytes"); ("set" | "unsafe_set" | "fill" | "blit") ] -> (
+            match ident_name first with
+            | Some n -> Hashtbl.replace names n ()
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  it.structure it str;
+  names
+
+(* Scan a toplevel binding's RHS for mutable-state constructors that run
+   at module initialisation: descend through everything *except*
+   function literals (whose bodies run per call, not at init). *)
+let init_time_creators ~mutated ~name (e : Parsetree.expression) =
+  let found = ref [] in
+  let open Ast_iterator in
+  let expr_iter (it : Ast_iterator.iterator) (child : Parsetree.expression) =
+    if is_function_literal child then ()
+    else begin
+      (match child.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+          match mutable_creator (path_of txt) with
+          | Some what -> found := (child.pexp_loc, what) :: !found
+          | None ->
+              if array_creator (path_of txt) && Hashtbl.mem mutated name then
+                found := (child.pexp_loc, String.concat "." (path_of txt)) :: !found)
+      | Pexp_array _ when Hashtbl.mem mutated name ->
+          found := (child.pexp_loc, "array literal") :: !found
+      | Pexp_record _ when Hashtbl.mem mutated name ->
+          found := (child.pexp_loc, "mutated record literal") :: !found
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it child
+    end
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  it.expr it e;
+  List.rev !found
+
+(* A call to the simulation clock, [Sim.now ()] (possibly qualified as
+   [Leed_sim.Sim.now ()]). *)
+let is_now_call (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match List.rev (path_of txt) with "now" :: "Sim" :: _ -> true | _ -> false)
+  | _ -> false
+
+let comparison_op parts =
+  match parts with
+  | [ ("=" | "<>" | "<" | ">" | "<=" | ">=" | "==" | "!=" | "compare") ] -> true
+  | [ "Float"; ("equal" | "compare") ] -> true
+  | _ -> false
+
 let lint_structure ~file (str : Parsetree.structure) =
   let open Ast_iterator in
   let line_of (loc : Location.t) = loc.loc_start.pos_lnum in
@@ -161,17 +276,62 @@ let lint_structure ~file (str : Parsetree.structure) =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_ident txt loc
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
-        match path_of txt with
+        (match path_of txt with
         | [ "compare" ] | [ "Stdlib"; "compare" ] ->
             if List.exists (fun (_, a) -> is_function_literal a) args then
               report ~file ~line:(line_of e.pexp_loc) ~rule:"R4" ~tag:"compare-fun"
                 "polymorphic compare applied to a function literal raises at \
                  runtime and is never deterministic"
-        | _ -> ())
+        | _ -> ());
+        (* R7: a comparison operator with a [Sim.now ()] call as a direct
+           operand. Allowed inside lib/sim/, where the helpers live. *)
+        if
+          (not (in_sim file))
+          && comparison_op (path_of txt)
+          && List.exists (fun (_, a) -> is_now_call a) args
+        then
+          report ~file ~line:(line_of e.pexp_loc) ~rule:"R7" ~tag:"time-compare"
+            "raw float comparison on virtual time: deadline logic must use the \
+             epsilon-free helpers Sim.reached / Sim.past / Sim.same_instant \
+             (comparing Sim.now () directly encodes hidden assumptions about \
+             equal-time event ordering)")
     | _ -> ());
     Ast_iterator.default_iterator.expr it e
   in
-  let it = { Ast_iterator.default_iterator with expr = expr_iter } in
+  (* R6: mutable state created when the module is first linked. Structure
+     items only occur at module level (including nested [module M = struct
+     ... end] bodies), so the default iterator visits exactly the
+     bindings whose RHS runs at initialisation time. *)
+  let r6_active = in_lib file && not (List.mem file r6_allowed_files) in
+  let mutated = if r6_active then mutated_names str else Hashtbl.create 1 in
+  let item_iter (it : Ast_iterator.iterator) (item : Parsetree.structure_item) =
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) when r6_active ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let name =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt
+              | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+              | _ -> "_"
+            in
+            List.iter
+              (fun ((loc : Location.t), what) ->
+                report ~file ~line:(line_of loc) ~rule:"R6" ~tag:"toplevel-state"
+                  (Printf.sprintf
+                     "module-toplevel mutable state (%s bound to %s): this outlives \
+                      Sim.run and is shared by every simulation in the process; pass \
+                      state through the engine or annotate a reviewed singleton with \
+                      (* simlint: allow toplevel-state *)"
+                     what name))
+              (init_time_creators ~mutated ~name vb.pvb_expr))
+          bindings
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item it item
+  in
+  let it =
+    { Ast_iterator.default_iterator with expr = expr_iter; structure_item = item_iter }
+  in
   it.structure it str
 
 (* Read [file], run [lint text] (which reports violations), then drop the
@@ -299,9 +459,13 @@ let () =
         lint_file f
       end)
     files;
+  (* Total order over every field: two findings on the same line from the
+     same rule still sort stably, so output is byte-identical across runs
+     and diff-friendly in CI. *)
   let vs =
     List.sort
-      (fun a b -> compare (a.file, a.line, a.rule) (b.file, b.line, b.rule))
+      (fun a b ->
+        compare (a.file, a.line, a.rule, a.tag, a.msg) (b.file, b.line, b.rule, b.tag, b.msg))
       !violations
   in
   List.iter (fun v -> Printf.printf "%s:%d: %s: %s\n" v.file v.line v.rule v.msg) vs;
