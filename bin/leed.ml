@@ -38,13 +38,30 @@ let smoke_cmd =
       & info [ "backend" ] ~docv:"BACKEND"
           ~doc:"System to smoke-test (leed, fawn, or kvell), all through the same KV interface.")
   in
-  let run backend_name =
+  let jbofs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jbofs" ] ~docv:"N" ~doc:"Cluster size in JBOFs (nodes); default per backend.")
+  in
+  let ssds =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ssds" ] ~docv:"N"
+          ~doc:"Drives per JBOF (ignored by fawn, whose nodes model one flash device).")
+  in
+  let objects =
+    Arg.(
+      value & opt int 500 & info [ "objects" ] ~docv:"N" ~doc:"Objects to put and get back.")
+  in
+  let run backend_name jbofs ssds objects =
     let open Leed_sim in
     let open Leed_core in
     Sim.run (fun () ->
-        let setup = Leed_experiments.Exp_common.setup_of_name ~nclients:1 backend_name in
+        let setup =
+          Leed_experiments.Exp_common.setup_of_name ~nclients:1 ?nnodes:jbofs ?ssds backend_name
+        in
         let client = List.hd setup.Leed_experiments.Exp_common.clients in
-        let n = 500 in
+        let n = max 1 objects in
         let t0 = Sim.now () in
         for i = 0 to n - 1 do
           Backend.put client (Leed_workload.Workload.key_of_id i) (Bytes.make 1008 'x')
@@ -68,8 +85,11 @@ let smoke_cmd =
         if !bad > 0 then exit 1)
   in
   Cmd.v
-    (Cmd.info "smoke" ~doc:"Put/get 500 objects through a cluster of the chosen backend")
-    Term.(const run $ backend)
+    (Cmd.info "smoke"
+       ~doc:
+         "Put/get a batch of objects through a cluster of the chosen backend; --jbofs, --ssds \
+          and --objects scale the cluster and the load.")
+    Term.(const run $ backend $ jbofs $ ssds $ objects)
 
 (* Shared driver for the observability commands: a small LEED cluster
    under a short YCSB-A closed loop with the gauge sampler attached.

@@ -216,13 +216,16 @@ let rec with_retries t n f =
         with_retries t (n + 1) f
 
 (* Wrap one client-visible operation in a span covering retries, token
-   throttling, and the RPCs themselves — the top of a request's trace. *)
+   throttling, and the RPCs themselves — the top of a request's trace.
+   The caller branches on [Trace.on] *before* building the body closure,
+   and the key argument is built lazily, so a tracing-off run allocates
+   nothing here per operation. *)
 let op_span t name key f =
-  if not (Trace.on ()) then f ()
-  else Trace.span ~track:t.track ~cat:"client" name ~args:[ ("key", Trace.Str key) ] f
+  Trace.span ~track:t.track ~cat:"client" name
+    ~largs:(fun () -> [ ("key", Trace.Str key) ])
+    f
 
-let get t key =
-  op_span t "get" key @@ fun () ->
+let get_impl t key =
   with_retries t 0 (fun () ->
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match read_target t chain with
@@ -239,8 +242,11 @@ let get t key =
               None
           | None -> None))
 
-let write t op_name key value =
-  op_span t op_name key @@ fun () ->
+let get t key =
+  if not (Trace.on ()) then get_impl t key
+  else op_span t "get" key (fun () -> get_impl t key)
+
+let write_impl t key value =
   with_retries t 0 (fun () ->
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match chain with
@@ -264,6 +270,10 @@ let write t op_name key value =
               t.nacks <- t.nacks + 1;
               None
           | None -> None))
+
+let write t op_name key value =
+  if not (Trace.on ()) then write_impl t key value
+  else op_span t op_name key (fun () -> write_impl t key value)
 
 let put t key value = write t "put" key (Some value)
 let del t key = write t "del" key None

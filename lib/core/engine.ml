@@ -273,7 +273,7 @@ let run_pending t (s : ssd_sched) (pend : pending) =
     if Trace.on () then
       Trace.span ~track:s.track ~cat:"engine"
         ("exec." ^ cmd_name pend.cmd)
-        ~args:[ ("pid", Trace.Int pend.part.pid); ("tokens", Trace.Int pend.tokens) ]
+        ~largs:(fun () -> [ ("pid", Trace.Int pend.part.pid); ("tokens", Trace.Int pend.tokens) ])
         execute
     else execute ()
   in
@@ -464,8 +464,9 @@ let submit t ~pid cmd =
   | _ ->
       if Queue.length p.waiting >= t.config.waiting_cap then begin
         home.denied <- home.denied + 1;
-        Trace.instant ~track:home.track ~cat:"engine" "tok.deny"
-          ~args:[ ("pid", Trace.Int pid) ];
+        if Trace.on () then
+          Trace.instant ~track:home.track ~cat:"engine" "tok.deny"
+            ~largs:(fun () -> [ ("pid", Trace.Int pid) ]);
         raise (Overloaded pid)
       end;
       let pend =

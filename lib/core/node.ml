@@ -419,19 +419,31 @@ let handle t (req : Messages.request) : Messages.response =
   else begin
     (* One span per request on the node's row; the hop argument makes a
        CRRS chain write readable straight off the timeline (hop 0 on the
-       head's row, hop 1 on the next node's, ...). *)
-    let name, args =
+       head's row, hop 1 on the next node's, ...). The span name is a
+       shared constant and the argument list is built lazily, so the
+       per-request allocation is the two closures only. *)
+    let name =
+      match req with
+      | Messages.Get _ -> "get"
+      | Messages.Write _ -> "write"
+      | Messages.Version_query _ -> "version_query"
+      | Messages.Copy_put _ -> "copy_put"
+      | Messages.Repair_get _ -> "repair_get"
+      | Messages.Ring_update _ -> "ring_update"
+      | Messages.Ping _ -> "ping"
+    in
+    let largs () =
       match req with
       | Messages.Get { key; shipped; _ } ->
-          ("get", [ ("key", Trace.Str key); ("shipped", Trace.Bool shipped) ])
-      | Messages.Write { key; hop; _ } -> ("write", [ ("key", Trace.Str key); ("hop", Trace.Int hop) ])
-      | Messages.Version_query { key; _ } -> ("version_query", [ ("key", Trace.Str key) ])
-      | Messages.Copy_put { key; _ } -> ("copy_put", [ ("key", Trace.Str key) ])
-      | Messages.Repair_get { key; _ } -> ("repair_get", [ ("key", Trace.Str key) ])
-      | Messages.Ring_update _ -> ("ring_update", [])
-      | Messages.Ping _ -> ("ping", [])
+          [ ("key", Trace.Str key); ("shipped", Trace.Bool shipped) ]
+      | Messages.Write { key; hop; _ } -> [ ("key", Trace.Str key); ("hop", Trace.Int hop) ]
+      | Messages.Version_query { key; _ }
+      | Messages.Copy_put { key; _ }
+      | Messages.Repair_get { key; _ } ->
+          [ ("key", Trace.Str key) ]
+      | Messages.Ring_update _ | Messages.Ping _ -> []
     in
-    Trace.span ~track:t.track ~cat:"node" name ~args (fun () -> dispatch t req)
+    Trace.span ~track:t.track ~cat:"node" name ~largs (fun () -> dispatch t req)
   end
 
 let start t =

@@ -121,10 +121,17 @@ let make_kvell ?(nnodes = 3) ?(r = 3) ?nclients ?(object_size = 1024) ?platform 
 
 let backend_names = [ "leed"; "fawn"; "kvell" ]
 
-let setup_of_name ?nclients = function
-  | "leed" -> make_leed ?nclients ()
-  | "fawn" -> make_fawn ?nclients ()
-  | "kvell" -> make_kvell ?nclients ()
+let setup_of_name ?nclients ?nnodes ?ssds name =
+  (* [ssds] rebuilds the backend's default platform with that many drives
+     per JBOF; FAWN nodes model a single flash device, so it is ignored
+     there. *)
+  let platform_with base =
+    Option.map (fun n -> { base with Platform.ssd_count = n }) ssds
+  in
+  match name with
+  | "leed" -> make_leed ?nclients ?nnodes ?platform:(platform_with (leed_platform ())) ()
+  | "fawn" -> make_fawn ?nclients ?nnodes ()
+  | "kvell" -> make_kvell ?nclients ?nnodes ?platform:(platform_with (server_platform ())) ()
   | name -> invalid_arg (Printf.sprintf "unknown backend %S (try: %s)" name (String.concat "/" backend_names))
 
 (* --- driving --- *)

@@ -32,7 +32,11 @@ type target = {
   descr : string;
   expect_divergence : bool;
   run :
-    ?tiebreak:Sim.tiebreak -> ?on_dispatch:(Sim.dispatch -> unit) -> unit -> string;
+    ?tiebreak:Sim.tiebreak ->
+    ?sched:Sim.sched ->
+    ?on_dispatch:(Sim.dispatch -> unit) ->
+    unit ->
+    string;
 }
 
 let digest_fields fields = Digest.to_hex (Digest.string (String.concat "|" fields))
@@ -54,8 +58,8 @@ let ycsb_target ~fast ~backend ~mixname mk_mix =
   let nkeys = if fast then 256 else 1024 in
   let ops = if fast then 80 else 300 in
   let object_size = 256 in
-  let run ?tiebreak ?on_dispatch () =
-    Sim.run ?tiebreak ?on_dispatch (fun () ->
+  let run ?tiebreak ?sched ?on_dispatch () =
+    Sim.run ?tiebreak ?sched ?on_dispatch (fun () ->
         let setup = E.setup_of_name ~nclients:workers backend in
         let value_size = max 1 (object_size - Workload.key_size) in
         E.preload setup ~nkeys ~value_size;
@@ -107,8 +111,8 @@ let chaos_target ~fast ~bit_rot =
       seed = (if bit_rot then 7 else 42);
     }
   in
-  let run ?tiebreak ?on_dispatch () =
-    (Fault.Chaos.run ?tiebreak ?on_dispatch cfg).Fault.Chaos.state_digest
+  let run ?tiebreak ?sched ?on_dispatch () =
+    (Fault.Chaos.run ?tiebreak ?sched ?on_dispatch cfg).Fault.Chaos.state_digest
   in
   {
     name = (if bit_rot then "chaos-bitrot" else "chaos");
@@ -124,8 +128,8 @@ let chaos_target ~fast ~bit_rot =
    spawn event dispatches first, so perturbation must flip the digest
    and attribution must name the two writer events. *)
 let racy_demo =
-  let run ?tiebreak ?on_dispatch () =
-    Sim.run ?tiebreak ?on_dispatch (fun () ->
+  let run ?tiebreak ?sched ?on_dispatch () =
+    Sim.run ?tiebreak ?sched ?on_dispatch (fun () ->
         let setup = E.setup_of_name ~nclients:2 "leed" in
         let clients = Array.of_list setup.E.clients in
         let key = Workload.key_of_id 0 in

@@ -1,0 +1,47 @@
+(** Calendar queue scheduler (R. Brown, CACM 1988).
+
+    Events hash by time into a circular array of fixed-width "day"
+    buckets, each a sorted intrusive list; the structure resizes and
+    re-estimates the bucket width as the population grows or shrinks,
+    giving O(1) amortised add/pop for reasonably uniform event-time
+    distributions.
+
+    Ordering contract: identical to {!Sched_event.before} — [(time,
+    key, seq)] lexicographic — and bit-identical in dispatch order to
+    {!Event_heap}. Bucket widths are powers of two so time-to-bucket
+    mapping is exact float arithmetic, and the scan position is an
+    integer virtual-bucket number, so no epsilon or drift can reorder
+    events. *)
+
+type t
+(** A calendar queue of {!Sched_event.t} cells. *)
+
+val create : ?nbuckets:int -> ?width:float -> unit -> t
+(** A fresh, empty queue. [nbuckets] (default 256) is rounded up to a
+    power of two; [width] (default [0x1p-17], ~7.6 us) must be a power
+    of two. Both adapt automatically as events accumulate. *)
+
+val length : t -> int
+(** Number of events currently queued. *)
+
+val is_empty : t -> bool
+(** Whether no events are queued. *)
+
+val add : t -> Sched_event.t -> unit
+(** Insert an event cell; the queue owns the cell until {!pop} returns
+    it. O(1) amortised (sorted insert within one bucket, occasional
+    resize). *)
+
+val pop : t -> Sched_event.t
+(** Remove and return the minimum event per {!Sched_event.before};
+    [Sched_event.nil] (test with [==]) when empty. *)
+
+val peek_time : t -> float
+(** Time of the earliest event without removing it; [infinity] when
+    empty. May advance the internal scan position over empty buckets
+    (observably pure). *)
+
+val pop_until : t -> float -> Sched_event.t
+(** [pop_until q limit] pops the minimum event if its time is [<= limit];
+    [Sched_event.nil] when the queue is empty or the minimum lies beyond
+    [limit]. Fused peek-then-pop for the engine's hot loop. *)

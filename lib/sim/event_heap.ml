@@ -1,73 +1,81 @@
-(* Binary min-heap of timestamped events.
+(* Binary min-heap of timestamped events — the reference scheduler.
 
-   Ordering is (time, key, seq): events at equal times order by [key]
-   first, then insertion order. Under the default FIFO tie-break policy
-   every key is 0, so equal-time events fire in insertion order; the
-   race detector assigns seeded pseudo-random keys instead, exploring a
-   different — but still fully deterministic — legal ordering of
-   simultaneous events (see Sim.tiebreak). *)
+   Ordering is Sched_event.before: (time, key, seq). Under the default
+   FIFO tie-break policy every key is 0, so equal-time events fire in
+   insertion order; the race detector assigns seeded pseudo-random keys
+   instead, exploring a different — but still fully deterministic —
+   legal ordering of simultaneous events (see Sim.tiebreak).
 
-type event = { time : float; key : int; seq : int; label : string; run : unit -> unit }
+   The API is allocation-free: [pop] returns [Sched_event.nil] (tested
+   with [==]) instead of an option, and [peek_time] returns [infinity]
+   when empty. *)
 
-type t = { mutable arr : event array; mutable len : int }
+type t = { mutable arr : Sched_event.t array; mutable len : int }
 
-let dummy = { time = 0.; key = 0; seq = 0; label = ""; run = (fun () -> ()) }
-
-let create () = { arr = Array.make 64 dummy; len = 0 }
+let create ?(capacity = 64) () =
+  { arr = Array.make (max 1 capacity) Sched_event.nil; len = 0 }
 
 let length h = h.len
 
 let is_empty h = h.len = 0
 
-let before a b =
-  a.time < b.time
-  || (a.time = b.time && (a.key < b.key || (a.key = b.key && a.seq < b.seq)))
+let before = Sched_event.before
 
 let grow h =
-  let arr = Array.make (2 * Array.length h.arr) dummy in
+  let arr = Array.make (2 * Array.length h.arr) Sched_event.nil in
   Array.blit h.arr 0 arr 0 h.len;
   h.arr <- arr
 
+(* The sift loops are top-level functions with explicit arguments, not
+   inner closures: a closure capturing [h] would allocate on every
+   add/pop, and these are the engine's hottest operations. *)
+let rec sift_up h ev i =
+  if i = 0 then h.arr.(0) <- ev
+  else
+    let p = (i - 1) / 2 in
+    if before ev h.arr.(p) then begin
+      h.arr.(i) <- h.arr.(p);
+      sift_up h ev p
+    end
+    else h.arr.(i) <- ev
+
 let add h ev =
   if h.len = Array.length h.arr then grow h;
-  let rec up i =
-    if i = 0 then h.arr.(0) <- ev
-    else
-      let p = (i - 1) / 2 in
-      if before ev h.arr.(p) then begin
-        h.arr.(i) <- h.arr.(p);
-        up p
-      end
-      else h.arr.(i) <- ev
-  in
   let i = h.len in
   h.len <- h.len + 1;
-  up i
+  sift_up h ev i
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < h.len && before h.arr.(l) h.arr.(i) then l else i in
+  let m = if r < h.len && before h.arr.(r) h.arr.(m) then r else m in
+  if m <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(m);
+    h.arr.(m) <- tmp;
+    sift_down h m
+  end
 
 let pop h =
-  if h.len = 0 then None
+  if h.len = 0 then Sched_event.nil
   else begin
     let top = h.arr.(0) in
     h.len <- h.len - 1;
     let last = h.arr.(h.len) in
-    h.arr.(h.len) <- dummy;
+    h.arr.(h.len) <- Sched_event.nil;
     if h.len > 0 then begin
       h.arr.(0) <- last;
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let m = ref i in
-        if l < h.len && before h.arr.(l) h.arr.(!m) then m := l;
-        if r < h.len && before h.arr.(r) h.arr.(!m) then m := r;
-        if !m <> i then begin
-          let tmp = h.arr.(i) in
-          h.arr.(i) <- h.arr.(!m);
-          h.arr.(!m) <- tmp;
-          down !m
-        end
-      in
-      down 0
+      sift_down h 0
     end;
-    Some top
+    top
   end
 
-let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+let peek_time h = if h.len = 0 then infinity else h.arr.(0).Sched_event.time
+
+(* One call instead of peek-then-pop in the engine loop: a [peek_time]
+   through the scheduler's closure record boxes its float result on
+   every dispatch, which this fused form avoids entirely. *)
+let pop_until h limit =
+  if h.len = 0 then Sched_event.nil
+  else if h.arr.(0).Sched_event.time > limit then Sched_event.nil
+  else pop h

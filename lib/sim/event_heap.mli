@@ -1,23 +1,41 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events — the reference scheduler.
 
-    Ordering is (time, key, seq): events at equal times order by their
-    tie-break [key] first, then by insertion order. The default FIFO
-    policy assigns every event key 0 (pure insertion order); the race
-    detector assigns seeded pseudo-random keys to explore alternative
-    legal orderings of simultaneous events. *)
+    Ordering is {!Sched_event.before}: [(time, key, seq)] lexicographic.
+    The default FIFO policy assigns every event key 0 (pure insertion
+    order); the race detector assigns seeded pseudo-random keys to
+    explore alternative legal orderings of simultaneous events.
 
-type event = { time : float; key : int; seq : int; label : string; run : unit -> unit }
+    O(log n) [add]/[pop] regardless of the time distribution — the
+    robust baseline the calendar queue and timing wheel are checked
+    against for bit-identical dispatch order. *)
 
 type t
+(** An array-backed binary min-heap of {!Sched_event.t} cells. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty heap. [capacity] (default 64) sizes the initial
+    backing array; the heap grows geometrically as needed. *)
+
 val length : t -> int
+(** Number of events currently queued. *)
+
 val is_empty : t -> bool
+(** Whether no events are queued. *)
 
-val add : t -> event -> unit
+val add : t -> Sched_event.t -> unit
+(** Insert an event cell. The heap takes ownership of the cell until it
+    is returned by {!pop}. *)
 
-val pop : t -> event option
-(** Remove and return the earliest event, [None] when empty. *)
+val pop : t -> Sched_event.t
+(** Remove and return the minimum event per {!Sched_event.before};
+    returns [Sched_event.nil] (test with [==]) when empty. *)
 
-val peek_time : t -> float option
-(** Time of the earliest event without removing it. *)
+val peek_time : t -> float
+(** Time of the earliest event without removing it; [infinity] when
+    empty. *)
+
+val pop_until : t -> float -> Sched_event.t
+(** [pop_until h limit] pops the minimum event if its time is [<= limit];
+    [Sched_event.nil] when the heap is empty or the minimum lies beyond
+    [limit]. Equivalent to a [peek_time] test followed by [pop], fused so
+    the hot loop performs one call and no float boxing. *)

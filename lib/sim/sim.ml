@@ -2,9 +2,20 @@
 
    Processes are ordinary OCaml functions that perform effects ([delay],
    [suspend], [spawn]); a deep effect handler turns each into a coroutine
-   scheduled on a global event heap. Blocking synchronisation primitives
-   (Ivar, Mailbox, Resource) are built on the single [suspend] primitive,
-   whose resume closure is single-shot, making timeouts race-free. *)
+   scheduled on a global event scheduler. Blocking synchronisation
+   primitives (Ivar, Mailbox, Resource) are built on the single [suspend]
+   primitive, whose resume closure is single-shot, making timeouts
+   race-free.
+
+   The scheduler is pluggable (Scheduler.kind): a binary heap (the
+   reference), a calendar queue, or a hierarchical timing wheel. All
+   three honour the same (time, key, seq) ordering contract exactly, so
+   the dispatch sequence — and therefore every digest built on it — is
+   bit-identical whichever one a run selects.
+
+   The hot loop is allocation-lean: event cells are recycled through a
+   per-engine freelist, so steady-state scheduling mutates a reused
+   record instead of allocating one per event. *)
 
 exception Deadlock of string
 exception Main_incomplete
@@ -19,15 +30,20 @@ exception Main_incomplete
    reordering flips the observables. *)
 type tiebreak = Fifo | Perturbed of int | Perturb_first of { seed : int; limit : int }
 
+type sched = Scheduler.kind = Binary_heap | Calendar | Wheel
+
 type dispatch = { d_time : float; d_seq : int; d_label : string }
 
 type engine = {
   mutable now : float;
   mutable seq : int;
-  heap : Event_heap.t;
+  sched : Scheduler.t;
+  mutable free : Sched_event.t; (* freelist of recycled event cells *)
   mutable stopped : bool;
   mutable spawned : int;
   mutable dispatched : int;
+  mutable pending : int; (* events scheduled and not yet dispatched *)
+  mutable max_pending : int; (* high-water mark of pending events *)
   keyfn : int -> int; (* seq -> equal-time ordering key, from [tiebreak] *)
   on_dispatch : (dispatch -> unit) option;
   mutable cur_label : string; (* label of the event being executed *)
@@ -47,15 +63,36 @@ let keyfn_of = function
 
 let schedule ?label eng ~at run =
   (* [at >= now] is also false for NaN, so a poisoned latency computation
-     trips here instead of silently freezing the heap order. *)
-  Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
-    (at >= eng.now)
-    ~detail:(fun () ->
-      Printf.sprintf "event scheduled into the past (at=%.9g, now=%.9g)" at eng.now);
+     trips here instead of silently freezing the dispatch order. Guarded
+     on [active] so the off path does not allocate the detail closure —
+     this is the hottest call site in the simulator. *)
+  if Invariant.active () then
+    Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
+      (at >= eng.now)
+      ~detail:(fun () ->
+        Printf.sprintf "event scheduled into the past (at=%.9g, now=%.9g)" at eng.now);
   eng.seq <- eng.seq + 1;
-  let label = match label with Some l -> l | None -> eng.cur_label in
-  Event_heap.add eng.heap
-    { Event_heap.time = at; key = eng.keyfn eng.seq; seq = eng.seq; label; run }
+  (* Recycle an event cell from the freelist; allocate only when the
+     pending population reaches a new high. *)
+  let ev = eng.free in
+  let ev =
+    if ev == Sched_event.nil then Sched_event.make ()
+    else begin
+      eng.free <- ev.Sched_event.next;
+      ev.Sched_event.next <- Sched_event.nil;
+      ev
+    end
+  in
+  ev.Sched_event.time <- at;
+  ev.Sched_event.key <- eng.keyfn eng.seq;
+  ev.Sched_event.seq <- eng.seq;
+  ev.Sched_event.label <- (match label with Some l -> l | None -> eng.cur_label);
+  ev.Sched_event.run <- run;
+  Scheduler.add eng.sched ev;
+  (* Tracked incrementally rather than asking the scheduler: one fewer
+     closure call per scheduled event. *)
+  eng.pending <- eng.pending + 1;
+  if eng.pending > eng.max_pending then eng.max_pending <- eng.pending
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
@@ -95,7 +132,7 @@ let now () = (get_engine ()).now
 let delay t = if t > 0. then Effect.perform (Delay t) else ()
 let suspend register = Effect.perform (Suspend register)
 
-(* [spawn] and [after] are not effects: they only mutate the event heap, so
+(* [spawn] and [after] are not effects: they only mutate the scheduler, so
    they are callable from anywhere — including resume-registration callbacks
    that run outside any process handler. Unlabelled children inherit the
    spawner's label, so attribution stays allocation-free on hot paths. *)
@@ -116,18 +153,23 @@ let stop () =
 
 (* Scheduler introspection, sampled by the observability layer. *)
 let events_dispatched () = (get_engine ()).dispatched
-let heap_depth () = Event_heap.length (get_engine ()).heap
+let heap_depth () = Scheduler.length (get_engine ()).sched
+let max_pending_events () = (get_engine ()).max_pending
 let processes_spawned () = (get_engine ()).spawned
 
-let run ?(until = infinity) ?checks ?(tiebreak = Fifo) ?on_dispatch (main : unit -> 'a) : 'a =
+let run ?(until = infinity) ?checks ?(tiebreak = Fifo) ?(sched = Binary_heap) ?on_dispatch
+    (main : unit -> 'a) : 'a =
   let eng =
     {
       now = 0.;
       seq = 0;
-      heap = Event_heap.create ();
+      sched = Scheduler.create sched;
+      free = Sched_event.nil;
       stopped = false;
       spawned = 0;
       dispatched = 0;
+      pending = 0;
+      max_pending = 0;
       keyfn = keyfn_of tiebreak;
       on_dispatch;
       cur_label = "main";
@@ -153,33 +195,42 @@ let run ?(until = infinity) ?checks ?(tiebreak = Fifo) ?on_dispatch (main : unit
         processes (periodic compactors, heartbeats) must not keep the
         simulation alive forever. *)
      while !continue_loop && not eng.stopped && not !main_done do
-       match Event_heap.pop eng.heap with
-       | None -> continue_loop := false
-       | Some ev ->
-           if ev.Event_heap.time > until then begin
-             eng.now <- until;
-             continue_loop := false
-           end
-           else begin
-             Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
-               (ev.Event_heap.time >= eng.now)
-               ~detail:(fun () ->
-                 Printf.sprintf "heap yielded an event at t=%.9g behind the clock"
-                   ev.Event_heap.time);
-             eng.now <- ev.Event_heap.time;
-             eng.dispatched <- eng.dispatched + 1;
-             eng.cur_label <- ev.Event_heap.label;
-             (match eng.on_dispatch with
-             | None -> ()
-             | Some f ->
-                 f
-                   {
-                     d_time = ev.Event_heap.time;
-                     d_seq = ev.Event_heap.seq;
-                     d_label = ev.Event_heap.label;
-                   });
-             ev.Event_heap.run ()
-           end
+       (* One fused scheduler call per dispatch: peek-then-pop through
+          the closure record would box peek's float result every
+          iteration. [nil] means empty or next-beyond-[until]; the two
+          are told apart on the cold path below. *)
+       let ev = Scheduler.pop_until eng.sched until in
+       if ev == Sched_event.nil then begin
+         if Scheduler.peek_time eng.sched < infinity then eng.now <- until;
+         continue_loop := false
+       end
+       else begin
+         (* Copy the cell's fields out and recycle it before dispatch:
+            the event body is free to schedule (and thus reuse the
+            cell) immediately. *)
+         let time = ev.Sched_event.time in
+         let seq = ev.Sched_event.seq in
+         let label = ev.Sched_event.label in
+         let run = ev.Sched_event.run in
+         Sched_event.clear ev;
+         ev.Sched_event.next <- eng.free;
+         eng.free <- ev;
+         (* Guarded on [active] like the one in [schedule]: the off path
+            must not allocate the detail closure on every dispatch. *)
+         if Invariant.active () then
+           Invariant.require ~invariant:"event-time-monotonicity" ~time:eng.now
+             (time >= eng.now)
+             ~detail:(fun () ->
+               Printf.sprintf "scheduler yielded an event at t=%.9g behind the clock" time);
+         eng.now <- time;
+         eng.dispatched <- eng.dispatched + 1;
+         eng.pending <- eng.pending - 1;
+         eng.cur_label <- label;
+         (match eng.on_dispatch with
+         | None -> ()
+         | Some f -> f { d_time = time; d_seq = seq; d_label = label });
+         run ()
+       end
      done
    with e ->
      finish ();
@@ -249,42 +300,50 @@ module Ivar = struct
 end
 
 module Mailbox = struct
-  type 'a t = { items : 'a Queue.t; mutable waiters : ('a -> unit) list }
+  (* Waiters sit in a Queue; a timed-out waiter is tombstoned in place
+     ([cancelled]) and dropped lazily when [send] reaches it. Enqueue,
+     cancel and (amortised) dequeue are all O(1) — the previous
+     representation appended to and filtered a plain list, which made a
+     mailbox with n blocked receivers O(n) per operation. FIFO wake
+     order is unchanged: live waiters wake strictly in arrival order. *)
+  type 'a waiter = { mutable cancelled : bool; wake : 'a -> unit }
+  type 'a t = { items : 'a Queue.t; waiters : 'a waiter Queue.t }
 
-  let create () = { items = Queue.create (); waiters = [] }
+  let create () = { items = Queue.create (); waiters = Queue.create () }
   let length t = Queue.length t.items
   let is_empty t = Queue.is_empty t.items
 
+  (* Oldest live waiter, discarding tombstones on the way. *)
+  let rec next_waiter t =
+    match Queue.take_opt t.waiters with
+    | None -> None
+    | Some w -> if w.cancelled then next_waiter t else Some w
+
   let send t v =
-    match t.waiters with
-    | [] -> Queue.push v t.items
-    | w :: rest ->
-        t.waiters <- rest;
-        w v
+    match next_waiter t with
+    | None -> Queue.push v t.items
+    | Some w -> w.wake v
 
   let try_recv t = if Queue.is_empty t.items then None else Some (Queue.pop t.items)
-
-  let add_waiter t w = t.waiters <- t.waiters @ [ w ]
-
-  let remove_waiter t w = t.waiters <- List.filter (fun w' -> w' != w) t.waiters
 
   let recv t =
     match try_recv t with
     | Some v -> v
-    | None -> suspend (fun resume -> add_waiter t resume)
+    | None ->
+        suspend (fun resume -> Queue.push { cancelled = false; wake = resume } t.waiters)
 
   let recv_timeout t timeout =
     match try_recv t with
     | Some v -> Some v
     | None ->
         suspend (fun resume ->
-            let waiter v = resume (Some v) in
-            add_waiter t waiter;
+            let w = { cancelled = false; wake = (fun v -> resume (Some v)) } in
+            Queue.push w t.waiters;
             after timeout (fun () ->
                 (* If the timeout loses the race this is a no-op thanks to
-                   the single-shot resume; but we must drop the waiter so a
-                   later send is not swallowed. *)
-                remove_waiter t waiter;
+                   the single-shot resume; but the waiter must be
+                   tombstoned so a later send is not swallowed. *)
+                w.cancelled <- true;
                 resume None))
 end
 

@@ -36,15 +36,25 @@ exception Main_incomplete
     the first event whose reordering changes the observables. *)
 type tiebreak = Fifo | Perturbed of int | Perturb_first of { seed : int; limit : int }
 
-(** One executed heap event, as seen by [run]'s [?on_dispatch] hook:
-    its virtual time, scheduling sequence number, and the label of the
-    process (or timer context) that scheduled it. *)
+(** Which event-scheduler data structure drives the run (see
+    {!Scheduler}): [Binary_heap] is the O(log n) reference, [Calendar]
+    a Brown '88 calendar queue, [Wheel] a hierarchical timing wheel
+    with overflow heap. All three obey the same [(time, key, seq)]
+    ordering contract exactly, so the dispatch sequence — and every
+    race/chaos digest built on it — is bit-identical whichever one a
+    run selects; only speed differs. *)
+type sched = Scheduler.kind = Binary_heap | Calendar | Wheel
+
+(** One executed scheduler event, as seen by [run]'s [?on_dispatch]
+    hook: its virtual time, scheduling sequence number, and the label
+    of the process (or timer context) that scheduled it. *)
 type dispatch = { d_time : float; d_seq : int; d_label : string }
 
 val run :
   ?until:float ->
   ?checks:bool ->
   ?tiebreak:tiebreak ->
+  ?sched:sched ->
   ?on_dispatch:(dispatch -> unit) ->
   (unit -> 'a) ->
   'a
@@ -62,7 +72,9 @@ val run :
     when the run finishes.
 
     [~tiebreak] selects the equal-time event ordering policy (default
-    {!Fifo}). [~on_dispatch] is called once per executed heap event,
+    {!Fifo}). [~sched] selects the scheduler data structure (default
+    {!Binary_heap}); the choice never changes observable behaviour,
+    only performance. [~on_dispatch] is called once per executed event,
     before it runs — the race detector's execution-log channel; leave it
     unset on hot paths (the per-event cost when unset is one branch). *)
 
@@ -108,7 +120,13 @@ val events_dispatched : unit -> int
 (** Number of heap events executed since the current run started. *)
 
 val heap_depth : unit -> int
-(** Number of events currently pending on the heap. *)
+(** Number of events currently pending on the scheduler (the name
+    predates pluggable schedulers; it is the pending-event count
+    whichever structure the run selected). *)
+
+val max_pending_events : unit -> int
+(** High-water mark of {!heap_depth} since the current run started —
+    the "max pending" column of the scale benchmark. *)
 
 val processes_spawned : unit -> int
 (** Number of processes started with {!spawn} since the run started. *)

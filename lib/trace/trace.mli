@@ -74,21 +74,47 @@ val stop : unit -> unit
     virtual time. They must be called inside [Sim.run] (timestamps read
     [Sim.now]). *)
 
-val span : ?track:track -> ?args:(string * arg) list -> cat:string -> string -> (unit -> 'a) -> 'a
+val span :
+  ?track:track ->
+  ?args:(string * arg) list ->
+  ?largs:(unit -> (string * arg) list) ->
+  cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
 (** [span ~cat name f] runs [f ()] and records a complete ('X') event
     covering its virtual-time extent. If [f] raises, the span is still
     recorded — with an extra [exn] argument — and the exception is
     re-raised. Overlapping spans on one track are fine (the viewer nests
-    them by containment). *)
+    them by containment).
+
+    [largs] is the lazy form of [args]: the thunk is evaluated only when
+    capture is on, so a hot path that also branches on {!on} before
+    building its closure pays zero allocations per call while tracing is
+    off. When both are given the eager [args] come first. *)
 
 val complete :
-  ?track:track -> ?args:(string * arg) list -> cat:string -> string -> since:float -> unit
+  ?track:track ->
+  ?args:(string * arg) list ->
+  ?largs:(unit -> (string * arg) list) ->
+  cat:string ->
+  string ->
+  since:float ->
+  unit
 (** [complete ~cat name ~since] records a complete ('X') event from
     absolute virtual time [since] (seconds, from [Sim.now]) to now. For
-    sites where the span's arguments are only known at the end. *)
+    sites where the span's arguments are only known at the end.
+    [largs] as in {!span}. *)
 
-val instant : ?track:track -> ?args:(string * arg) list -> cat:string -> string -> unit
-(** Record a zero-duration ('i') event at the current virtual time. *)
+val instant :
+  ?track:track ->
+  ?args:(string * arg) list ->
+  ?largs:(unit -> (string * arg) list) ->
+  cat:string ->
+  string ->
+  unit
+(** Record a zero-duration ('i') event at the current virtual time.
+    [largs] as in {!span}. *)
 
 val counter : ?track:track -> cat:string -> string -> (string * float) list -> unit
 (** [counter ~cat name series] records a 'C' event: one named counter
@@ -99,13 +125,29 @@ val next_id : unit -> int
 (** A fresh id for an async span pair, from a deterministic counter.
     Returns 0 (no allocation of meaning) while capture is off. *)
 
-val async_begin : ?track:track -> ?args:(string * arg) list -> cat:string -> id:int -> string -> unit
+val async_begin :
+  ?track:track ->
+  ?args:(string * arg) list ->
+  ?largs:(unit -> (string * arg) list) ->
+  cat:string ->
+  id:int ->
+  string ->
+  unit
 (** Open an async ('b') span. Async spans tie together work that moves
     between tracks (a message in flight, a command in a device queue);
-    the matching {!async_end} must use the same [cat], [name] and [id]. *)
+    the matching {!async_end} must use the same [cat], [name] and [id].
+    [largs] as in {!span}. *)
 
-val async_end : ?track:track -> ?args:(string * arg) list -> cat:string -> id:int -> string -> unit
-(** Close an async ('e') span opened by {!async_begin}. *)
+val async_end :
+  ?track:track ->
+  ?args:(string * arg) list ->
+  ?largs:(unit -> (string * arg) list) ->
+  cat:string ->
+  id:int ->
+  string ->
+  unit
+(** Close an async ('e') span opened by {!async_begin}. [largs] as in
+    {!span}. *)
 
 (** {1 In-memory access (tests)} *)
 

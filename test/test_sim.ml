@@ -273,13 +273,15 @@ let heap_sorts =
       let h = Event_heap.create () in
       List.iteri
         (fun i t ->
-          Event_heap.add h
-            { Event_heap.time = t; key = 0; seq = i; label = ""; run = (fun () -> ()) })
+          let ev = Sched_event.make () in
+          Sched_event.set_time ev t;
+          ev.Sched_event.seq <- i;
+          Event_heap.add h ev)
         times;
       let rec drain acc =
-        match Event_heap.pop h with
-        | None -> List.rev acc
-        | Some e -> drain ((e.Event_heap.time, e.Event_heap.seq) :: acc)
+        let e = Event_heap.pop h in
+        if e == Sched_event.nil then List.rev acc
+        else drain ((Sched_event.time e, e.Sched_event.seq) :: acc)
       in
       let out = drain [] in
       let sorted = List.sort compare out in

@@ -374,7 +374,16 @@ let lint_file file =
 (* ------------------------------------------------------------------ *)
 (* R5: documentation coverage for the curated interfaces. *)
 
-let doc_required_files = [ "lib/sim/sim.mli"; "lib/core/engine.mli" ]
+let doc_required_files =
+  [
+    "lib/sim/sim.mli";
+    "lib/sim/sched_event.mli";
+    "lib/sim/event_heap.mli";
+    "lib/sim/calendar_queue.mli";
+    "lib/sim/timing_wheel.mli";
+    "lib/sim/scheduler.mli";
+    "lib/core/engine.mli";
+  ]
 
 let doc_required file =
   Filename.check_suffix file ".mli"
