@@ -13,7 +13,9 @@
                                     write the Chrome trace and report the
                                     wall-clock overhead of capture
      bench/main.exe chaos [seed..]  seeded fault-injection runs (crash-restarts,
-                                    partition, SSD degradation) under load
+                                    partition, SSD degradation) under load, plus
+                                    the fail-slow naive-vs-hedged tail comparison;
+                                    writes BENCH_chaos.json
      bench/main.exe race [target..] simultaneous-event race detection over the
                                     registered targets (default all)
      bench/main.exe scale           scheduler sweep: heap/calendar/wheel over
@@ -207,16 +209,85 @@ let trace_mode args =
 
 (* --- seeded chaos runs through the fault-injection subsystem --- *)
 
-let chaos seeds =
+let chaos ~fast seeds =
   let open Leed_fault.Fault in
   let seeds = if seeds = [] then [ 42 ] else List.map int_of_string seeds in
-  List.iter
-    (fun seed ->
-      Printf.printf "== chaos seed %d ==\n%!" seed;
-      let r = Chaos.run { Chaos.default_config with Chaos.seed } in
-      Format.printf "%a@." Chaos.pp_report r;
-      if not r.Chaos.ok then exit 1)
-    seeds
+  let seed_rows =
+    List.map
+      (fun seed ->
+        Printf.printf "== chaos seed %d ==\n%!" seed;
+        let wall0 = Unix.gettimeofday () in
+        let r = Chaos.run { Chaos.default_config with Chaos.seed } in
+        let wall = Unix.gettimeofday () -. wall0 in
+        Format.printf "%a@." Chaos.pp_report r;
+        if not r.Chaos.ok then exit 1;
+        Json.Obj
+          [
+            ("seed", Json.Int seed);
+            ("ops", Json.Int r.Chaos.ops);
+            ("failed_ops", Json.Int r.Chaos.failed_ops);
+            ("max_outage_s", Json.Num r.Chaos.max_outage);
+            ("digest", Json.Str r.Chaos.digest);
+            ("ok", Json.Bool r.Chaos.ok);
+            ("wall_s", Json.Num wall);
+          ])
+      seeds
+  in
+  (* Gray-failure comparison: the fig-failslow triplet (fault-free /
+     naive / hedged over one 10x fail-slow schedule), emitted with the
+     tail ratios the robustness claim is judged on. *)
+  print_endline "== chaos fail-slow: naive vs hedged ==";
+  let pts = Fig_failslow.points ~fast () in
+  let point_row (p : Fig_failslow.point) =
+    let r = p.Fig_failslow.report in
+    let module C = Chaos in
+    let hedge_rate =
+      if r.C.reads > 0 then float_of_int r.C.hedges /. float_of_int r.C.reads else 0.
+    in
+    Printf.printf
+      "  %-18s get p99 %7.0fus p99.9 %7.0fus  hedges %d (%.1f%% of reads, %d wins)  sheds %d  \
+       slow events %d  detection %s\n"
+      p.Fig_failslow.label (1e6 *. r.C.get_p99) (1e6 *. r.C.get_p999) r.C.hedges
+      (100. *. hedge_rate) r.C.hedge_wins r.C.sheds r.C.slow_events
+      (if r.C.detection_latency < 0. then "-" else Printf.sprintf "%.2fs" r.C.detection_latency);
+    Json.Obj
+      [
+        ("label", Json.Str p.Fig_failslow.label);
+        ("get_p99_s", Json.Num r.C.get_p99);
+        ("get_p999_s", Json.Num r.C.get_p999);
+        ("hedges", Json.Int r.C.hedges);
+        ("hedge_wins", Json.Int r.C.hedge_wins);
+        ("hedge_rate", Json.Num hedge_rate);
+        ("sheds", Json.Int r.C.sheds);
+        ("slow_events", Json.Int r.C.slow_events);
+        ("detection_latency_s", Json.Num r.C.detection_latency);
+        ("ok", Json.Bool r.C.ok);
+      ]
+  in
+  let point_rows = List.map point_row pts in
+  let ratios =
+    match pts with
+    | [ clean; naive; hedged ] ->
+        let p999 (p : Fig_failslow.point) = p.Fig_failslow.report.Chaos.get_p999 in
+        let r (p : Fig_failslow.point) = if p999 clean > 0. then p999 p /. p999 clean else 0. in
+        Printf.printf "  p99.9 vs fault-free: naive %.1fx, hedged %.1fx\n" (r naive) (r hedged);
+        [ ("naive_p999_x", Json.Num (r naive)); ("hedged_p999_x", Json.Num (r hedged)) ]
+    | _ -> []
+  in
+  Json.write "BENCH_chaos.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "chaos");
+         ("fast", Json.Bool fast);
+         ("seeds", Json.List seed_rows);
+         ("failslow", Json.Obj (ratios @ [ ("points", Json.List point_rows) ]));
+       ]);
+  Printf.printf "wrote BENCH_chaos.json (%d seeds, %d fail-slow points)\n" (List.length seed_rows)
+    (List.length pts);
+  if List.exists (fun (p : Fig_failslow.point) -> not p.Fig_failslow.report.Chaos.ok) pts then begin
+    prerr_endline "bench chaos: fail-slow run violated a chaos invariant";
+    exit 1
+  end
 
 (* --- simultaneous-event race detection (leed race, benchmarked) --- *)
 
@@ -646,7 +717,7 @@ let () =
       let jbofs, rest = extract_int_opt "--jbofs" rest in
       ycsb ?jbofs (if rest = [] then Exp_common.backend_names else rest)
   | "trace" :: rest -> trace_mode rest
-  | "chaos" :: rest -> chaos rest
+  | "chaos" :: rest -> chaos ~fast rest
   | "race" :: rest -> race ~fast rest
   | "scale" :: _ -> scale ~fast ()
   | "scale-probe" :: sched_name :: jbofs :: objects :: rest ->

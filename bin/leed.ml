@@ -222,6 +222,23 @@ let chaos_cmd =
           ~doc:"Add at-rest bit-flip faults; runs the background scrubber and requires a \
                 checksum-clean cluster after the final heal pass.")
   in
+  let fail_slow =
+    Arg.(
+      value & flag
+      & info [ "fail-slow" ]
+          ~doc:"Add a gray failure to the schedule — one node's compute path runs 10x slower \
+                behind healthy heartbeats, plus a creeping inbound jitter ramp — and arm the \
+                defenses: hedged reads, adaptive timeouts, slow-outlier escalation, and a 1 s \
+                per-op deadline.")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:"Strip the gray-failure defenses (no hedging, no adaptive timeouts, no \
+                slow-outlier detection): the static-timeout baseline to compare --fail-slow \
+                tails against.")
+  in
   let sanitize =
     Arg.(
       value & flag
@@ -235,12 +252,20 @@ let chaos_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Capture the first run as Chrome trace_event JSON into $(docv).")
   in
-  let run seed runs fast bit_rot sanitize trace_out =
+  let run seed runs fast bit_rot fail_slow naive sanitize trace_out =
     let open Leed_fault.Fault in
     let module Trace = Leed_trace.Trace in
     let cfg =
-      let base = { Chaos.default_config with Chaos.seed; bit_rot } in
-      if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
+      let base = { Chaos.default_config with Chaos.seed; bit_rot; naive } in
+      let base =
+        if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
+        else base
+      in
+      (* The fail-slow preset needs a victim beyond the crash-restart
+         and partition victims (else the generator skips it), and a
+         per-op deadline so the shedding path has real work. *)
+      if fail_slow then
+        { base with Chaos.fail_slow = true; nnodes = max base.Chaos.nnodes 5; op_deadline = 1.0 }
       else base
     in
     let checks = if sanitize then Some true else None in
@@ -278,7 +303,7 @@ let chaos_cmd =
           loss) under closed-loop load and check the end-of-run invariants: zero \
           acknowledged-write loss, full replication restored, bounded unavailability, \
           deterministic digest.")
-    Term.(const run $ seed $ runs $ fast $ bit_rot $ sanitize $ trace_out)
+    Term.(const run $ seed $ runs $ fast $ bit_rot $ fail_slow $ naive $ sanitize $ trace_out)
 
 
 let race_cmd =
@@ -405,7 +430,7 @@ let experiment_cmd =
   let names =
     [
       "table1"; "fig1"; "table3"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-      "fig12"; "fig13"; "fig14";
+      "fig12"; "fig13"; "fig14"; "failslow";
     ]
   in
   let exp_name =
@@ -430,6 +455,7 @@ let experiment_cmd =
       | "fig12" -> Leed_experiments.Fig12.run
       | "fig13" -> Leed_experiments.Fig13.run
       | "fig14" -> Leed_experiments.Fig14.run
+      | "failslow" -> Leed_experiments.Fig_failslow.run
       | _ -> assert false
     in
     f ()

@@ -41,6 +41,14 @@ echo "== bit-rot chaos (scrub + read-repair under faults, determinism diff) =="
 # and the two same-seed runs must still be bit-identical.
 dune exec bin/leed.exe -- chaos --fast --sanitize --bit-rot --seed 7 --runs 2
 
+echo "== fail-slow chaos (gray failure: hedging + ladder + shedding, determinism diff) =="
+# Adds a 10x fail-slow node (plus an inbound jitter ramp) to the
+# schedule with hedged reads, adaptive timeouts, deadline shedding and
+# the slow-outlier ladder all armed: invariants must hold, the fenced
+# node must rejoin after the heal, and hedging's first-response-wins
+# races must still produce bit-identical same-seed digests.
+dune exec bin/leed.exe -- chaos --fast --sanitize --fail-slow --seed 11 --runs 2
+
 echo "== race smoke (perturbed equal-time orderings, clean target + racy fixture) =="
 # The detector reruns each target under 8 seeded equal-time orderings
 # and diffs the observable digests: the chaos schedule must be

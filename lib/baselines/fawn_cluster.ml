@@ -236,6 +236,11 @@ let counters t =
     read_repairs = 0;
     scrubbed_segments = 0;
     scrub_repairs = 0;
+    (* no hedging / deadline / gray-failure machinery in the baseline *)
+    hedges = 0;
+    hedge_wins = 0;
+    sheds = 0;
+    slow_events = 0;
   }
 
 let watts t ~util =

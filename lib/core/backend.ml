@@ -17,6 +17,10 @@ type counters = {
   read_repairs : int;
   scrubbed_segments : int;
   scrub_repairs : int;
+  hedges : int;
+  hedge_wins : int;
+  sheds : int;
+  slow_events : int;
 }
 
 let no_counters =
@@ -34,6 +38,10 @@ let no_counters =
     read_repairs = 0;
     scrubbed_segments = 0;
     scrub_repairs = 0;
+    hedges = 0;
+    hedge_wins = 0;
+    sheds = 0;
+    slow_events = 0;
   }
 
 let nvme_accesses c = c.nvme_reads + c.nvme_writes
@@ -53,6 +61,10 @@ let diff_counters ~after ~before =
     read_repairs = after.read_repairs - before.read_repairs;
     scrubbed_segments = after.scrubbed_segments - before.scrubbed_segments;
     scrub_repairs = after.scrub_repairs - before.scrub_repairs;
+    hedges = after.hedges - before.hedges;
+    hedge_wins = after.hedge_wins - before.hedge_wins;
+    sheds = after.sheds - before.sheds;
+    slow_events = after.slow_events - before.slow_events;
   }
 
 type metrics = {
@@ -75,6 +87,10 @@ type metrics = {
   read_repairs : int;
   scrubbed_segments : int;
   scrub_repairs : int;
+  hedges : int;
+  hedge_wins : int;
+  sheds : int;
+  slow_events : int;
   watts : float;
   queries_per_joule : float;
 }
@@ -149,6 +165,10 @@ let measure ~label b run =
     read_repairs = delta.read_repairs;
     scrubbed_segments = delta.scrubbed_segments;
     scrub_repairs = delta.scrub_repairs;
+    hedges = delta.hedges;
+    hedge_wins = delta.hedge_wins;
+    sheds = delta.sheds;
+    slow_events = delta.slow_events;
     watts = w;
     queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
   }

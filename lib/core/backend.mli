@@ -35,6 +35,12 @@ type counters = {
   read_repairs : int;      (** corrupt entries healed from a CRRS replica *)
   scrubbed_segments : int; (** segments walked by the background scrubber *)
   scrub_repairs : int;     (** rotted values the scrubber healed *)
+  hedges : int;            (** hedged GETs fired against a slow primary *)
+  hedge_wins : int;        (** hedges whose response beat the primary *)
+  sheds : int;
+      (** deadline sheds: engine-side expired-queue drops plus client-side
+          abandonments *)
+  slow_events : int;       (** gray-failure escalations/de-escalations pushed *)
 }
 
 val no_counters : counters
@@ -66,6 +72,10 @@ type metrics = {
   read_repairs : int;
   scrubbed_segments : int;
   scrub_repairs : int;
+  hedges : int;              (** hedged GETs fired during the window *)
+  hedge_wins : int;
+  sheds : int;               (** deadline sheds during the window *)
+  slow_events : int;         (** gray-failure escalations during the window *)
   watts : float;             (** modeled cluster wall power (paper's meters) *)
   queries_per_joule : float; (** throughput / watts — the paper's headline *)
 }

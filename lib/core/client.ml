@@ -8,12 +8,27 @@
    the most tokens instead of always the tail.
 
    Both mechanisms can be disabled for the ablation experiments (Fig. 7,
-   Fig. 8). *)
+   Fig. 8).
+
+   Gray-failure tolerance: the client tracks a latency histogram per
+   destination node plus a global one. GETs are *hedged* — if the primary
+   replica has not answered within the global hedge quantile, the same
+   read is re-issued to the best alternate CRRS chain member and the first
+   response wins (the loser's RPC slot self-cleans at the netsim layer; it
+   never double-counts tokens, retries, or nacks because only the winning
+   response is consumed). Per-destination adaptive timeouts replace the
+   single static [rpc_timeout] as soon as enough samples exist, so a dead
+   or wildly slow destination is abandoned in a few multiples of its usual
+   tail instead of half a second. Ops can carry a deadline: the token
+   engine sheds work still queued past it, and the resulting
+   [Deadline_exceeded] NACK is terminal (retrying dead work is the
+   metastable-failure pattern). *)
 
 open Leed_sim
 open Leed_netsim
 module Rpc = Netsim.Rpc
 module Trace = Leed_trace.Trace
+module Histogram = Leed_stats.Histogram
 
 exception Unavailable of string
 
@@ -27,6 +42,14 @@ type config = {
   retry_backoff_cap : float; (* ceiling of the exponential ramp *)
   retry_jitter : float;      (* relative spread: sleep ∈ base·2ⁿ·[1±j] *)
   rpc_timeout : float;
+  hedge : bool;              (* hedged GETs toward a second CRRS replica *)
+  hedge_quantile : float;    (* global latency quantile arming the hedge *)
+  hedge_floor : float;       (* minimum hedge delay (s) *)
+  adaptive_timeout : bool;   (* per-destination quantile-based timeouts *)
+  timeout_quantile : float;  (* per-destination quantile the timeout tracks *)
+  timeout_mult : float;      (* timeout = mult × dest quantile *)
+  timeout_floor : float;     (* adaptive timeouts never drop below this (s) *)
+  op_deadline : float;       (* per-op SLO budget (s); 0. = no deadline *)
 }
 
 let default_config =
@@ -40,7 +63,22 @@ let default_config =
     retry_backoff_cap = 0.1;
     retry_jitter = 0.25;
     rpc_timeout = 0.5;
+    hedge = true;
+    hedge_quantile = 0.95;
+    hedge_floor = 0.0002;
+    adaptive_timeout = true;
+    timeout_quantile = 0.99;
+    timeout_mult = 6.0;
+    timeout_floor = 0.025;
+    op_deadline = 0.;
   }
+
+(* Sample floors before the adaptive machinery arms: a hedge fired off
+   three samples is noise, and a timeout fitted to a cold histogram is a
+   false-positive machine. Below these counts the client behaves exactly
+   like the naive static configuration. *)
+let hedge_min_samples = 64
+let timeout_min_samples = 32
 
 type vstate = {
   mutable tokens : int; (* last piggybacked availability *)
@@ -57,8 +95,18 @@ type t = {
   refresh : unit -> Ring.snapshot;
   vstates : (Ring.vnode, vstate) Hashtbl.t;
   rng : Rng.t; (* per-client deterministic jitter source *)
+  (* per-destination (physical node) response-time histograms feeding the
+     adaptive timeouts; the global one feeds the hedge delay *)
+  dest_hists : (int, Histogram.t) Hashtbl.t;
+  global_hist : Histogram.t;
+  (* control-plane pushed slow set: node -> escalation level
+     (1 = deprioritize in CRRS spreading, 2 = drain entirely) *)
+  slow : (int, int) Hashtbl.t;
   mutable nacks : int;
   mutable retries : int;
+  mutable hedges : int;     (* hedge RPCs fired *)
+  mutable hedge_wins : int; (* hedges that beat the primary *)
+  mutable sheds : int;      (* ops abandoned on Deadline_exceeded *)
   mutable throttled : float; (* cumulative seconds spent waiting for tokens *)
   mutable backoff : float;   (* cumulative seconds slept in retry backoff *)
 }
@@ -77,8 +125,14 @@ let create ?(config = default_config) ?(rng = Rng.create 77) ?(track = Trace.roo
       refresh;
       vstates = Hashtbl.create 64;
       rng = Rng.split rng;
+      dest_hists = Hashtbl.create 16;
+      global_hist = Histogram.create ();
+      slow = Hashtbl.create 4;
       nacks = 0;
       retries = 0;
+      hedges = 0;
+      hedge_wins = 0;
+      sheds = 0;
       throttled = 0.;
       backoff = 0.;
     }
@@ -90,8 +144,75 @@ let ring t = t.ring
 let pending_rpcs t = Rpc.pending_count t.rpc
 let nacks t = t.nacks
 let retries t = t.retries
+let hedges t = t.hedges
+let hedge_wins t = t.hedge_wins
+let sheds t = t.sheds
 let throttled_time t = t.throttled
 let backoff_time t = t.backoff
+
+(* --- gray-failure state --- *)
+
+let dest_hist t node =
+  match Hashtbl.find_opt t.dest_hists node with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace t.dest_hists node h;
+      h
+
+let record_latency t node dt =
+  Histogram.record (dest_hist t node) dt;
+  Histogram.record t.global_hist dt
+
+(* Control-plane push: mark/clear a node's slow-escalation level.
+   Level 1 deprioritizes the node in CRRS read spreading; level 2 drains
+   it (reads avoid it whenever any alternative replica exists). *)
+let set_slow t ~node ~level =
+  if level <= 0 then Hashtbl.remove t.slow node else Hashtbl.replace t.slow node level
+
+let slow_level t node = Option.value ~default:0 (Hashtbl.find_opt t.slow node)
+
+(* Per-destination adaptive timeout: a few multiples of the destination's
+   own tail quantile, clamped to [timeout_floor, rpc_timeout]. The floor
+   keeps a healthy destination's occasional convoy from reading as death;
+   the static [rpc_timeout] remains both the cold-start value and the
+   upper bound. *)
+let timeout_for t node =
+  if not t.config.adaptive_timeout then t.config.rpc_timeout
+  else
+    let h = dest_hist t node in
+    if Histogram.count h < timeout_min_samples then t.config.rpc_timeout
+    else
+      let q = Histogram.percentile h t.config.timeout_quantile in
+      Float.min t.config.rpc_timeout (Float.max t.config.timeout_floor (t.config.timeout_mult *. q))
+
+(* Hedge delay: the hedge-quantile of the *fastest warm destination* —
+   the robust estimate of what a healthy replica's tail looks like. The
+   global distribution would not do: a fail-slow destination keeps
+   feeding its inflated latencies into it (closed-loop clients re-sample
+   it constantly while its tokens stay high), the quantile ratchets
+   toward the slow service time, and the hedge fires too late to protect
+   the tail — the slow replica must never get to inflate its own hedge
+   trigger. Taking the minimum across per-destination quantiles is
+   outlier-proof for any minority of slow nodes, and order-independent,
+   so the unsorted table walk below cannot leak iteration order. Floored
+   so queue noise cannot arm microsecond hedges. None until warm. *)
+let hedge_delay t =
+  if (not t.config.hedge) || Histogram.count t.global_hist < hedge_min_samples then None
+  else
+    let best = ref infinity in
+    (* simlint: allow hashtbl-order — min over the fold is order-independent *)
+    Hashtbl.iter
+      (fun _node h ->
+        if Histogram.count h >= hedge_min_samples then
+          let q = Histogram.percentile h t.config.hedge_quantile in
+          if q < !best then best := q)
+      t.dest_hists;
+    let q =
+      if Float.is_finite !best then !best
+      else Histogram.percentile t.global_hist t.config.hedge_quantile
+    in
+    Some (Float.max t.config.hedge_floor q)
 
 let vstate t vn =
   match Hashtbl.find_opt t.vstates vn with
@@ -137,7 +258,10 @@ let release_waiters t vn =
 let refresh_ring t =
   Ring.install t.ring (t.refresh ())
 
-(* Issue one RPC toward a vnode with flow-control accounting. *)
+(* Issue one RPC toward a vnode with flow-control accounting. Every
+   completed call — response or timeout — feeds the destination's latency
+   histogram (a timeout records the elapsed timeout itself: a censored
+   sample that keeps a silent destination's quantile honest). *)
 let issue t (e : Ring.entry) req =
   let vn = e.Ring.owner in
   let cost =
@@ -151,15 +275,18 @@ let issue t (e : Ring.entry) req =
   admit t vn cost;
   let v = vstate t vn in
   v.outstanding <- v.outstanding + 1;
+  let start = Sim.now () in
   let resp =
     Rpc.call_timeout t.rpc ~dst:(t.peer vn.Ring.node) ~size:(Messages.request_size req)
-      ~timeout:t.config.rpc_timeout req
+      ~timeout:(timeout_for t vn.Ring.node) req
   in
   v.outstanding <- v.outstanding - 1;
+  record_latency t vn.Ring.node (Sim.now () -. start);
   (match resp with
   | Some (Messages.Value { tokens; _ })
   | Some (Messages.Ok { tokens })
-  | Some (Messages.Version { tokens; _ }) ->
+  | Some (Messages.Version { tokens; _ })
+  | Some (Messages.Pong { tokens; _ }) ->
       credit t vn tokens
   | Some (Messages.Nack _) -> release_waiters t vn
   | None ->
@@ -171,23 +298,35 @@ let issue t (e : Ring.entry) req =
   resp
 
 (* Pick the GET target: with CRRS, the replica advertising the most
-   tokens; otherwise (classic chain replication) the tail. *)
+   tokens among those not marked slow by the control plane (a slow node
+   is used only when every alternative is at least as slow); otherwise
+   (classic chain replication) the tail. *)
 let read_target t chain =
   match chain with
   | [] -> None
   | _ ->
       if t.config.crrs then begin
+        (* Lexicographic: lowest slow level first, most tokens second. *)
+        let better (sl, tok) (bsl, btok) = sl < bsl || (sl = bsl && tok > btok) in
         let best = ref None in
         List.iter
           (fun (e : Ring.entry) ->
-            let tok = (vstate t e.Ring.owner).tokens in
+            let score = (slow_level t e.Ring.owner.Ring.node, (vstate t e.Ring.owner).tokens) in
             match !best with
-            | None -> best := Some (e, tok)
-            | Some (_, bt) -> if tok > bt then best := Some (e, tok))
+            | None -> best := Some (e, score)
+            | Some (_, bs) -> if better score bs then best := Some (e, score))
           chain;
         Option.map fst !best
       end
       else (match List.rev chain with e :: _ -> Some e | [] -> None)
+
+(* The hedge destination: best alternate chain member under the same
+   ranking, excluding the primary's node. *)
+let hedge_target t chain (primary : Ring.entry) =
+  let alternates =
+    List.filter (fun (e : Ring.entry) -> e.Ring.owner.Ring.node <> primary.Ring.owner.Ring.node) chain
+  in
+  read_target t alternates
 
 (* Capped exponential backoff with deterministic per-client jitter: the
    nth retry sleeps min(cap, base·2ⁿ) scaled by a factor drawn uniformly
@@ -225,18 +364,92 @@ let op_span t name key f =
     ~largs:(fun () -> [ ("key", Trace.Str key) ])
     f
 
+(* A per-op deadline is fixed once at operation start and spans every
+   retry: the budget is the op's, not the attempt's. *)
+let op_deadline_of t =
+  if t.config.op_deadline > 0. then Sim.now () +. t.config.op_deadline else 0.
+
+(* Client-side shedding: abandoning an already-dead op before re-issuing
+   it is the other half of the engine's deadline shedding. *)
+let check_deadline t ~key deadline =
+  if deadline > 0. && Sim.past deadline then begin
+    t.sheds <- t.sheds + 1;
+    if Trace.on () then
+      Trace.instant ~track:t.track ~cat:"client" "shed.deadline"
+        ~largs:(fun () -> [ ("key", Trace.Str key) ]);
+    raise (Unavailable "op deadline exceeded")
+  end
+
+(* The server shed the op (it sat queued past its deadline): terminal.
+   Retrying work the engine just declared dead is how metastable queue
+   collapse starts. *)
+let on_deadline_nack t ~key =
+  t.nacks <- t.nacks + 1;
+  t.sheds <- t.sheds + 1;
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"client" "shed.nacked"
+      ~largs:(fun () -> [ ("key", Trace.Str key) ]);
+  raise (Unavailable "op deadline exceeded")
+
+let issue_get t (e : Ring.entry) ~key ~deadline =
+  let req =
+    Messages.Get { vn = e.Ring.owner; key; shipped = false; tenant = t.config.tenant; deadline }
+  in
+  issue t e req
+
+(* Hedged GET (tail-at-scale): race the primary against its own latency
+   budget; if the global hedge quantile elapses with no answer, re-issue
+   the read to the best alternate CRRS chain member and take whichever
+   response lands first. Each branch runs the full [issue] accounting for
+   its own RPC exactly once, so the cancelled loser cannot double-count
+   tokens, retries, or NVMe accesses — its late response (if any) is
+   dropped by the RPC layer's pending-slot cleanup. *)
+let hedged_get t chain (primary : Ring.entry) ~key ~deadline =
+  match (hedge_delay t, hedge_target t chain primary) with
+  | None, _ | _, None -> issue_get t primary ~key ~deadline
+  | Some delay, Some alt ->
+      let winner = Sim.Ivar.create () in
+      Sim.spawn ~label:"client:get:primary" (fun () ->
+          let r = issue_get t primary ~key ~deadline in
+          ignore (Sim.Ivar.try_fill winner (false, r)));
+      (match Sim.Ivar.read_timeout winner delay with
+      | Some _ -> ()
+      | None ->
+          t.hedges <- t.hedges + 1;
+          if Trace.on () then
+            Trace.instant ~track:t.track ~cat:"client" "hedge.fire"
+              ~largs:(fun () ->
+                [
+                  ("key", Trace.Str key);
+                  ("primary", Trace.Int primary.Ring.owner.Ring.node);
+                  ("alt", Trace.Int alt.Ring.owner.Ring.node);
+                  ("delay_us", Trace.Float (Sim.to_us delay));
+                ]);
+          Sim.spawn ~label:"client:get:hedge" (fun () ->
+              let r = issue_get t alt ~key ~deadline in
+              ignore (Sim.Ivar.try_fill winner (true, r))));
+      let from_hedge, resp = Sim.Ivar.read winner in
+      if from_hedge then begin
+        t.hedge_wins <- t.hedge_wins + 1;
+        if Trace.on () then
+          Trace.instant ~track:t.track ~cat:"client" "hedge.win"
+            ~largs:(fun () ->
+              [ ("key", Trace.Str key); ("alt", Trace.Int alt.Ring.owner.Ring.node) ])
+      end;
+      resp
+
 let get_impl t key =
+  let deadline = op_deadline_of t in
   with_retries t 0 (fun () ->
+      check_deadline t ~key deadline;
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match read_target t chain with
       | None -> None
       | Some e -> (
-          let req =
-            Messages.Get { vn = e.Ring.owner; key; shipped = false; tenant = t.config.tenant }
-          in
-          match issue t e req with
+          match hedged_get t chain e ~key ~deadline with
           | Some (Messages.Value { value; _ }) -> Some value
-          | Some (Messages.Ok _) | Some (Messages.Version _) -> Some None
+          | Some (Messages.Ok _) | Some (Messages.Version _) | Some (Messages.Pong _) -> Some None
+          | Some (Messages.Nack Messages.Deadline_exceeded) -> on_deadline_nack t ~key
           | Some (Messages.Nack _) ->
               t.nacks <- t.nacks + 1;
               None
@@ -247,7 +460,9 @@ let get t key =
   else op_span t "get" key (fun () -> get_impl t key)
 
 let write_impl t key value =
+  let deadline = op_deadline_of t in
   with_retries t 0 (fun () ->
+      check_deadline t ~key deadline;
       let chain = Ring.chain t.ring ~r:t.config.r key in
       match chain with
       | [] -> None
@@ -261,11 +476,13 @@ let write_impl t key value =
                 hop = 0;
                 version = Ring.version t.ring;
                 tenant = t.config.tenant;
+                deadline;
               }
           in
           match issue t head req with
           | Some (Messages.Ok _) -> Some ()
-          | Some (Messages.Value _) | Some (Messages.Version _) -> Some ()
+          | Some (Messages.Value _) | Some (Messages.Version _) | Some (Messages.Pong _) -> Some ()
+          | Some (Messages.Nack Messages.Deadline_exceeded) -> on_deadline_nack t ~key
           | Some (Messages.Nack _) ->
               t.nacks <- t.nacks + 1;
               None

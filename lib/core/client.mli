@@ -25,6 +25,30 @@ type config = {
           uniformly from [1±jitter] off the client's own deterministic
           {!Leed_sim.Rng}, de-synchronizing retry stampedes *)
   rpc_timeout : float;
+      (** static RPC timeout: the cold-start value and upper clamp of the
+          adaptive per-destination timeouts *)
+  hedge : bool;
+      (** hedged GETs: if the primary replica has not answered within the
+          global [hedge_quantile] latency, re-issue the read to the best
+          alternate CRRS chain member; first response wins and the loser
+          cannot double-count tokens, retries, or NVMe accesses *)
+  hedge_quantile : float;
+      (** global response-time quantile arming the hedge (default 0.95) *)
+  hedge_floor : float;  (** minimum hedge delay in seconds *)
+  adaptive_timeout : bool;
+      (** per-destination timeouts tracking each node's own latency
+          quantile instead of the single static [rpc_timeout] *)
+  timeout_quantile : float;
+      (** per-destination quantile the adaptive timeout tracks *)
+  timeout_mult : float;  (** timeout = mult × destination quantile *)
+  timeout_floor : float;
+      (** adaptive timeouts never drop below this (seconds) — an
+          occasional convoy on a healthy node must not read as death *)
+  op_deadline : float;
+      (** per-operation SLO budget in seconds (0. = none). The absolute
+          deadline rides the wire; the token engine sheds work still
+          queued past it and the client treats the resulting
+          [Deadline_exceeded] NACK as terminal. *)
 }
 
 val default_config : config
@@ -60,6 +84,35 @@ val nacks : t -> int
 
 val retries : t -> int
 (** Cumulative operation retries (timeouts and NACKs). *)
+
+val hedges : t -> int
+(** Cumulative hedge RPCs fired (second GETs racing a slow primary). *)
+
+val hedge_wins : t -> int
+(** Hedges whose response beat the primary's. *)
+
+val sheds : t -> int
+(** Ops abandoned on a deadline — client-side expiry before re-issue, or
+    a terminal [Deadline_exceeded] NACK from the engine's shedder. *)
+
+val set_slow : t -> node:int -> level:int -> unit
+(** Control-plane push: set a node's slow-escalation level (0 clears,
+    1 deprioritizes it in CRRS read spreading, 2 drains it — reads avoid
+    it whenever an alternative replica exists). *)
+
+val slow_level : t -> int -> int
+(** The node's currently pushed slow level (0 = healthy). *)
+
+val timeout_for : t -> int -> float
+(** The RPC timeout the client would use toward the given node right now:
+    [rpc_timeout] until the destination's histogram is warm, then
+    [timeout_mult] × its [timeout_quantile], clamped to
+    [[timeout_floor, rpc_timeout]]. Exposed for tests. *)
+
+val hedge_delay : t -> float option
+(** The current hedge delay (global [hedge_quantile], floored), or [None]
+    while hedging is disabled or the global histogram is cold. Exposed
+    for tests. *)
 
 val throttled_time : t -> float
 (** Cumulative seconds spent blocked by Algorithm 1's token gate. *)

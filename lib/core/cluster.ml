@@ -19,6 +19,7 @@ type config = {
   read_mode : Node.read_mode; (* CRRS shipping vs CRAQ-style version query *)
   heartbeat_period : float;   (* failure-detector probe period (§3.8.2) *)
   miss_limit : int;           (* consecutive missed probes before fail-out *)
+  slow_detection : bool;      (* gray-failure outlier scoring + escalation *)
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     read_mode = Node.Ship;
     heartbeat_period = 0.2;
     miss_limit = 3;
+    slow_detection = true;
   }
 
 type t = {
@@ -102,7 +104,7 @@ let check_replica_agreement t key =
             | Engine.Found v -> `Value v
             | Engine.Missing | Engine.Done -> `Missing
             | Engine.Corrupt -> `Corrupt
-            | Engine.Failed | Engine.Scrubbed _ -> `Unknown
+            | Engine.Failed | Engine.Scrubbed _ | Engine.Shed -> `Unknown
             | exception Engine.Overloaded _ -> `Unknown)
           replicas
       in
@@ -143,7 +145,7 @@ let create ?(config = default_config) () =
   let fabric = Netsim.fabric ~base_latency_us:config.base_latency_us () in
   let control =
     Control.create ~r:config.r ~heartbeat_period:config.heartbeat_period
-      ~miss_limit:config.miss_limit fabric
+      ~miss_limit:config.miss_limit ~slow_detection:config.slow_detection fabric
   in
   let t =
     {

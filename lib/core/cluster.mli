@@ -16,6 +16,11 @@ type config = {
       (** failure-detector probe period (§3.8.2); default 0.2 s *)
   miss_limit : int;
       (** consecutive missed probes before a node is failed out; default 3 *)
+  slow_detection : bool;
+      (** gray-failure detection (default true): score heartbeat-reported
+          service times against the per-round median and walk sustained
+          outliers up the deprioritize → drain → fence ladder
+          ({!Control.create}) *)
 }
 
 val default_config : config

@@ -13,7 +13,18 @@ open Leed_netsim
 module Rpc = Netsim.Rpc
 module Trace = Leed_trace.Trace
 
-type node_state = { node : Node.t; mutable missed : int; mutable alive : bool }
+type node_state = {
+  node : Node.t;
+  mutable missed : int;
+  mutable alive : bool;
+  (* gray-failure telemetry: service time piggybacked on the last
+     heartbeat reply, and the outlier-escalation bookkeeping *)
+  mutable svc_us : float;
+  mutable svc_fresh : bool; (* reported in the current probe round *)
+  mutable slow_rounds : int; (* consecutive rounds scored over threshold *)
+  mutable clean_rounds : int; (* consecutive rounds scored healthy *)
+  mutable slow_stage : int; (* 0 healthy, 1 deprioritized, 2 drained, 3 fenced *)
+}
 
 type t = {
   ring : Ring.t; (* authoritative *)
@@ -25,14 +36,22 @@ type t = {
   mutable clients : Client.t list;
   heartbeat_period : float;
   miss_limit : int;
+  slow_detection : bool;
+  slow_threshold : float; (* svc / median ratio that reads as slow *)
+  slow_rounds_trigger : int; (* consecutive slow rounds per ladder rung *)
   mutable on_failure : int -> unit;
   mutable running : bool;
   mutable joins : int;
   mutable leaves : int;
   mutable failures_handled : int;
+  mutable slow_events : int; (* escalations + de-escalations pushed *)
+  (* (time, node, stage) — stage 0 entries record de-escalations; newest
+     first, reversed by the accessor *)
+  mutable slow_log : (float * int * int) list;
 }
 
-let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) fabric =
+let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) ?(slow_detection = true)
+    ?(slow_threshold = 3.0) ?(slow_rounds_trigger = 3) fabric =
   let rpc = Rpc.create fabric ~name:"control-plane" ~gbps:10. in
   Rpc.client rpc;
   {
@@ -45,11 +64,16 @@ let create ?(r = 3) ?(heartbeat_period = 0.2) ?(miss_limit = 3) fabric =
     clients = [];
     heartbeat_period;
     miss_limit;
+    slow_detection;
+    slow_threshold;
+    slow_rounds_trigger;
     on_failure = (fun _ -> ());
     running = false;
     joins = 0;
     leaves = 0;
     failures_handled = 0;
+    slow_events = 0;
+    slow_log = [];
   }
 
 let ring t = t.ring
@@ -59,6 +83,18 @@ let register_client t c = t.clients <- c :: t.clients
 let set_on_failure t f = t.on_failure <- f
 
 let node t id = (Hashtbl.find t.nodes id).node
+
+let fresh_node_state n =
+  {
+    node = n;
+    missed = 0;
+    alive = true;
+    svc_us = 0.;
+    svc_fresh = false;
+    slow_rounds = 0;
+    clean_rounds = 0;
+    slow_stage = 0;
+  }
 
 (* simlint: allow hashtbl-order — bindings are sorted before use *)
 let node_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
@@ -100,7 +136,7 @@ let broadcast t =
 
 (* Register a node with its vnodes directly RUNNING — cluster bootstrap. *)
 let register_bootstrap_node t (n : Node.t) =
-  Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Hashtbl.replace t.nodes (Node.id n) (fresh_node_state n);
   Hashtbl.replace t.directory (Node.id n) n;
   Node.set_peer_resolver n (peer_resolver t);
   for vidx = 0 to Engine.npartitions (Node.engine n) - 1 do
@@ -188,7 +224,7 @@ let recopy_vnode t (vn : Ring.vnode) =
 let join t (n : Node.t) =
   if Trace.on () then
     Trace.instant ~track:t.track ~cat:"control" "join" ~args:[ ("node", Trace.Int (Node.id n)) ];
-  Hashtbl.replace t.nodes (Node.id n) { node = n; missed = 0; alive = true };
+  Hashtbl.replace t.nodes (Node.id n) (fresh_node_state n);
   Hashtbl.replace t.directory (Node.id n) n;
   Node.set_peer_resolver n (peer_resolver t);
   Ring.install (Node.ring n) (Ring.snapshot t.ring);
@@ -324,6 +360,93 @@ let restart t (n : Node.t) =
       Node.restart n;
       join t n
 
+(* --- gray-failure detection & escalation ---
+
+   The heartbeat replies piggyback each node's smoothed local service
+   time ([Pong.svc_us]). After every probe round the manager scores each
+   reporter against the round's *median* — a fail-slow node cannot drag
+   the reference down unless a majority degrades, in which case nobody is
+   an outlier and nothing escalates (correct: that is overload, not gray
+   failure). Sustained outliers walk an escalation ladder:
+
+     stage 1  deprioritize — clients demote the node in CRRS read
+              spreading (reads prefer any other clean replica);
+     stage 2  drain — clients avoid the node entirely whenever an
+              alternative replica exists;
+     stage 3  fence — the §3.8 failure machinery expels the node and
+              re-copies its ranges from chain survivors, exactly as if
+              the failure detector had tripped.
+
+   Each rung requires [slow_rounds_trigger] more consecutive slow rounds
+   than the previous one; the same count of consecutive healthy rounds
+   walks stages 1-2 back down (a fenced node re-admits only through the
+   §3.8.1 join path, like any failure). *)
+
+let stage_name = function 1 -> "slow.deprioritize" | 2 -> "slow.drain" | _ -> "slow.fence"
+
+let push_slow_level t id level =
+  List.iter (fun c -> Client.set_slow c ~node:id ~level) t.clients
+
+let escalate t ns id stage =
+  ns.slow_stage <- stage;
+  t.slow_events <- t.slow_events + 1;
+  t.slow_log <- (Sim.now (), id, stage) :: t.slow_log;
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" (stage_name stage)
+      ~args:[ ("node", Trace.Int id); ("svc_us", Trace.Float ns.svc_us) ];
+  match stage with
+  | 1 | 2 -> push_slow_level t id stage
+  | _ ->
+      (* Fence: reads already avoid it; expel and re-copy in background —
+         the ladder's terminal rung reuses the crash-failure path. *)
+      push_slow_level t id 2;
+      Sim.spawn ~label:"control:slow-fence" (fun () -> handle_failure t id)
+
+let de_escalate t ns id =
+  ns.slow_stage <- 0;
+  ns.slow_rounds <- 0;
+  t.slow_events <- t.slow_events + 1;
+  t.slow_log <- (Sim.now (), id, 0) :: t.slow_log;
+  if Trace.on () then
+    Trace.instant ~track:t.track ~cat:"control" "slow.clear" ~args:[ ("node", Trace.Int id) ];
+  push_slow_level t id 0
+
+let score_round t =
+  let reporters =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.nodes id with
+        | Some ns when ns.alive && ns.svc_fresh && ns.svc_us > 0. -> Some (id, ns)
+        | _ -> None)
+      (node_ids t)
+  in
+  (* A median over fewer than 3 reporters cannot call an outlier. *)
+  if List.length reporters >= 3 then begin
+    let sorted = List.sort compare (List.map (fun (_, ns) -> ns.svc_us) reporters) in
+    let median = List.nth sorted (List.length sorted / 2) in
+    if median > 0. then
+      List.iter
+        (fun (id, ns) ->
+          let score = ns.svc_us /. median in
+          if Trace.on () then
+            Trace.counter ~track:t.track ~cat:"control" "slow.score"
+              [ (Printf.sprintf "n%d" id, score) ];
+          if score >= t.slow_threshold then begin
+            ns.slow_rounds <- ns.slow_rounds + 1;
+            ns.clean_rounds <- 0;
+            if ns.slow_stage < 3 && ns.slow_rounds >= (ns.slow_stage + 1) * t.slow_rounds_trigger
+            then escalate t ns id (ns.slow_stage + 1)
+          end
+          else begin
+            ns.clean_rounds <- ns.clean_rounds + 1;
+            if ns.clean_rounds >= t.slow_rounds_trigger then begin
+              if ns.slow_stage > 0 && ns.slow_stage < 3 then de_escalate t ns id;
+              ns.slow_rounds <- 0
+            end
+          end)
+        reporters
+  end
+
 (* --- heartbeats (§3.8.2) --- *)
 
 let probe_round t =
@@ -334,6 +457,7 @@ let probe_round t =
     List.filter_map
       (fun id ->
         let ns = Hashtbl.find t.nodes id in
+        ns.svc_fresh <- false;
         if not ns.alive then None
         else
           Some
@@ -343,13 +467,20 @@ let probe_round t =
                 Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
                   ~timeout:(t.heartbeat_period /. 2.) req
               with
-              | Some _ -> ns.missed <- 0
+              | Some resp ->
+                  ns.missed <- 0;
+                  (match resp with
+                  | Messages.Pong { svc_us; _ } ->
+                      ns.svc_us <- svc_us;
+                      ns.svc_fresh <- true
+                  | _ -> ())
               | None ->
                   ns.missed <- ns.missed + 1;
                   if ns.missed >= t.miss_limit then Sim.spawn (fun () -> handle_failure t id)))
       (node_ids t)
   in
   Sim.fork_join checks;
+  if t.slow_detection then score_round t;
   if Trace.on () then
     Trace.complete ~track:t.track ~cat:"control"
       ~args:[ ("probed", Trace.Int (List.length checks)) ]
@@ -365,6 +496,22 @@ let start t =
 
 let stop t = t.running <- false
 
-type stats = { n_joins : int; n_leaves : int; n_failures_handled : int }
+type stats = {
+  n_joins : int;
+  n_leaves : int;
+  n_failures_handled : int;
+  n_slow_events : int;
+}
 
-let stats t = { n_joins = t.joins; n_leaves = t.leaves; n_failures_handled = t.failures_handled }
+let stats t =
+  {
+    n_joins = t.joins;
+    n_leaves = t.leaves;
+    n_failures_handled = t.failures_handled;
+    n_slow_events = t.slow_events;
+  }
+
+let slow_log t = List.rev t.slow_log
+
+let slow_stage t id =
+  match Hashtbl.find_opt t.nodes id with Some ns -> ns.slow_stage | None -> 0

@@ -12,8 +12,19 @@ val create :
   ?r:int ->
   ?heartbeat_period:float ->
   ?miss_limit:int ->
+  ?slow_detection:bool ->
+  ?slow_threshold:float ->
+  ?slow_rounds_trigger:int ->
   (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
   t
+(** [slow_detection] (default true) arms the gray-failure detector:
+    heartbeat replies piggyback each node's smoothed service time, every
+    probe round scores reporters against the round's median, and a node
+    sustaining [slow_threshold]× the median (default 3) for
+    [slow_rounds_trigger] consecutive rounds (default 3) walks the
+    escalation ladder — deprioritize in CRRS read spreading, then drain,
+    then fence and re-copy via the §3.8 failure machinery. The same count
+    of consecutive healthy rounds walks stages 1-2 back down. *)
 
 val ring : t -> Ring.t
 (** The authoritative ring. *)
@@ -73,6 +84,20 @@ val start : t -> unit
 
 val stop : t -> unit
 
-type stats = { n_joins : int; n_leaves : int; n_failures_handled : int }
+type stats = {
+  n_joins : int;
+  n_leaves : int;
+  n_failures_handled : int;
+  n_slow_events : int;  (** slow-ladder escalations + de-escalations pushed *)
+}
 
 val stats : t -> stats
+
+val slow_log : t -> (float * int * int) list
+(** The escalation history in chronological order: (virtual time, node,
+    stage), where stage 1 = deprioritized, 2 = drained, 3 = fenced and
+    0 = de-escalated back to healthy. The first entry's time is the
+    detection latency of a gray failure injected at a known instant. *)
+
+val slow_stage : t -> int -> int
+(** The node's current escalation-ladder stage (0 = healthy/unknown). *)

@@ -32,6 +32,7 @@ type outcome =
   | Failed
   | Corrupt
   | Scrubbed of Store.scrub_result
+  | Shed
 
 (* Token cost of a command = its NVMe access count (§3.3). A scrub round
    reads the segment frame plus its values; 4 tokens prices it as a bulk
@@ -71,6 +72,7 @@ type pending = {
   target : (Circular_log.t * Circular_log.t) option;
   completion : outcome Sim.Ivar.t;
   enqueued_at : float;
+  deadline : float; (* absolute virtual-time SLO bound; 0. = none *)
   trace_id : int; (* async trace span from submit to completion; 0 untraced *)
 }
 
@@ -101,6 +103,7 @@ and ssd_sched = {
   mutable swapped_in : int;
   mutable deferred : int; (* commands that had to wait for tokens *)
   mutable denied : int; (* submissions rejected with Overloaded *)
+  mutable shed : int; (* queued commands dropped past their deadline *)
   (* sanitizer ledger: independently accounts every token issued to a
      launched command and consumed at its completion *)
   tok_acct : Invariant.Tokens.t;
@@ -175,6 +178,7 @@ let create ?(config = default_config) ?(rng = Rng.create 11) ?track platform =
           swapped_in = 0;
           deferred = 0;
           denied = 0;
+          shed = 0;
           swap_inflight = 0;
           tok_acct = Invariant.Tokens.create ~name:(Printf.sprintf "ssd%d.tokens" d);
         })
@@ -327,12 +331,38 @@ let launch t (s : ssd_sched) (pend : pending) =
       Sim.Ivar.fill pend.completion outcome;
       Sim.Mailbox.send s.wake ())
 
+(* Deadline-aware load shedding: a queued command whose deadline already
+   passed is completed as [Shed] without ever holding tokens or touching
+   flash — serving it would burn NVMe accesses on a response the client
+   has stopped waiting for, the metastable-collapse pattern. *)
+let expired (pend : pending) = pend.deadline > 0. && Sim.past pend.deadline
+
+let shed_pending (s : ssd_sched) (pend : pending) =
+  s.shed <- s.shed + 1;
+  if Trace.on () then
+    Trace.instant ~track:s.track ~cat:"engine" "shed.expired"
+      ~largs:(fun () ->
+        [
+          ("pid", Trace.Int pend.part.pid);
+          ("tokens", Trace.Int pend.tokens);
+          ("late_us", Trace.Float (Sim.to_us (Sim.now () -. pend.deadline)));
+        ]);
+  if pend.trace_id <> 0 then
+    Trace.async_end ~track:s.track ~cat:"engine" ~id:pend.trace_id
+      ("cmd." ^ cmd_name pend.cmd);
+  Sim.Ivar.fill pend.completion Shed
+
 let admit t (s : ssd_sched) =
   let progress = ref true in
   while !progress do
     progress := false;
     (* Swapped-in commands take the "active queue" path directly (§3.6). *)
     (match Queue.peek_opt s.foreign with
+    | Some pend when expired pend ->
+        ignore (Queue.pop s.foreign);
+        s.foreign_tokens <- s.foreign_tokens - pend.tokens;
+        shed_pending s pend;
+        progress := true
     | Some pend when pend.tokens <= s.capacity - s.active_tokens ->
         ignore (Queue.pop s.foreign);
         s.foreign_tokens <- s.foreign_tokens - pend.tokens;
@@ -347,6 +377,11 @@ let admit t (s : ssd_sched) =
       s.rr <- (s.rr + 1) mod n;
       incr tried;
       match Queue.peek_opt p.waiting with
+      | Some pend when expired pend ->
+          ignore (Queue.pop p.waiting);
+          p.queued_tokens <- p.queued_tokens - pend.tokens;
+          shed_pending s pend;
+          progress := true
       | Some pend when pend.tokens <= s.capacity - s.active_tokens ->
           ignore (Queue.pop p.waiting);
           p.queued_tokens <- p.queued_tokens - pend.tokens;
@@ -423,7 +458,7 @@ let swap_candidate t (home : ssd_sched) =
     | _ -> None
   end
 
-let submit t ~pid cmd =
+let submit ?(deadline = 0.) t ~pid cmd =
   let p = t.parts.(pid) in
   let home = p.sched in
   let tokens = token_cost cmd in
@@ -451,6 +486,7 @@ let submit t ~pid cmd =
           target = Some (other.swap_log, other.swap_log);
           completion;
           enqueued_at = Sim.now ();
+          deadline;
           trace_id;
         }
       in
@@ -477,6 +513,7 @@ let submit t ~pid cmd =
           target = None;
           completion;
           enqueued_at = Sim.now ();
+          deadline;
           trace_id = open_span home;
         }
       in
@@ -493,6 +530,7 @@ type ssd_stats = {
   ewma_access_us : float;
   deferred : int;
   denied : int;
+  shed : int;
 }
 
 let ssd_stats (s : ssd_sched) =
@@ -504,6 +542,7 @@ let ssd_stats (s : ssd_sched) =
     ewma_access_us = s.ewma_access_us;
     deferred = s.deferred;
     denied = s.denied;
+    shed = s.shed;
   }
 
 (* --- live gauges for the observability sampler --- *)

@@ -30,6 +30,10 @@ type outcome =
       (** the command hit rot at rest (checksum failure after torn-read
           retries): the node read-repairs from the next CRRS replica *)
   | Scrubbed of Store.scrub_result  (** completion of a {!cmd.Scrub} *)
+  | Shed
+      (** the command sat queued past its deadline and was dropped before
+          touching flash (deadline-aware load shedding): the node turns
+          this into a [Deadline_exceeded] NACK *)
 
 val token_cost : cmd -> int
 (** A command's cost = its NVMe access count (§3.3): GET 2, PUT 3, DEL 2,
@@ -118,9 +122,13 @@ exception Overloaded of int
 (** Raised by {!submit} when the partition's waiting queue is full; the
     node turns this into a NACK. *)
 
-val submit : t -> pid:int -> cmd -> outcome
+val submit : ?deadline:float -> t -> pid:int -> cmd -> outcome
 (** Enqueue a command on partition [pid] and block until it completes.
-    Overloaded PUTs may be swapped to another SSD (§3.6). *)
+    Overloaded PUTs may be swapped to another SSD (§3.6). [deadline]
+    (absolute virtual time; 0. = none, the default) arms deadline-aware
+    shedding: if the command is still queued when the deadline passes it
+    completes as {!outcome.Shed} without consuming tokens or NVMe
+    accesses. *)
 
 type ssd_stats = {
   executed : int;  (** commands completed on this SSD *)
@@ -130,6 +138,7 @@ type ssd_stats = {
   ewma_access_us : float;  (** smoothed per-token service latency *)
   deferred : int;  (** commands that had to wait for tokens before launch *)
   denied : int;  (** submissions rejected with {!Overloaded} *)
+  shed : int;  (** queued commands dropped past their deadline ({!outcome.Shed}) *)
 }
 
 val ssd_stats : ssd_sched -> ssd_stats

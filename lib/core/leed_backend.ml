@@ -58,6 +58,20 @@ let counters t =
         (rr + s.Node.n_read_repairs, sc + s.Node.n_scrubbed_segments, sr + s.Node.n_scrub_repairs))
       (0, 0, 0) (Cluster.nodes t)
   in
+  let hedges, hedge_wins, client_sheds =
+    List.fold_left
+      (fun (h, w, s) c -> (h + Client.hedges c, w + Client.hedge_wins c, s + Client.sheds c))
+      (0, 0, 0) (Cluster.clients t)
+  in
+  let engine_sheds =
+    List.fold_left
+      (fun acc n ->
+        Array.fold_left
+          (fun acc s -> acc + (Engine.ssd_stats s).Engine.shed)
+          acc
+          (Engine.ssds (Node.engine n)))
+      0 (Cluster.nodes t)
+  in
   {
     Backend.nvme_reads = !nvme_reads;
     nvme_writes = !nvme_writes;
@@ -72,6 +86,10 @@ let counters t =
     read_repairs = rr;
     scrubbed_segments = scrubbed;
     scrub_repairs = srep;
+    hedges;
+    hedge_wins;
+    sheds = client_sheds + engine_sheds;
+    slow_events = cs.Control.n_slow_events;
   }
 
 let watts t ~util =

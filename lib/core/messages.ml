@@ -4,9 +4,17 @@
    §3.5 flow-control signal the client scheduler feeds on. *)
 
 type request =
-  | Get of { vn : Ring.vnode; key : string; shipped : bool; tenant : int }
+  | Get of {
+      vn : Ring.vnode;
+      key : string;
+      shipped : bool;
+      tenant : int;
+      deadline : float;
+    }
       (* [shipped] marks a dirty read forwarded to the tail (§3.7);
-         [tenant] selects the weighted token share (§3.5). *)
+         [tenant] selects the weighted token share (§3.5);
+         [deadline] is an absolute virtual-time SLO bound (0. = none):
+         queued work past it is shed by the token engine. *)
   | Write of {
       vn : Ring.vnode;
       key : string;
@@ -14,9 +22,11 @@ type request =
       hop : int;
       version : int;
       tenant : int;
+      deadline : float;
     }
       (* [value] = None is a DEL. [hop] validates the chain position
-         against the receiver's ring view (§3.8.1). *)
+         against the receiver's ring view (§3.8.1). [deadline] as in
+         [Get]. *)
   | Version_query of { vn : Ring.vnode; key : string }
       (* the CRAQ-style alternative to request shipping (§3.7): ask the
          tail whether the key's latest write has committed *)
@@ -33,17 +43,21 @@ type nack_reason =
   | Stale_view of int (* receiver's ring version: refresh and retry *)
   | Not_serving
   | Overloaded
+  | Deadline_exceeded (* queued past its deadline and shed (never served) *)
 
 type response =
   | Value of { value : bytes option; tokens : int }
   | Ok of { tokens : int }
   | Version of { dirty : bool; tokens : int }
+  | Pong of { tokens : int; svc_us : float }
   | Nack of nack_reason
 
 let request_size = function
-  | Get { key; _ } -> 64 + String.length key
+  (* Get/Write carry the 8-byte absolute deadline on top of the base
+     header. *)
+  | Get { key; _ } -> 72 + String.length key
   | Write { key; value; _ } ->
-      64 + String.length key + (match value with Some v -> Bytes.length v | None -> 0)
+      72 + String.length key + (match value with Some v -> Bytes.length v | None -> 0)
   | Version_query { key; _ } -> 48 + String.length key
   | Copy_put { key; value; _ } -> 64 + String.length key + Bytes.length value
   | Repair_get { key; _ } -> 48 + String.length key
@@ -52,4 +66,4 @@ let request_size = function
 
 let response_size = function
   | Value { value = Some v; _ } -> 64 + Bytes.length v
-  | Value { value = None; _ } | Ok _ | Version _ | Nack _ -> 64
+  | Value { value = None; _ } | Ok _ | Version _ | Pong _ | Nack _ -> 64

@@ -4,9 +4,17 @@
     the §3.5 flow-control signal the client scheduler feeds on. *)
 
 type request =
-  | Get of { vn : Ring.vnode; key : string; shipped : bool; tenant : int }
+  | Get of {
+      vn : Ring.vnode;
+      key : string;
+      shipped : bool;
+      tenant : int;
+      deadline : float;
+    }
       (** [shipped] marks a dirty read forwarded to the tail (§3.7);
-          [tenant] selects the weighted token share (§3.5). *)
+          [tenant] selects the weighted token share (§3.5); [deadline]
+          is an absolute virtual-time SLO bound (0. = none): work still
+          queued past it is shed by the token engine instead of served. *)
   | Write of {
       vn : Ring.vnode;
       key : string;
@@ -14,9 +22,11 @@ type request =
       hop : int;
       version : int;
       tenant : int;
+      deadline : float;
     }
       (** [value = None] is a DEL. [hop] validates the chain position
-          against the receiver's ring view (§3.8.1). *)
+          against the receiver's ring view (§3.8.1). [deadline] as in
+          [Get]. *)
   | Version_query of { vn : Ring.vnode; key : string }
       (** The CRAQ-style alternative to request shipping (§3.7): ask the
           tail whether the key's latest write has committed. *)
@@ -33,11 +43,17 @@ type nack_reason =
   | Stale_view of int  (** receiver's ring version: refresh and retry *)
   | Not_serving
   | Overloaded
+  | Deadline_exceeded
+      (** the op sat queued past its deadline and was shed (never served);
+          retrying is pointless — the client surfaces the miss instead *)
 
 type response =
   | Value of { value : bytes option; tokens : int }
   | Ok of { tokens : int }
   | Version of { dirty : bool; tokens : int }
+  | Pong of { tokens : int; svc_us : float }
+      (** heartbeat reply carrying the node's smoothed local service time
+          (µs) — the gray-failure telemetry the control plane scores *)
   | Nack of nack_reason
 
 val request_size : request -> int

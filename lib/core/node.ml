@@ -60,6 +60,13 @@ type t = {
   mutable repair_failures : int;   (* no replica could supply the value *)
   mutable scrubbed_segments : int; (* segments verified by the scrubber *)
   mutable scrub_repairs : int;     (* rotted values the scrubber healed *)
+  (* gray-failure injection: >1 models a degraded NIC-CPU compute path
+     (thermal throttling, firmware misbehaviour, a noisy co-tenant). The
+     node still answers heartbeats — slow, never dead. *)
+  mutable slow_factor : float;
+  (* smoothed local service time (µs) of foreground engine submissions —
+     the telemetry piggybacked on heartbeat replies for outlier scoring *)
+  mutable svc_ewma_us : float;
 }
 
 (* Cycles to pull a request out of the RDMA stack and dispatch it. *)
@@ -107,6 +114,8 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
     repair_failures = 0;
     scrubbed_segments = 0;
     scrub_repairs = 0;
+    slow_factor = 1.0;
+    svc_ewma_us = 0.0;
   }
 
 let id t = t.id
@@ -141,7 +150,36 @@ let is_key_dirty t ~vidx key =
 (* --- helpers --- *)
 
 let charge_rx t =
-  Platform.Cpu.execute_on t.platform t.net_cpu ~cycles:rx_cycles
+  Platform.Cpu.execute_on t.platform t.net_cpu ~cycles:(rx_cycles *. t.slow_factor)
+
+(* --- fail-slow injection --- *)
+
+let set_slow_factor t f =
+  if f < 1.0 then invalid_arg "Node.set_slow_factor: factor must be >= 1";
+  t.slow_factor <- f
+
+let slow_factor t = t.slow_factor
+let svc_ewma_us t = t.svc_ewma_us
+
+(* All foreground store work funnels through here: measure the engine
+   service time for the heartbeat telemetry, and — under fail-slow
+   injection — charge the extra (factor - 1) × elapsed as compute on the
+   shared net-CPU pool. Routing the inflation through the bounded
+   [net_cpu] resource is what makes a 10×-slow node convoy *other*
+   requests on the same JBOF, the way a genuinely degraded wimpy core
+   does, instead of just stretching each op in isolation. *)
+let submit_local ?deadline t vs cmd =
+  let start = Sim.now () in
+  let outcome = Engine.submit ?deadline t.engine ~pid:vs.pid cmd in
+  (if t.slow_factor > 1.0 then
+     let extra = (t.slow_factor -. 1.0) *. (Sim.now () -. start) in
+     let cycles = extra /. Platform.seconds_of_cycles t.platform 1.0 in
+     if cycles > 0. then Platform.Cpu.execute_on t.platform t.net_cpu ~cycles);
+  let sample_us = Sim.to_us (Sim.now () -. start) in
+  t.svc_ewma_us <-
+    (if t.svc_ewma_us <= 0. then sample_us
+     else (0.9 *. t.svc_ewma_us) +. (0.1 *. sample_us));
+  outcome
 
 let tokens_for ?(tenant = 0) t vs =
   Engine.available_tokens_for t.engine ~tenant (Engine.partition t.engine vs.pid)
@@ -189,7 +227,7 @@ let forward_copies t ~key ~value =
 
 (* --- request handlers --- *)
 
-let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
+let handle_write t ~vn ~key ~value ~hop ~version ~tenant ~deadline =
   (* §3.8.1: a write carries the sender's ring version; a receiver on a
      different view NACKs Stale_view so the client refreshes and retries.
      Chain-position validation alone misses membership changes that leave
@@ -211,14 +249,18 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
           let is_tail = hop = List.length chain - 1 in
           dirty_incr vs key;
           let ok = ref true in
+          let deadline_hit = ref false in
           let apply () =
             let cmd =
               match value with
               | Some v -> Engine.Put (key, v)
               | None -> Engine.Del key
             in
-            match Engine.submit t.engine ~pid:vs.pid cmd with
+            match submit_local ~deadline t vs cmd with
             | Engine.Done | Engine.Found _ | Engine.Missing -> ()
+            | Engine.Shed ->
+                ok := false;
+                deadline_hit := true
             | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> ok := false
             | exception Engine.Overloaded _ -> ok := false
           in
@@ -236,6 +278,7 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
                         hop = hop + 1;
                         version = Ring.version t.ring;
                         tenant;
+                        deadline;
                       }
                   in
                   let resp =
@@ -243,7 +286,12 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
                       ~dst:(t.peer next.Ring.owner.Ring.node)
                       ~size:(Messages.request_size req) ~timeout:0.5 req
                   in
-                  (match resp with Some (Messages.Ok _) -> () | _ -> ok := false)
+                  (match resp with
+                  | Some (Messages.Ok _) -> ()
+                  | Some (Messages.Nack Messages.Deadline_exceeded) ->
+                      ok := false;
+                      deadline_hit := true
+                  | _ -> ok := false)
             end
           in
           (* Apply locally and propagate down-chain concurrently; the reply
@@ -260,7 +308,8 @@ let handle_write t ~vn ~key ~value ~hop ~version ~tenant =
           end
           else begin
             t.nacks <- t.nacks + 1;
-            Messages.Nack Messages.Not_serving
+            if !deadline_hit then Messages.Nack Messages.Deadline_exceeded
+            else Messages.Nack Messages.Not_serving
           end)
 
 (* --- read-repair (data integrity): a checksum-corrupt local entry is
@@ -298,16 +347,17 @@ let read_repair t vs ~key =
       t.repair_failures <- t.repair_failures + 1;
       None
   | Some v ->
-      (match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, v)) with
+      (match submit_local t vs (Engine.Put (key, v)) with
       | Engine.Done | Engine.Found _ | Engine.Missing | Engine.Scrubbed _ ->
           t.read_repairs <- t.read_repairs + 1
-      | Engine.Failed | Engine.Corrupt -> t.repair_failures <- t.repair_failures + 1
+      | Engine.Failed | Engine.Corrupt | Engine.Shed ->
+          t.repair_failures <- t.repair_failures + 1
       | exception Engine.Overloaded _ -> t.repair_failures <- t.repair_failures + 1);
       Some v
 
-let serve_local_read t vs ~key ~tenant =
+let serve_local_read t vs ~key ~tenant ~deadline =
   t.served_reads <- t.served_reads + 1;
-  match Engine.submit t.engine ~pid:vs.pid (Engine.Get key) with
+  match submit_local ~deadline t vs (Engine.Get key) with
   | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
   | Engine.Missing -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
   | Engine.Done | Engine.Scrubbed _ -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
@@ -319,15 +369,18 @@ let serve_local_read t vs ~key ~tenant =
       | None ->
           t.nacks <- t.nacks + 1;
           Messages.Nack Messages.Not_serving)
+  | Engine.Shed ->
+      t.nacks <- t.nacks + 1;
+      Messages.Nack Messages.Deadline_exceeded
   | Engine.Failed -> Messages.Nack Messages.Not_serving
   | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
 
-let ship_to_tail t ~key ~tenant (te : Ring.entry) =
+let ship_to_tail t ~key ~tenant ~deadline (te : Ring.entry) =
   t.shipped_reads <- t.shipped_reads + 1;
   if Trace.on () then
     Trace.instant ~track:t.track ~cat:"node" "get.ship"
       ~args:[ ("key", Trace.Str key); ("tail", Trace.Int te.Ring.owner.Ring.node) ];
-  let req = Messages.Get { vn = te.Ring.owner; key; shipped = true; tenant } in
+  let req = Messages.Get { vn = te.Ring.owner; key; shipped = true; tenant; deadline } in
   let resp =
     Rpc.call_timeout t.rpc
       ~dst:(t.peer te.Ring.owner.Ring.node)
@@ -339,7 +392,7 @@ let ship_to_tail t ~key ~tenant (te : Ring.entry) =
    key's latest write has committed; if it has, the local copy is the
    committed one and can be served without moving the value across the
    fabric. A still-dirty tail falls back to shipping. *)
-let resolve_by_version t vs ~key ~tenant (te : Ring.entry) =
+let resolve_by_version t vs ~key ~tenant ~deadline (te : Ring.entry) =
   t.version_queries <- t.version_queries + 1;
   let req = Messages.Version_query { vn = te.Ring.owner; key } in
   match
@@ -347,11 +400,11 @@ let resolve_by_version t vs ~key ~tenant (te : Ring.entry) =
       ~dst:(t.peer te.Ring.owner.Ring.node)
       ~size:(Messages.request_size req) ~timeout:0.5 req
   with
-  | Some (Messages.Version { dirty = false; _ }) -> serve_local_read t vs ~key ~tenant
-  | Some _ -> ship_to_tail t ~key ~tenant te
+  | Some (Messages.Version { dirty = false; _ }) -> serve_local_read t vs ~key ~tenant ~deadline
+  | Some _ -> ship_to_tail t ~key ~tenant ~deadline te
   | None -> Messages.Nack Messages.Not_serving
 
-let handle_get t ~vn ~key ~shipped ~tenant =
+let handle_get t ~vn ~key ~shipped ~tenant ~deadline =
   match vnode_opt t vn.Ring.vidx with
   | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
   | Some vs ->
@@ -363,10 +416,10 @@ let handle_get t ~vn ~key ~shipped ~tenant =
         | None -> Messages.Nack Messages.Not_serving
         | Some te -> (
             match t.read_mode with
-            | Ship -> ship_to_tail t ~key ~tenant te
-            | Version_query -> resolve_by_version t vs ~key ~tenant te)
+            | Ship -> ship_to_tail t ~key ~tenant ~deadline te
+            | Version_query -> resolve_by_version t vs ~key ~tenant ~deadline te)
       end
-      else serve_local_read t vs ~key ~tenant
+      else serve_local_read t vs ~key ~tenant ~deadline
 
 let handle_copy_put t ~vn ~key ~value =
   match vnode_opt t vn.Ring.vidx with
@@ -376,9 +429,10 @@ let handle_copy_put t ~vn ~key ~value =
         (* A forwarded write already delivered a newer value. *)
         Messages.Ok { tokens = tokens_for t vs }
       else begin
-        match Engine.submit t.engine ~pid:vs.pid (Engine.Put (key, value)) with
+        match submit_local t vs (Engine.Put (key, value)) with
         | Engine.Done | Engine.Found _ | Engine.Missing -> Messages.Ok { tokens = tokens_for t vs }
-        | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> Messages.Nack Messages.Not_serving
+        | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ | Engine.Shed ->
+            Messages.Nack Messages.Not_serving
         | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
       end
 
@@ -389,10 +443,11 @@ let handle_repair_get t ~vn ~key =
   match vnode_opt t vn.Ring.vidx with
   | None -> Messages.Nack Messages.Not_serving
   | Some vs -> (
-      match Engine.submit t.engine ~pid:vs.pid (Engine.Get key) with
+      match submit_local t vs (Engine.Get key) with
       | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for t vs }
       | Engine.Missing | Engine.Done -> Messages.Value { value = None; tokens = tokens_for t vs }
-      | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> Messages.Nack Messages.Not_serving
+      | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ | Engine.Shed ->
+          Messages.Nack Messages.Not_serving
       | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded)
 
 let handle_version_query t ~vn ~key =
@@ -402,16 +457,21 @@ let handle_version_query t ~vn ~key =
 
 let dispatch t (req : Messages.request) : Messages.response =
   match req with
-  | Messages.Get { vn; key; shipped; tenant } -> handle_get t ~vn ~key ~shipped ~tenant
-  | Messages.Write { vn; key; value; hop; version; tenant } ->
-      handle_write t ~vn ~key ~value ~hop ~version ~tenant
+  | Messages.Get { vn; key; shipped; tenant; deadline } ->
+      handle_get t ~vn ~key ~shipped ~tenant ~deadline
+  | Messages.Write { vn; key; value; hop; version; tenant; deadline } ->
+      handle_write t ~vn ~key ~value ~hop ~version ~tenant ~deadline
   | Messages.Version_query { vn; key } -> handle_version_query t ~vn ~key
   | Messages.Copy_put { vn; key; value } -> handle_copy_put t ~vn ~key ~value
   | Messages.Repair_get { vn; key } -> handle_repair_get t ~vn ~key
   | Messages.Ring_update snap ->
       install_ring t snap;
       Messages.Ok { tokens = 0 }
-  | Messages.Ping { node = _ } -> Messages.Ok { tokens = 0 }
+  | Messages.Ping { node = _ } ->
+      (* Heartbeat replies piggyback the node's smoothed service time —
+         the gray-failure telemetry the control plane scores (§3.8-adjacent
+         escalation ladder). *)
+      Messages.Pong { tokens = 0; svc_us = t.svc_ewma_us }
 
 let handle t (req : Messages.request) : Messages.response =
   charge_rx t;
@@ -557,7 +617,7 @@ let scrub_pass t =
                    t.scrubbed_segments <- t.scrubbed_segments + 1;
                    bad_frame := true
                | Engine.Found _ | Engine.Missing | Engine.Done | Engine.Failed
-               | Engine.Corrupt ->
+               | Engine.Corrupt | Engine.Shed ->
                    ()
                | exception Engine.Overloaded _ -> ()
            end

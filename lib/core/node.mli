@@ -67,6 +67,24 @@ val crash : t -> unit
 val recover_network : t -> unit
 val is_up : t -> bool
 
+(** {1 Gray-failure (fail-slow) injection} *)
+
+val set_slow_factor : t -> float -> unit
+(** Inflate the node's NIC-CPU compute path by the given factor (>= 1;
+    1.0 heals). Request pull costs scale by the factor and every local
+    engine submission charges the extra (factor - 1) × service time on
+    the shared net-CPU pool, so slowness convoys co-located requests the
+    way a genuinely degraded wimpy core does. The node keeps answering
+    heartbeats — slow, never dead. *)
+
+val slow_factor : t -> float
+(** The currently injected fail-slow factor (1.0 = healthy). *)
+
+val svc_ewma_us : t -> float
+(** Smoothed local service time (µs) of foreground engine submissions —
+    the telemetry piggybacked on heartbeat replies ({!Messages.response}
+    [Pong]) and scored by the control plane's outlier detector. *)
+
 val restart : t -> unit
 (** Crash-restart recovery (§3.8.2): wipe the volatile protocol state
     (dirty marks, copy fences, forwarding rules), replay every

@@ -1,0 +1,14 @@
+(** Fail-slow gray failure (figure-style experiment): GET tail latency
+    under a 10× compute slowdown on one node, comparing the defended
+    configuration (hedged CRRS reads, adaptive timeouts, slow-outlier
+    escalation, deadline shedding) against the naive static-timeout
+    baseline and the fault-free tail. *)
+
+type point = { label : string; report : Leed_fault.Fault.Chaos.report }
+
+val points : ?seed:int -> ?fast:bool -> unit -> point list
+(** Three same-seed chaos runs: fault-free, fail-slow naive, fail-slow
+    hedged — in that order. *)
+
+val run : unit -> unit
+(** Print the comparison table and the p99.9 degradation ratios. *)

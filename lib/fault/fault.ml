@@ -45,6 +45,18 @@ module Schedule = struct
     | Ssd_degrade of { node : int; ssd : int; factor : float; duration : float }
     | Ssd_fail of { node : int; ssd : int }
     | Bit_rot of { node : int; flips : int }
+    | Fail_slow of { node : int; factor : float; duration : float }
+        (* gray failure: the node's NIC-CPU compute path runs [factor]x
+           slower (§ fail-slow), but the node stays up, answers
+           heartbeats, and holds tokens — the detector-blind fault the
+           hedging/escalation machinery exists for *)
+    | Link_jitter_ramp of
+        { node : int; peak : float; ramp : float; duration : float; inbound : bool }
+        (* asymmetric creeping jitter: delay grows linearly from 0 to
+           [peak] over [ramp] seconds, holds until [duration], and only
+           affects one direction — inbound (toward the node) or
+           outbound. Gray network degradation, as opposed to the
+           symmetric step of [Link_jitter]. *)
 
   type event = { at : float; fault : fault }
 
@@ -69,10 +81,105 @@ module Schedule = struct
         Printf.sprintf "ssd-degrade node %d ssd %d x%.1f for %.3fs" node ssd factor duration
     | Ssd_fail { node; ssd } -> Printf.sprintf "ssd-fail node %d ssd %d" node ssd
     | Bit_rot { node; flips } -> Printf.sprintf "bit-rot node %d (%d bit flips)" node flips
+    | Fail_slow { node; factor; duration } ->
+        Printf.sprintf "fail-slow node %d x%.1f for %.3fs" node factor duration
+    | Link_jitter_ramp { node; peak; ramp; duration; inbound } ->
+        Printf.sprintf "link-jitter-ramp node %d %s peak +%.0fus over %.3fs for %.3fs" node
+          (if inbound then "inbound" else "outbound")
+          (Sim.to_us peak) ramp duration
 
   let to_string t =
     String.concat "\n"
       (List.map (fun { at; fault } -> Printf.sprintf "  t=%7.3fs  %s" at (fault_to_string fault)) t)
+
+  (* --- wire format: one event per line, floats as %h (lossless) --- *)
+
+  let fault_to_wire = function
+    | Crash n -> Printf.sprintf "crash %d" n
+    | Crash_restart { node; downtime } -> Printf.sprintf "crash-restart %d %h" node downtime
+    | Partition { a; b; duration } ->
+        Printf.sprintf "partition %s %s %h"
+          (String.concat "," (List.map string_of_int a))
+          (String.concat "," (List.map string_of_int b))
+          duration
+    | Link_loss { node; prob; duration } ->
+        Printf.sprintf "link-loss %d %h %h" node prob duration
+    | Link_jitter { node; extra; duration } ->
+        Printf.sprintf "link-jitter %d %h %h" node extra duration
+    | Ssd_degrade { node; ssd; factor; duration } ->
+        Printf.sprintf "ssd-degrade %d %d %h %h" node ssd factor duration
+    | Ssd_fail { node; ssd } -> Printf.sprintf "ssd-fail %d %d" node ssd
+    | Bit_rot { node; flips } -> Printf.sprintf "bit-rot %d %d" node flips
+    | Fail_slow { node; factor; duration } ->
+        Printf.sprintf "fail-slow %d %h %h" node factor duration
+    | Link_jitter_ramp { node; peak; ramp; duration; inbound } ->
+        Printf.sprintf "link-jitter-ramp %d %h %h %h %b" node peak ramp duration inbound
+
+  let to_wire t =
+    String.concat "\n"
+      (List.map (fun { at; fault } -> Printf.sprintf "%h %s" at (fault_to_wire fault)) t)
+
+  let of_wire s =
+    let bad line = invalid_arg ("Schedule.of_wire: malformed event: " ^ line) in
+    let ids = function
+      | "" -> []
+      | s -> List.map int_of_string (String.split_on_char ',' s)
+    in
+    let parse_exn line =
+      match String.split_on_char ' ' (String.trim line) with
+      | at :: rest ->
+          let at = float_of_string at in
+          let fault =
+            match rest with
+            | [ "crash"; n ] -> Crash (int_of_string n)
+            | [ "crash-restart"; n; d ] ->
+                Crash_restart { node = int_of_string n; downtime = float_of_string d }
+            | [ "partition"; a; b; d ] ->
+                Partition { a = ids a; b = ids b; duration = float_of_string d }
+            | [ "link-loss"; n; p; d ] ->
+                Link_loss
+                  { node = int_of_string n; prob = float_of_string p; duration = float_of_string d }
+            | [ "link-jitter"; n; e; d ] ->
+                Link_jitter
+                  { node = int_of_string n; extra = float_of_string e; duration = float_of_string d }
+            | [ "ssd-degrade"; n; s; f; d ] ->
+                Ssd_degrade
+                  {
+                    node = int_of_string n;
+                    ssd = int_of_string s;
+                    factor = float_of_string f;
+                    duration = float_of_string d;
+                  }
+            | [ "ssd-fail"; n; s ] -> Ssd_fail { node = int_of_string n; ssd = int_of_string s }
+            | [ "bit-rot"; n; f ] -> Bit_rot { node = int_of_string n; flips = int_of_string f }
+            | [ "fail-slow"; n; f; d ] ->
+                Fail_slow
+                  {
+                    node = int_of_string n;
+                    factor = float_of_string f;
+                    duration = float_of_string d;
+                  }
+            | [ "link-jitter-ramp"; n; p; r; d; i ] ->
+                Link_jitter_ramp
+                  {
+                    node = int_of_string n;
+                    peak = float_of_string p;
+                    ramp = float_of_string r;
+                    duration = float_of_string d;
+                    inbound = bool_of_string i;
+                  }
+            | _ -> bad line
+          in
+          { at; fault }
+      | [] -> bad line
+    in
+    (* int/float/bool_of_string raise Failure; turn any of them into the
+       documented Invalid_argument. *)
+    let parse line = try parse_exn line with Failure _ -> bad line in
+    make
+      (List.filter_map
+         (fun line -> if String.trim line = "" then None else Some (parse line))
+         (String.split_on_char '\n' s))
 
   (* Seeded random schedule under the safety envelope: node-level faults
      (crash-restarts, the partition) occupy disjoint time slots, each
@@ -81,7 +188,7 @@ module Schedule = struct
      R >= 2 sufficient for zero acknowledged-write loss. Link loss and
      SSD degradation are not failures (they only slow or retry traffic),
      so they may overlap anything. *)
-  let random ?(bit_rot = false) ~seed ~nnodes ~duration () =
+  let random ?(bit_rot = false) ?(fail_slow = false) ~seed ~nnodes ~duration () =
     if nnodes < 2 then invalid_arg "Schedule.random: need at least 2 nodes";
     if duration <= 0. then invalid_arg "Schedule.random: duration must be positive";
     let rng = Rng.create seed in
@@ -138,6 +245,34 @@ module Schedule = struct
           let flips = 24 + Rng.int rng 16 in
           ev := { at; fault = Bit_rot { node = victim; flips } } :: !ev)
         [ 0.15; 0.55 ]
+    end;
+    (* Gray failure: one node's compute path slows 10x across most of the
+       run, plus a creeping inbound jitter ramp on its links. Victim
+       safety: a fail-slow must never stack on a crash-restart victim —
+       the slow node's fenced re-copy and the crash's rejoin would race
+       the same arcs — so it only fires when a node beyond both the
+       crash-restart victims and the partition victim exists. Fail-slow
+       is not a failure (the node keeps serving, slowly), so overlapping
+       the link-loss / SSD-degrade background noise is fine. *)
+    if fail_slow && n_restarts + 1 < nnodes then begin
+      let victim = victims.((n_restarts + 1) mod nnodes) in
+      let at = 0.1 *. duration in
+      let slow_for = 0.7 *. duration in
+      ev := { at; fault = Fail_slow { node = victim; factor = 10.0; duration = slow_for } } :: !ev;
+      ev :=
+        {
+          at = at +. (0.05 *. duration);
+          fault =
+            Link_jitter_ramp
+              {
+                node = victim;
+                peak = 200e-6;
+                ramp = 0.1 *. duration;
+                duration = 0.4 *. duration;
+                inbound = true;
+              };
+        }
+        :: !ev
     end;
     make !ev
 end
@@ -237,6 +372,45 @@ module Injector = struct
         let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
         Sim.delay duration;
         Netsim.remove_fault (Cluster.fabric t.cluster) rid
+    | Schedule.Link_jitter_ramp { node; peak; ramp; duration; inbound } ->
+        note t (Schedule.fault_to_string fault);
+        let eid = endpoint_id t node in
+        let start = Sim.now () in
+        let knee = start +. ramp in
+        let rule src dst =
+          let hit = if inbound then Netsim.id dst = eid else Netsim.id src = eid in
+          if not hit then None
+          else
+            let frac =
+              if ramp <= 0. || Sim.reached knee then 1.0 else (Sim.now () -. start) /. ramp
+            in
+            Some (Netsim.Delay (peak *. frac))
+        in
+        let rid = Netsim.add_fault (Cluster.fabric t.cluster) rule in
+        Sim.delay duration;
+        Netsim.remove_fault (Cluster.fabric t.cluster) rid;
+        readmit_if_expelled t node
+    | Schedule.Fail_slow { node; factor; duration } ->
+        note t (Schedule.fault_to_string fault);
+        Node.set_slow_factor (find_node t node) factor;
+        Sim.delay duration;
+        Node.set_slow_factor (find_node t node) 1.0;
+        note t (Printf.sprintf "fail-slow node %d healed" node);
+        (* The gray-failure ladder may have fenced the node (stage 3 runs
+           the §3.8 failure path, expelling it while its process lives).
+           The expulsion's chain repair can still be in flight when the
+           slowness heals — the node then still reads as a member and a
+           bare readmit check would skip it, leaving it out of the
+           cluster forever once the repair lands. Wait for a fenced
+           node's expulsion to complete, then re-admit it like any node
+           a network fault got expelled. *)
+        while
+          is_member t node
+          && Control.slow_stage (Cluster.control t.cluster) node >= 3
+        do
+          Sim.delay 0.05
+        done;
+        readmit_if_expelled t node
     | Schedule.Ssd_degrade { node; ssd; factor; duration } ->
         note t (Schedule.fault_to_string fault);
         let devs = Engine.devices (Node.engine (find_node t node)) in
@@ -313,6 +487,16 @@ module Chaos = struct
     schedule : Schedule.t option;
     bit_rot : bool;
         (* inject at-rest bit flips and run the background scrubber *)
+    fail_slow : bool;
+        (* add a gray failure (10x compute slowdown + inbound jitter
+           ramp) to the generated schedule *)
+    naive : bool;
+        (* strip the gray-failure defenses: no hedged reads, no adaptive
+           timeouts, no slow-outlier detection — the static-timeout
+           baseline the paper-style comparison degrades *)
+    op_deadline : float;
+        (* per-op SLO deadline handed to clients (0 = none); expired ops
+           are shed client-side and engine-side *)
     ops_per_worker : int option;
         (* Some n: each worker issues exactly n ops instead of looping
            until [duration] elapses. Fixed op counts make the op totals
@@ -337,6 +521,9 @@ module Chaos = struct
       ssd_capacity = 192 * 1024 * 1024;
       schedule = None;
       bit_rot = false;
+      fail_slow = false;
+      naive = false;
+      op_deadline = 0.;
       ops_per_worker = None;
     }
 
@@ -366,6 +553,16 @@ module Chaos = struct
     read_repairs : int;
     scrub_repairs : int;
     verify_bad : int;
+    get_p99 : float;
+    get_p999 : float;
+    hedges : int;
+    hedge_wins : int;
+    sheds : int;
+    slow_events : int;
+    detection_latency : float;
+        (* seconds from the first Fail_slow application to the first
+           slow-ladder event the control plane logged; negative when
+           either never happened *)
     ok : bool;
     digest : string;
     state_digest : string;
@@ -416,7 +613,16 @@ module Chaos = struct
       (* The client must agree with the cluster on r: a wider client chain
          would target a phantom replica past the real chain, whose idle
          partition advertises full tokens and attracts every CRRS read. *)
-      client_config = { Client.default_config with Client.r = cfg.r };
+      client_config =
+        {
+          Client.default_config with
+          Client.r = cfg.r;
+          op_deadline = cfg.op_deadline;
+          (* naive = the static-timeout, no-hedge baseline *)
+          hedge = not cfg.naive;
+          adaptive_timeout = not cfg.naive;
+        };
+      slow_detection = not cfg.naive;
       engine_config =
         {
           Engine.default_config with
@@ -436,8 +642,8 @@ module Chaos = struct
           match cfg.schedule with
           | Some s -> s
           | None ->
-              Schedule.random ~bit_rot:cfg.bit_rot ~seed:cfg.seed ~nnodes:cfg.nnodes
-                ~duration:cfg.duration ()
+              Schedule.random ~bit_rot:cfg.bit_rot ~fail_slow:cfg.fail_slow ~seed:cfg.seed
+                ~nnodes:cfg.nnodes ~duration:cfg.duration ()
         in
         (* Per-key write ledgers. [attempted] is the highest sequence a
            client ever issued toward the key; [acked] the highest whose
@@ -457,6 +663,9 @@ module Chaos = struct
           clients;
         let ops = ref 0 and reads = ref 0 and writes = ref 0 in
         let failed = ref 0 and null_reads = ref 0 and corrupt = ref 0 in
+        (* Every GET's client-observed latency, including failed ones
+           (their elapsed time is exactly the tail the SLO cares about). *)
+        let get_hist = Leed_stats.Histogram.create () in
         let last_ok = ref (Sim.now ()) and max_gap = ref 0. in
         let success () =
           let now = Sim.now () in
@@ -500,8 +709,11 @@ module Chaos = struct
               | exception Client.Unavailable _ -> incr failed
             end
             else begin
+              let t0 = Sim.now () in
+              let record () = Leed_stats.Histogram.record get_hist (Sim.now () -. t0) in
               match Client.get c (key_of k) with
               | Some v ->
+                  record ();
                   (match decode v with
                   | Some (i, s) when i = k && s <= attempted.(k) -> ()
                   | _ -> incr corrupt);
@@ -512,9 +724,12 @@ module Chaos = struct
                      replica lacks it (e.g. mid-repair). Counted, and
                      the end-of-run sweep decides whether data was truly
                      lost. *)
+                  record ();
                   incr null_reads;
                   incr reads
-              | exception Client.Unavailable _ -> incr failed
+              | exception Client.Unavailable _ ->
+                  record ();
+                  incr failed
             end
           done
         in
@@ -580,13 +795,30 @@ module Chaos = struct
                   match decode v with
                   | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
                   | _ -> incr stale)
-              | Engine.Missing | Engine.Done | Engine.Failed -> incr stale
+              | Engine.Missing | Engine.Done | Engine.Failed | Engine.Shed -> incr stale
               | Engine.Corrupt | Engine.Scrubbed _ -> incr corrupt
               | exception Engine.Overloaded _ -> ())
             chain
         done;
         let counters = Leed_backend.counters cluster in
         let fstats = Netsim.fabric_stats (Cluster.fabric cluster) in
+        (* Detection latency: first Fail_slow application (injector log,
+           oldest first — the apply note precedes the heal note) to the
+           first slow-ladder event the control plane pushed. *)
+        let detection_latency =
+          let applied =
+            List.find_map
+              (fun (at, what) ->
+                if String.length what >= 9 && String.sub what 0 9 = "fail-slow" then Some at
+                else None)
+              (Injector.log inj)
+          in
+          match (applied, Control.slow_log control) with
+          | Some t0, (t1, _, _) :: _ when t1 >= t0 -> t1 -. t0
+          | _ -> -1.
+        in
+        let get_p99 = Leed_stats.Histogram.percentile get_hist 0.99 in
+        let get_p999 = Leed_stats.Histogram.percentile get_hist 0.999 in
         let outage_ok = cfg.outage_bound <= 0. || !max_gap <= cfg.outage_bound in
         let ok =
           !lost = 0 && !stale = 0 && !bad_chains = 0 && !corrupt = 0 && verify_bad = 0
@@ -621,6 +853,13 @@ module Chaos = struct
               string_of_int counters.Backend.scrub_repairs;
               string_of_int counters.Backend.corrupt_reads;
               string_of_int verify_bad;
+              Printf.sprintf "%h" get_p99;
+              Printf.sprintf "%h" get_p999;
+              string_of_int counters.Backend.hedges;
+              string_of_int counters.Backend.hedge_wins;
+              string_of_int counters.Backend.sheds;
+              string_of_int counters.Backend.slow_events;
+              Printf.sprintf "%h" detection_latency;
             ]
         in
         let state_digest =
@@ -658,6 +897,13 @@ module Chaos = struct
           read_repairs = counters.Backend.read_repairs;
           scrub_repairs = counters.Backend.scrub_repairs;
           verify_bad;
+          get_p99;
+          get_p999;
+          hedges = counters.Backend.hedges;
+          hedge_wins = counters.Backend.hedge_wins;
+          sheds = counters.Backend.sheds;
+          slow_events = counters.Backend.slow_events;
+          detection_latency;
           ok;
           digest;
           state_digest;
@@ -676,11 +922,15 @@ module Chaos = struct
        clients    nacks %d, retries %d, backoff %.3fs@,\
        nvme       %d accesses@,\
        integrity  scrubbed %d segments; read-repairs %d, scrub-repairs %d, post-heal bad %d@,\
+       get tail   p99 %.1fus, p99.9 %.1fus@,\
+       gray       hedges %d (wins %d), sheds %d, slow events %d, detection %.3fs@,\
        digest     %s@,\
        verdict    %s@]"
       r.schedule r.ops r.reads r.writes r.failed_ops r.null_reads r.corrupt_reads r.lost_writes
       r.stale_replicas r.incomplete_chains r.max_outage r.live_nodes r.joins r.leaves
       r.failures_handled r.msgs_dropped r.msgs_delayed r.nacks r.retries r.backoff_time
-      r.nvme_accesses r.scrubbed_segments r.read_repairs r.scrub_repairs r.verify_bad r.digest
+      r.nvme_accesses r.scrubbed_segments r.read_repairs r.scrub_repairs r.verify_bad
+      (Leed_sim.Sim.to_us r.get_p99) (Leed_sim.Sim.to_us r.get_p999) r.hedges r.hedge_wins r.sheds
+      r.slow_events r.detection_latency r.digest
       (if r.ok then "OK" else "INVARIANT VIOLATED")
 end

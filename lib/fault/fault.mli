@@ -30,6 +30,17 @@ module Schedule : sig
         (** flip [flips] random bits in resident (written) data across
             the node's drives — at-rest corruption the checksums must
             catch and the scrubber / read-repair must heal *)
+    | Fail_slow of { node : int; factor : float; duration : float }
+        (** gray failure: the node's NIC-CPU compute path runs [factor]×
+            slower while the node keeps answering heartbeats and holding
+            tokens — invisible to the fail-stop detector, the fault the
+            hedging / slow-outlier machinery exists for. [factor] ≥ 1. *)
+    | Link_jitter_ramp of
+        { node : int; peak : float; ramp : float; duration : float; inbound : bool }
+        (** asymmetric creeping jitter: added delay grows linearly from 0
+            to [peak] seconds over [ramp] seconds, holds until [duration]
+            elapses, and applies in one direction only — toward the node
+            when [inbound], away otherwise *)
 
   type event = { at : float; fault : fault }
 
@@ -41,7 +52,16 @@ module Schedule : sig
   val fault_to_string : fault -> string
   val to_string : t -> string
 
-  val random : ?bit_rot:bool -> seed:int -> nnodes:int -> duration:float -> unit -> t
+  val to_wire : t -> string
+  (** Machine-readable schedule text: one event per line, floats printed
+      with [%h] so {!of_wire} round-trips bit-exactly. *)
+
+  val of_wire : string -> t
+  (** Parse {!to_wire} output (blank lines ignored). Raises
+      [Invalid_argument] on malformed input. *)
+
+  val random :
+    ?bit_rot:bool -> ?fail_slow:bool -> seed:int -> nnodes:int -> duration:float -> unit -> t
   (** A seeded random schedule under the safety envelope: >= 2
       crash-restarts and one partition in disjoint time slots (at most
       one node-level fault in flight, so R >= 2 suffices for zero
@@ -49,7 +69,11 @@ module Schedule : sig
       link loss, which may overlap anything. [bit_rot] adds at-rest bit
       flips aimed at the partition victim — never a crash-restart victim,
       whose recovery replay would truncate at the rot without the COPY
-      an expelled node gets on rejoin. *)
+      an expelled node gets on rejoin. [fail_slow] adds a 10× compute
+      slowdown plus an inbound jitter ramp on a node distinct from every
+      crash-restart victim and the partition victim (skipped when no
+      such node exists — a fenced slow node's re-copy must not race a
+      crash victim's rejoin on the same arcs). *)
 end
 
 module Injector : sig
@@ -92,6 +116,16 @@ module Chaos : sig
         (** inject at-rest bit flips, run the background scrubber during
             the load window, and require a checksum-clean cluster after
             the final heal pass *)
+    fail_slow : bool;
+        (** add a gray failure (10× compute slowdown + inbound jitter
+            ramp) to the generated schedule *)
+    naive : bool;
+        (** strip the gray-failure defenses — no hedged reads, no
+            adaptive timeouts, no slow-outlier detection: the
+            static-timeout baseline the fail-slow comparison degrades *)
+    op_deadline : float;
+        (** per-op SLO deadline handed to clients (0 = none); expired
+            ops are shed client-side and engine-side *)
     ops_per_worker : int option;
         (** [Some n]: each worker issues exactly [n] ops instead of
             looping until [duration] elapses, making op totals — and
@@ -127,6 +161,15 @@ module Chaos : sig
     read_repairs : int;      (** corrupt entries healed from a CRRS replica *)
     scrub_repairs : int;     (** rotted values the scrubber healed *)
     verify_bad : int;        (** checksum failures left after the final heal — must be 0 *)
+    get_p99 : float;         (** client-observed GET tail over the whole run, seconds *)
+    get_p999 : float;
+    hedges : int;            (** hedged GETs fired *)
+    hedge_wins : int;        (** hedges whose response beat the primary *)
+    sheds : int;             (** deadline sheds (client + engine) *)
+    slow_events : int;       (** slow-ladder escalations + de-escalations *)
+    detection_latency : float;
+        (** seconds from the first [Fail_slow] application to the first
+            slow-ladder event; negative when either never happened *)
     ok : bool;               (** all invariants held *)
     digest : string;         (** hex digest — bit-identical across same-seed runs *)
     state_digest : string;

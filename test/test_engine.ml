@@ -66,7 +66,7 @@ let test_concurrent_load_completes () =
              let pid = i mod Engine.npartitions e in
              match Engine.submit e ~pid (Engine.Get (key (i mod 64))) with
              | Engine.Found _ | Engine.Missing -> incr done_count
-             | Engine.Done | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> ()));
+             | Engine.Done | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ | Engine.Shed -> ()));
       Alcotest.(check int) "all completed" 200 !done_count)
 
 let test_available_tokens_drop_under_load () =

@@ -142,7 +142,7 @@ let test_write_with_wrong_hop_nacks () =
       let bogus_vn = { Ring.node = 0; vidx = 0 } in
       match
         Node.handle n0
-          (Messages.Write { vn = bogus_vn; key = !k; value = Some (Bytes.of_string "x"); hop = 0; version = 0; tenant = 0 })
+          (Messages.Write { vn = bogus_vn; key = !k; value = Some (Bytes.of_string "x"); hop = 0; version = 0; tenant = 0; deadline = 0. })
       with
       | Messages.Nack (Messages.Stale_view _) -> ()
       | _ -> Alcotest.fail "expected Stale_view NACK")
@@ -152,7 +152,7 @@ let test_ping_handled () =
       let config = { Cluster.default_config with Cluster.nnodes = 3; platform = quiet_platform } in
       let cl = Cluster.create ~config () in
       match Node.handle (Cluster.node cl 0) (Messages.Ping { node = -1 }) with
-      | Messages.Ok _ -> ()
+      | Messages.Pong _ -> ()
       | _ -> Alcotest.fail "ping must be acked")
 
 (* --- cluster: delete through chain, reads of deleted keys --- *)

@@ -186,7 +186,7 @@ let test_read_repair_heals_replica () =
          replica and answer with the verified bytes. *)
       (match
          Node.handle victim
-           (Messages.Get { vn = entry.Ring.owner; key; shipped = false; tenant = 0 })
+           (Messages.Get { vn = entry.Ring.owner; key; shipped = false; tenant = 0; deadline = 0. })
        with
       | Messages.Value { value = Some v; _ } ->
           Alcotest.(check bool) "repaired read returns the value" true (Bytes.equal v value)
