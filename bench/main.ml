@@ -289,6 +289,94 @@ let chaos ~fast seeds =
     exit 1
   end
 
+(* --- replication protocol comparison: CRRS vs ABD on the same seeds --- *)
+
+let repl ~fast seeds =
+  let open Leed_fault.Fault in
+  let module R = Leed_core.Replication in
+  let seeds = if seeds = [] then [ 42 ] else List.map int_of_string seeds in
+  let base =
+    if fast then
+      { Chaos.default_config with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
+    else Chaos.default_config
+  in
+  (* Same seeds, same schedules, same invariants — only the replication
+     protocol changes. The row set is the head-to-head the seam exists
+     for: hops/write and recovery favour one design, quorum round-trips
+     and availability-under-crash the other. *)
+  let runs =
+    List.concat_map
+      (fun proto ->
+        List.map
+          (fun seed ->
+            Printf.printf "== repl %s seed %d ==\n%!" (R.proto_to_string proto) seed;
+            let wall0 = Unix.gettimeofday () in
+            let r = Chaos.run { base with Chaos.seed; proto } in
+            let wall = Unix.gettimeofday () -. wall0 in
+            if not r.Chaos.ok then
+              Printf.printf "  FAILED: %s\n" (String.concat "," r.Chaos.failed_invariants);
+            (proto, seed, r, wall))
+          seeds)
+      R.all_protos
+  in
+  let throughput (r : Chaos.report) = float_of_int r.Chaos.ops /. base.Chaos.duration in
+  let write_hops (r : Chaos.report) =
+    if r.Chaos.writes > 0 then float_of_int r.Chaos.write_applies /. float_of_int r.Chaos.writes
+    else 0.
+  in
+  List.iter
+    (fun (proto, seed, r, _) ->
+      let module C = Chaos in
+      Printf.printf
+        "  %-4s seed %-3d  %7.0f ops/s  get p99.9 %6.0fus  put p99.9 %6.0fus  hops/write %.2f  \
+         recovery %5.2fs  quorum rounds %6d  writebacks %3d  lin %d/%d  %s\n"
+        (R.proto_to_string proto) seed (throughput r) (1e6 *. r.C.get_p999)
+        (1e6 *. r.C.put_p999) (write_hops r) r.C.max_outage r.C.quorum_rounds r.C.writebacks
+        r.C.lin_violations r.C.lin_checked_keys
+        (if r.C.ok then "ok" else "VIOLATED"))
+    runs;
+  let row (proto, seed, (r : Chaos.report), wall) =
+    let module C = Chaos in
+    Json.Obj
+      [
+        ("proto", Json.Str (R.proto_to_string proto));
+        ("seed", Json.Int seed);
+        ("ops", Json.Int r.C.ops);
+        ("failed_ops", Json.Int r.C.failed_ops);
+        ("throughput_ops_s", Json.Num (throughput r));
+        ("get_p99_s", Json.Num r.C.get_p99);
+        ("get_p999_s", Json.Num r.C.get_p999);
+        ("put_p99_s", Json.Num r.C.put_p99);
+        ("put_p999_s", Json.Num r.C.put_p999);
+        ("write_hops", Json.Num (write_hops r));
+        ("recovery_s", Json.Num r.C.max_outage);
+        ("quorum_rounds", Json.Int r.C.quorum_rounds);
+        ("writebacks", Json.Int r.C.writebacks);
+        ("lin_checked_keys", Json.Int r.C.lin_checked_keys);
+        ("lin_violations", Json.Int r.C.lin_violations);
+        ("failed_invariants", Json.List (List.map (fun s -> Json.Str s) r.C.failed_invariants));
+        ("ok", Json.Bool r.C.ok);
+        ("digest", Json.Str r.C.digest);
+        ("wall_s", Json.Num wall);
+      ]
+  in
+  Json.write "BENCH_repl.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "repl");
+         ("fast", Json.Bool fast);
+         ("duration_s", Json.Num base.Chaos.duration);
+         ("nnodes", Json.Int base.Chaos.nnodes);
+         ("r", Json.Int base.Chaos.r);
+         ("runs", Json.List (List.map row runs));
+       ]);
+  Printf.printf "wrote BENCH_repl.json (%d protocols x %d seeds)\n" (List.length R.all_protos)
+    (List.length seeds);
+  if List.exists (fun (_, _, (r : Chaos.report), _) -> not r.Chaos.ok) runs then begin
+    prerr_endline "bench repl: a run violated a chaos invariant";
+    exit 1
+  end
+
 (* --- simultaneous-event race detection (leed race, benchmarked) --- *)
 
 let race ~fast names =
@@ -718,6 +806,7 @@ let () =
       ycsb ?jbofs (if rest = [] then Exp_common.backend_names else rest)
   | "trace" :: rest -> trace_mode rest
   | "chaos" :: rest -> chaos ~fast rest
+  | "repl" :: rest -> repl ~fast rest
   | "race" :: rest -> race ~fast rest
   | "scale" :: _ -> scale ~fast ()
   | "scale-probe" :: sched_name :: jbofs :: objects :: rest ->

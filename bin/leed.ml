@@ -239,6 +239,19 @@ let chaos_cmd =
                 slow-outlier detection): the static-timeout baseline to compare --fail-slow \
                 tails against.")
   in
+  let proto =
+    let protos =
+      List.map
+        (fun p -> (Leed_core.Replication.proto_to_string p, p))
+        Leed_core.Replication.all_protos
+    in
+    Arg.(
+      value
+      & opt (enum protos) Leed_core.Replication.Crrs
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:"Replication protocol under test: $(b,crrs) (chain replication, the paper's \
+                §3.7) or $(b,abd) (multi-writer quorum). Both must pass the same schedules.")
+  in
   let sanitize =
     Arg.(
       value & flag
@@ -252,11 +265,11 @@ let chaos_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Capture the first run as Chrome trace_event JSON into $(docv).")
   in
-  let run seed runs fast bit_rot fail_slow naive sanitize trace_out =
+  let run seed runs fast bit_rot fail_slow naive proto sanitize trace_out =
     let open Leed_fault.Fault in
     let module Trace = Leed_trace.Trace in
     let cfg =
-      let base = { Chaos.default_config with Chaos.seed; bit_rot; naive } in
+      let base = { Chaos.default_config with Chaos.seed; bit_rot; naive; proto } in
       let base =
         if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
         else base
@@ -288,22 +301,30 @@ let chaos_cmd =
       List.for_all (fun r -> r.Chaos.digest = first.Chaos.digest) reports
     in
     if not deterministic then begin
-      prerr_endline "chaos: same-seed runs diverged (nondeterminism)";
+      Printf.printf "chaos: FAILED invariant=determinism seed=%d\n" seed;
       exit 2
     end;
-    if not (List.for_all (fun r -> r.Chaos.ok) reports) then begin
-      prerr_endline "chaos: invariant violated";
-      exit 1
-    end
+    (match
+       List.find_opt (fun (r : Chaos.report) -> r.Chaos.failed_invariants <> []) reports
+     with
+    | Some r ->
+        (* the machine-greppable last line: which invariant, which seed *)
+        Printf.printf "chaos: FAILED invariant=%s seed=%d\n"
+          (List.hd r.Chaos.failed_invariants) seed;
+        exit 1
+    | None -> ());
+    Printf.printf "chaos: OK seed=%d proto=%s\n" seed first.Chaos.proto
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded random fault schedule (crash-restarts, a partition, SSD degradation, link \
           loss) under closed-loop load and check the end-of-run invariants: zero \
-          acknowledged-write loss, full replication restored, bounded unavailability, \
-          deterministic digest.")
-    Term.(const run $ seed $ runs $ fast $ bit_rot $ fail_slow $ naive $ sanitize $ trace_out)
+          acknowledged-write loss, full replication restored, bounded unavailability, a \
+          linearizable per-key operation history, deterministic digest. Exits non-zero on any \
+          failure, naming the failing invariant and seed on the final line.")
+    Term.(
+      const run $ seed $ runs $ fast $ bit_rot $ fail_slow $ naive $ proto $ sanitize $ trace_out)
 
 
 let race_cmd =

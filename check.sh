@@ -28,26 +28,34 @@ dune runtest
 echo "== tests under the invariant sanitizer (LEED_SANITIZE=1) =="
 LEED_SANITIZE=1 dune runtest --force
 
-echo "== chaos smoke (seeded fault schedule, sanitized, determinism diff) =="
+# The chaos stages run as a replication-protocol matrix: every schedule
+# must pass the same invariants (including the linearizability oracle)
+# under both CRRS chain replication and the ABD quorum register, and
+# both must stay bit-identical across same-seed runs.
+for proto in crrs abd; do
+
+echo "== chaos smoke [$proto] (seeded fault schedule, sanitized, determinism diff) =="
 # --runs 2 replays the identical seed and diffs the digests: exit 2 on
 # nondeterminism, exit 1 on any end-state invariant (acked-write loss,
-# unrepaired chain, unbounded outage).
-dune exec bin/leed.exe -- chaos --fast --sanitize --seed 42 --runs 2
+# unrepaired chain, unbounded outage, non-linearizable history).
+dune exec bin/leed.exe -- chaos --fast --sanitize --seed 42 --runs 2 --proto "$proto"
 
-echo "== bit-rot chaos (scrub + read-repair under faults, determinism diff) =="
+echo "== bit-rot chaos [$proto] (scrub + read-repair under faults, determinism diff) =="
 # Adds seeded flash bit rot to the schedule: the run must serve zero
-# corrupt payloads, the background scrubber and CRRS read-repair must
+# corrupt payloads, the background scrubber and replica read-repair must
 # heal every flipped replica (post-run verify walk finds no bad CRC),
 # and the two same-seed runs must still be bit-identical.
-dune exec bin/leed.exe -- chaos --fast --sanitize --bit-rot --seed 7 --runs 2
+dune exec bin/leed.exe -- chaos --fast --sanitize --bit-rot --seed 7 --runs 2 --proto "$proto"
 
-echo "== fail-slow chaos (gray failure: hedging + ladder + shedding, determinism diff) =="
+echo "== fail-slow chaos [$proto] (gray failure: hedging + ladder + shedding, determinism diff) =="
 # Adds a 10x fail-slow node (plus an inbound jitter ramp) to the
 # schedule with hedged reads, adaptive timeouts, deadline shedding and
 # the slow-outlier ladder all armed: invariants must hold, the fenced
 # node must rejoin after the heal, and hedging's first-response-wins
 # races must still produce bit-identical same-seed digests.
-dune exec bin/leed.exe -- chaos --fast --sanitize --fail-slow --seed 11 --runs 2
+dune exec bin/leed.exe -- chaos --fast --sanitize --fail-slow --seed 11 --runs 2 --proto "$proto"
+
+done
 
 echo "== race smoke (perturbed equal-time orderings, clean target + racy fixture) =="
 # The detector reruns each target under 8 seeded equal-time orderings

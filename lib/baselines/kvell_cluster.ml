@@ -214,6 +214,9 @@ let counters t =
     hedge_wins = 0;
     sheds = 0;
     slow_events = 0;
+    quorum_rounds = 0;
+    writebacks = 0;
+    lin_checked_keys = 0;
   }
 
 let watts t ~util =

@@ -1,0 +1,348 @@
+(* ABD-style multi-writer atomic register over the key's replica set —
+   the second implementation behind the Replication seam.
+
+   Every stored value is framed with a tag (logical timestamp, writer
+   id). A write runs two quorum rounds: read the replicas' tags, mint a
+   tag one above the highest seen, then store the framed value on a
+   majority. A read collects (tag, value) from the replicas and, unless
+   every reachable replica already agrees on the highest tag, writes
+   that tag's value back to a majority before returning it — the
+   write-back is what makes concurrent reads linearizable (a value once
+   read is on a majority, so no later read can observe an older one) and
+   doubles as online repair: a replica that missed writes while crashed
+   or partitioned is healed by the next read that touches it.
+
+   Replica side, the protocol is almost stateless: tags live in the
+   framed values themselves (so they survive a crash-restart's log
+   replay and ride COPY streams unchanged); the only DRAM state is a
+   per-vnode cache of the highest accepted tag, which makes the
+   accept-or-refuse decision atomic with respect to other handlers —
+   comparing against the store alone would race, because the engine read
+   yields while a concurrent higher-tagged write lands.
+
+   Unlike CRRS there is no chain order and no dirty shipping: writes
+   cost two round-trips everywhere all the time, reads pay a fan-out to
+   every replica plus an occasional write-back round, and in exchange
+   the protocol keeps serving both reads and writes while any minority
+   of replicas is slow, partitioned, or dead — no repair membership
+   change needed first. The chaos bench's BENCH_repl.json quantifies
+   exactly this trade. *)
+
+module R = Replication
+
+let tag_max a b = if R.Tag.compare a b >= 0 then a else b
+
+(* Highest tag this vnode has accepted: consult the DRAM gate first and
+   fall back to the framed value in the store (cold cache after a
+   restart). [None] = nothing stored. *)
+let local_tag env ~vidx ~key =
+  match env.R.sv_tag_get ~vidx ~key with
+  | Some c -> Some (R.Tag.of_pair c)
+  | None -> (
+      match env.R.sv_submit ~deadline:0. ~vidx (Engine.Get key) with
+      | Engine.Found v -> (
+          match R.Tag.unframe v with
+          | Some (tg, _) -> Some tg
+          | None -> Some R.Tag.zero (* pre-protocol raw bytes *))
+      | Engine.Missing | Engine.Done | Engine.Scrubbed _ -> None
+      | Engine.Corrupt | Engine.Failed | Engine.Shed -> None
+      | exception Engine.Overloaded _ -> None)
+
+module Impl = struct
+  let proto = R.Abd
+
+  let nack_stale env =
+    env.R.sv_note R.S_nack;
+    Messages.Nack (Messages.Stale_view (Ring.version env.R.sv_ring))
+
+  (* Phase-1 service: the replica's local (tag, framed value). *)
+  let handle_tag_read env ~(vn : Ring.vnode) ~key ~want_value ~tenant ~deadline ~version =
+    if version <> Ring.version env.R.sv_ring then nack_stale env
+    else if not (env.R.sv_has_vnode ~vidx:vn.Ring.vidx) then nack_stale env
+    else begin
+      let vidx = vn.Ring.vidx in
+      env.R.sv_note R.S_served_read;
+      match R.local_get env ~vidx ~key ~deadline with
+      | R.L_found v ->
+          let tag =
+            match R.Tag.unframe v with Some (tg, _) -> tg | None -> R.Tag.zero
+          in
+          (* Warm the write gate: the cache may be cold after a restart,
+             and raising it from the store is always safe. *)
+          (match env.R.sv_tag_get ~vidx ~key with
+          | Some c when R.Tag.compare (R.Tag.of_pair c) tag >= 0 -> ()
+          | _ -> env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair tag));
+          Messages.Tagged
+            {
+              value = (if want_value then Some v else None);
+              tag = R.Tag.pair tag;
+              tokens = env.R.sv_tokens ~tenant ~vidx;
+            }
+      | R.L_missing ->
+          Messages.Tagged
+            {
+              value = None;
+              tag = R.Tag.pair R.Tag.zero;
+              tokens = env.R.sv_tokens ~tenant ~vidx;
+            }
+      | R.L_nack reason ->
+          env.R.sv_note R.S_nack;
+          Messages.Nack reason
+    end
+
+  (* Phase-2 service: store [value] iff [tag] beats the local one. The
+     gate is advanced *before* the engine write so a concurrent
+     lower-tagged Tag_write observes it and refuses — no yield separates
+     the compare from the set. *)
+  let handle_tag_write env ~(vn : Ring.vnode) ~key ~value ~tag ~tenant ~deadline ~version =
+    if version <> Ring.version env.R.sv_ring then nack_stale env
+    else if not (env.R.sv_has_vnode ~vidx:vn.Ring.vidx) then nack_stale env
+    else begin
+      let vidx = vn.Ring.vidx in
+      let incoming = R.Tag.of_pair tag in
+      let decide () =
+        match local_tag env ~vidx ~key with
+        | Some l when R.Tag.compare l incoming >= 0 -> false
+        | Some _ | None -> true
+      in
+      (* [local_tag] may block on a cold-cache store read; re-check the
+         gate afterwards in case a concurrent handler advanced it. *)
+      let accept = decide () && decide () in
+      if not accept then
+        (* Already at (or past) this tag: idempotent ack. *)
+        Messages.Ok { tokens = env.R.sv_tokens ~tenant ~vidx }
+      else begin
+        env.R.sv_tag_set ~vidx ~key ~tag;
+        match env.R.sv_submit ~deadline ~vidx (Engine.Put (key, value)) with
+        | Engine.Done | Engine.Found _ | Engine.Missing ->
+            env.R.sv_note R.S_write_apply;
+            Messages.Ok { tokens = env.R.sv_tokens ~tenant ~vidx }
+        | Engine.Shed ->
+            env.R.sv_note R.S_nack;
+            Messages.Nack Messages.Deadline_exceeded
+        | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ ->
+            env.R.sv_note R.S_nack;
+            Messages.Nack Messages.Not_serving
+        | exception Engine.Overloaded _ ->
+            env.R.sv_note R.S_nack;
+            Messages.Nack Messages.Overloaded
+      end
+    end
+
+  let handle env (req : Messages.request) =
+    match req with
+    | Messages.Tag_read { vn; key; want_value; tenant; deadline; version } ->
+        Some (handle_tag_read env ~vn ~key ~want_value ~tenant ~deadline ~version)
+    | Messages.Tag_write { vn; key; value; tag; tenant; deadline; version } ->
+        Some (handle_tag_write env ~vn ~key ~value ~tag ~tenant ~deadline ~version)
+    | Messages.Get _ | Messages.Write _ | Messages.Version_query _ ->
+        (* chain-protocol traffic aimed at a quorum cluster *)
+        Some (Messages.Nack Messages.Not_serving)
+    | Messages.Copy_put _ | Messages.Repair_get _ | Messages.Ring_update _
+    | Messages.Ping _ ->
+        None
+
+  (* --- client side --- *)
+
+  (* Fan one request out to every chain member concurrently; responses
+     land in chain order, so downstream folds are deterministic. *)
+  let fan_out env chain mk =
+    let arr = Array.make (List.length chain) None in
+    Leed_sim.Sim.fork_join
+      (List.mapi (fun i (e : Ring.entry) () -> arr.(i) <- env.R.cl_issue e (mk e)) chain);
+    Array.to_list arr
+
+  let shed_if_deadline env ~key resps =
+    if
+      List.exists
+        (function Some (Messages.Nack Messages.Deadline_exceeded) -> true | _ -> false)
+        resps
+    then env.R.cl_fail_deadline ~key
+
+  let note_if_nack env resps =
+    if List.exists (function Some (Messages.Nack _) -> true | _ -> false) resps then
+      env.R.cl_note R.C_nack
+
+  let read env ~key ~deadline =
+    let chain = Ring.chain env.R.cl_ring ~r:env.R.cl_r key in
+    match chain with
+    | [] -> None
+    | _ ->
+        let n = List.length chain in
+        let maj = R.quorum n in
+        let version = Ring.version env.R.cl_ring in
+        env.R.cl_note R.C_quorum_round;
+        let resps =
+          fan_out env chain (fun (e : Ring.entry) ->
+              Messages.Tag_read
+                {
+                  vn = e.Ring.owner;
+                  key;
+                  want_value = true;
+                  tenant = env.R.cl_tenant;
+                  deadline;
+                  version;
+                })
+        in
+        shed_if_deadline env ~key resps;
+        let tagged =
+          List.filter_map
+            (function
+              | Some (Messages.Tagged { value; tag; _ }) ->
+                  Some (R.Tag.of_pair tag, value)
+              | _ -> None)
+            resps
+        in
+        if List.length tagged < maj then begin
+          note_if_nack env resps;
+          None
+        end
+        else begin
+          let best_tag, best_val =
+            List.fold_left
+              (fun (bt, bv) (tg, v) -> if R.Tag.compare tg bt > 0 then (tg, v) else (bt, bv))
+              (List.hd tagged) (List.tl tagged)
+          in
+          let payload =
+            match best_val with
+            | None -> None (* nothing written yet anywhere *)
+            | Some framed -> (
+                match R.Tag.unframe framed with
+                | Some (_, p) -> p (* p = None: tagged tombstone (deleted) *)
+                | None -> Some framed (* pre-protocol raw bytes *))
+          in
+          let unanimous =
+            List.length tagged = n
+            && List.for_all (fun (tg, _) -> R.Tag.compare tg best_tag = 0) tagged
+          in
+          if unanimous then Some payload
+          else begin
+            (* Write-back round: put the winning (tag, value) on a
+               majority before serving it, repairing lagging replicas as
+               a side effect. *)
+            env.R.cl_note R.C_writeback;
+            env.R.cl_note R.C_quorum_round;
+            let framed =
+              match best_val with
+              | Some f -> f
+              | None -> R.Tag.frame ~tag:best_tag None
+            in
+            let resps2 =
+              fan_out env chain (fun (e : Ring.entry) ->
+                  Messages.Tag_write
+                    {
+                      vn = e.Ring.owner;
+                      key;
+                      value = framed;
+                      tag = R.Tag.pair best_tag;
+                      tenant = env.R.cl_tenant;
+                      deadline;
+                      version;
+                    })
+            in
+            shed_if_deadline env ~key resps2;
+            let acks =
+              List.length
+                (List.filter (function Some (Messages.Ok _) -> true | _ -> false) resps2)
+            in
+            if acks >= maj then Some payload
+            else begin
+              note_if_nack env resps2;
+              None
+            end
+          end
+        end
+
+  let write env ~key ~value ~deadline =
+    let chain = Ring.chain env.R.cl_ring ~r:env.R.cl_r key in
+    match chain with
+    | [] -> None
+    | _ ->
+        let n = List.length chain in
+        let maj = R.quorum n in
+        let version = Ring.version env.R.cl_ring in
+        env.R.cl_note R.C_quorum_round;
+        let resps =
+          fan_out env chain (fun (e : Ring.entry) ->
+              Messages.Tag_read
+                {
+                  vn = e.Ring.owner;
+                  key;
+                  want_value = false;
+                  tenant = env.R.cl_tenant;
+                  deadline;
+                  version;
+                })
+        in
+        shed_if_deadline env ~key resps;
+        let tags =
+          List.filter_map
+            (function
+              | Some (Messages.Tagged { tag; _ }) -> Some (R.Tag.of_pair tag) | _ -> None)
+            resps
+        in
+        if List.length tags < maj then begin
+          note_if_nack env resps;
+          None
+        end
+        else begin
+          let high = List.fold_left tag_max R.Tag.zero tags in
+          let tag = { R.Tag.ts = high.R.Tag.ts + 1; writer = env.R.cl_writer } in
+          let framed = R.Tag.frame ~tag value in
+          env.R.cl_note R.C_quorum_round;
+          let resps2 =
+            fan_out env chain (fun (e : Ring.entry) ->
+                Messages.Tag_write
+                  {
+                    vn = e.Ring.owner;
+                    key;
+                    value = framed;
+                    tag = R.Tag.pair tag;
+                    tenant = env.R.cl_tenant;
+                    deadline;
+                    version;
+                  })
+          in
+          shed_if_deadline env ~key resps2;
+          let acks =
+            List.length
+              (List.filter (function Some (Messages.Ok _) -> true | _ -> false) resps2)
+          in
+          if acks >= maj then Some ()
+          else begin
+            note_if_nack env resps2;
+            None
+          end
+        end
+
+  let payload_of_stored v =
+    match R.Tag.unframe v with
+    | Some (_, p) -> p (* None = tombstone *)
+    | None -> Some v (* pre-protocol raw bytes *)
+
+  (* COPY streams framed values between replicas: accept one iff its tag
+     beats whatever this vnode already holds, and advance the gate at
+     the moment of acceptance (same atomicity argument as Tag_write).
+     [fresh] is irrelevant here — the tag order makes COPY idempotent,
+     so forward/bulk arrival order cannot clobber a newer value. *)
+  let accept_copy env ~vidx ~key ~value ~fresh:_ =
+    let incoming =
+      match R.Tag.unframe value with Some (tg, _) -> tg | None -> R.Tag.zero
+    in
+    let accept =
+      match local_tag env ~vidx ~key with
+      | Some l -> R.Tag.compare incoming l > 0
+      | None -> true
+    in
+    if accept then env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair incoming);
+    accept
+end
+
+module Protocol : R.S = Impl
+
+(* The per-cluster protocol selector. Lives here (not in Replication) so
+   the seam module stays implementation-free and dependency-cycle-free:
+   Node/Client/Cluster depend on Abd, Abd depends on Replication. *)
+let protocol : R.proto -> (module R.S) = function
+  | R.Crrs -> (module R.Crrs_protocol)
+  | R.Abd -> (module Protocol)

@@ -1,0 +1,19 @@
+(** ABD-style multi-writer quorum replication — the second
+    implementation behind the {!Replication} seam.
+
+    Writes run two majority rounds (read tags, then store a freshly
+    minted higher tag); reads fan out to every replica and write the
+    highest tag back to a majority unless all reachable replicas already
+    agree — which both linearizes concurrent reads and heals replicas
+    that missed writes while crashed or partitioned. Tags are framed
+    into the stored bytes (see {!Replication.Tag}), so they survive
+    crash-restart log replay and COPY streams. *)
+
+module Protocol : Replication.S
+(** The quorum protocol packed for the seam. *)
+
+val protocol : Replication.proto -> (module Replication.S)
+(** The per-cluster protocol selector. Lives here rather than in
+    [Replication] so the seam module stays implementation-free and the
+    dependency arrow points one way: [Node]/[Client]/[Cluster] depend on
+    [Abd]; [Abd] depends on [Replication]. *)

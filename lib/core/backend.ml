@@ -21,6 +21,9 @@ type counters = {
   hedge_wins : int;
   sheds : int;
   slow_events : int;
+  quorum_rounds : int;
+  writebacks : int;
+  lin_checked_keys : int;
 }
 
 let no_counters =
@@ -42,6 +45,9 @@ let no_counters =
     hedge_wins = 0;
     sheds = 0;
     slow_events = 0;
+    quorum_rounds = 0;
+    writebacks = 0;
+    lin_checked_keys = 0;
   }
 
 let nvme_accesses c = c.nvme_reads + c.nvme_writes
@@ -65,6 +71,9 @@ let diff_counters ~after ~before =
     hedge_wins = after.hedge_wins - before.hedge_wins;
     sheds = after.sheds - before.sheds;
     slow_events = after.slow_events - before.slow_events;
+    quorum_rounds = after.quorum_rounds - before.quorum_rounds;
+    writebacks = after.writebacks - before.writebacks;
+    lin_checked_keys = after.lin_checked_keys - before.lin_checked_keys;
   }
 
 type metrics = {
@@ -91,6 +100,9 @@ type metrics = {
   hedge_wins : int;
   sheds : int;
   slow_events : int;
+  quorum_rounds : int;
+  writebacks : int;
+  lin_checked_keys : int;
   watts : float;
   queries_per_joule : float;
 }
@@ -169,6 +181,9 @@ let measure ~label b run =
     hedge_wins = delta.hedge_wins;
     sheds = delta.sheds;
     slow_events = delta.slow_events;
+    quorum_rounds = delta.quorum_rounds;
+    writebacks = delta.writebacks;
+    lin_checked_keys = delta.lin_checked_keys;
     watts = w;
     queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
   }

@@ -41,6 +41,16 @@ type counters = {
       (** deadline sheds: engine-side expired-queue drops plus client-side
           abandonments *)
   slow_events : int;       (** gray-failure escalations/de-escalations pushed *)
+  quorum_rounds : int;
+      (** ABD quorum round-trips executed by clients (phase 1 + phase 2 +
+          write-backs); 0 under CRRS and for the non-replicated baselines *)
+  writebacks : int;
+      (** ABD reads that needed a repair write-back round before
+          answering; 0 under CRRS and for the baselines *)
+  lin_checked_keys : int;
+      (** keys whose operation history passed through the linearizability
+          checker; 0 outside a chaos run (the chaos harness owns the
+          history recorder and reports the count through its digest) *)
 }
 
 val no_counters : counters
@@ -76,6 +86,9 @@ type metrics = {
   hedge_wins : int;
   sheds : int;               (** deadline sheds during the window *)
   slow_events : int;         (** gray-failure escalations during the window *)
+  quorum_rounds : int;       (** ABD quorum round-trips during the window *)
+  writebacks : int;          (** ABD repair write-backs during the window *)
+  lin_checked_keys : int;    (** linearizability-checked keys (chaos only) *)
   watts : float;             (** modeled cluster wall power (paper's meters) *)
   queries_per_joule : float; (** throughput / watts — the paper's headline *)
 }

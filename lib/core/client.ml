@@ -34,6 +34,7 @@ exception Unavailable of string
 
 type config = {
   r : int;
+  proto : Replication.proto; (* replication protocol (must match the cluster's) *)
   flow_control : bool; (* §3.5 token gating *)
   crrs : bool;         (* §3.7 replica reads *)
   tenant : int;        (* §3.5 weighted token share *)
@@ -55,6 +56,7 @@ type config = {
 let default_config =
   {
     r = 3;
+    proto = Replication.Crrs;
     flow_control = true;
     crrs = true;
     tenant = 0;
@@ -88,6 +90,9 @@ type vstate = {
 
 type t = {
   config : config;
+  writer : int; (* unique writer id: the ABD tag tie-break *)
+  repl : (module Replication.S);
+  mutable renv : Replication.client_env option; (* built lazily over [t] *)
   track : Trace.track;
   rpc : (Messages.request, Messages.response) Rpc.t;
   ring : Ring.t;
@@ -107,17 +112,22 @@ type t = {
   mutable hedges : int;     (* hedge RPCs fired *)
   mutable hedge_wins : int; (* hedges that beat the primary *)
   mutable sheds : int;      (* ops abandoned on Deadline_exceeded *)
+  mutable quorum_rounds : int; (* ABD quorum round-trips executed *)
+  mutable writebacks : int;    (* ABD read-path repair write-backs *)
   mutable throttled : float; (* cumulative seconds spent waiting for tokens *)
   mutable backoff : float;   (* cumulative seconds slept in retry backoff *)
 }
 
-let create ?(config = default_config) ?(rng = Rng.create 77) ?(track = Trace.root) ~fabric ~name
-    ~peer ~refresh () =
+let create ?(config = default_config) ?(rng = Rng.create 77) ?(track = Trace.root) ?(writer = 0)
+    ~fabric ~name ~peer ~refresh () =
   let rpc = Rpc.create fabric ~name ~gbps:100. in
   Rpc.client rpc;
   let t =
     {
       config;
+      writer;
+      repl = Abd.protocol config.proto;
+      renv = None;
       track;
       rpc;
       ring = Ring.create ();
@@ -133,6 +143,8 @@ let create ?(config = default_config) ?(rng = Rng.create 77) ?(track = Trace.roo
       hedges = 0;
       hedge_wins = 0;
       sheds = 0;
+      quorum_rounds = 0;
+      writebacks = 0;
       throttled = 0.;
       backoff = 0.;
     }
@@ -147,6 +159,8 @@ let retries t = t.retries
 let hedges t = t.hedges
 let hedge_wins t = t.hedge_wins
 let sheds t = t.sheds
+let quorum_rounds t = t.quorum_rounds
+let writebacks t = t.writebacks
 let throttled_time t = t.throttled
 let backoff_time t = t.backoff
 
@@ -266,8 +280,8 @@ let issue t (e : Ring.entry) req =
   let vn = e.Ring.owner in
   let cost =
     match req with
-    | Messages.Write _ -> 3
-    | Messages.Get _ -> 2
+    | Messages.Write _ | Messages.Tag_write _ -> 3
+    | Messages.Get _ | Messages.Tag_read _ -> 2
     | Messages.Version_query _ | Messages.Copy_put _ | Messages.Repair_get _ | Messages.Ring_update _
     | Messages.Ping _ ->
         0
@@ -286,6 +300,7 @@ let issue t (e : Ring.entry) req =
   | Some (Messages.Value { tokens; _ })
   | Some (Messages.Ok { tokens })
   | Some (Messages.Version { tokens; _ })
+  | Some (Messages.Tagged { tokens; _ })
   | Some (Messages.Pong { tokens; _ }) ->
       credit t vn tokens
   | Some (Messages.Nack _) -> release_waiters t vn
@@ -393,7 +408,15 @@ let on_deadline_nack t ~key =
 
 let issue_get t (e : Ring.entry) ~key ~deadline =
   let req =
-    Messages.Get { vn = e.Ring.owner; key; shipped = false; tenant = t.config.tenant; deadline }
+    Messages.Get
+      {
+        vn = e.Ring.owner;
+        key;
+        shipped = false;
+        tenant = t.config.tenant;
+        deadline;
+        version = Ring.version t.ring;
+      }
   in
   issue t e req
 
@@ -438,22 +461,41 @@ let hedged_get t chain (primary : Ring.entry) ~key ~deadline =
       end;
       resp
 
+(* The seam: the client_env closure record handed to the protocol's
+   read/write paths. Built once and cached — every field reads [t]'s
+   live state through its closure. *)
+let make_env t : Replication.client_env =
+  let module R = Replication in
+  {
+    R.cl_writer = t.writer;
+    cl_r = t.config.r;
+    cl_tenant = t.config.tenant;
+    cl_ring = t.ring;
+    cl_issue = (fun e req -> issue t e req);
+    cl_read_target = (fun chain -> read_target t chain);
+    cl_hedged_get = (fun chain e ~key ~deadline -> hedged_get t chain e ~key ~deadline);
+    cl_fail_deadline = (fun ~key -> on_deadline_nack t ~key);
+    cl_note =
+      (function
+      | R.C_nack -> t.nacks <- t.nacks + 1
+      | R.C_quorum_round -> t.quorum_rounds <- t.quorum_rounds + 1
+      | R.C_writeback -> t.writebacks <- t.writebacks + 1);
+  }
+
+let renv t =
+  match t.renv with
+  | Some e -> e
+  | None ->
+      let e = make_env t in
+      t.renv <- Some e;
+      e
+
 let get_impl t key =
   let deadline = op_deadline_of t in
+  let module P = (val t.repl : Replication.S) in
   with_retries t 0 (fun () ->
       check_deadline t ~key deadline;
-      let chain = Ring.chain t.ring ~r:t.config.r key in
-      match read_target t chain with
-      | None -> None
-      | Some e -> (
-          match hedged_get t chain e ~key ~deadline with
-          | Some (Messages.Value { value; _ }) -> Some value
-          | Some (Messages.Ok _) | Some (Messages.Version _) | Some (Messages.Pong _) -> Some None
-          | Some (Messages.Nack Messages.Deadline_exceeded) -> on_deadline_nack t ~key
-          | Some (Messages.Nack _) ->
-              t.nacks <- t.nacks + 1;
-              None
-          | None -> None))
+      P.read (renv t) ~key ~deadline)
 
 let get t key =
   if not (Trace.on ()) then get_impl t key
@@ -461,32 +503,10 @@ let get t key =
 
 let write_impl t key value =
   let deadline = op_deadline_of t in
+  let module P = (val t.repl : Replication.S) in
   with_retries t 0 (fun () ->
       check_deadline t ~key deadline;
-      let chain = Ring.chain t.ring ~r:t.config.r key in
-      match chain with
-      | [] -> None
-      | head :: _ -> (
-          let req =
-            Messages.Write
-              {
-                vn = head.Ring.owner;
-                key;
-                value;
-                hop = 0;
-                version = Ring.version t.ring;
-                tenant = t.config.tenant;
-                deadline;
-              }
-          in
-          match issue t head req with
-          | Some (Messages.Ok _) -> Some ()
-          | Some (Messages.Value _) | Some (Messages.Version _) | Some (Messages.Pong _) -> Some ()
-          | Some (Messages.Nack Messages.Deadline_exceeded) -> on_deadline_nack t ~key
-          | Some (Messages.Nack _) ->
-              t.nacks <- t.nacks + 1;
-              None
-          | None -> None))
+      P.write (renv t) ~key ~value ~deadline)
 
 let write t op_name key value =
   if not (Trace.on ()) then write_impl t key value

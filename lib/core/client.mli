@@ -14,6 +14,9 @@ exception Unavailable of string
 
 type config = {
   r : int;
+  proto : Replication.proto;
+      (** replication protocol driving reads/writes (must match the
+          cluster's; default [Crrs]) *)
   flow_control : bool; (** §3.5 token gating *)
   crrs : bool;         (** §3.7 replica reads *)
   tenant : int;        (** §3.5 weighted token share this client draws from *)
@@ -59,6 +62,7 @@ val create :
   ?config:config ->
   ?rng:Leed_sim.Rng.t ->
   ?track:Leed_trace.Trace.track ->
+  ?writer:int ->
   fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
   name:string ->
   peer:(int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) ->
@@ -70,7 +74,8 @@ val create :
     the client's private backoff-jitter stream (split off, not shared).
     [track] is the trace row the client's operation spans land on
     (default: the root track; the cluster passes a shared [clients]
-    row). *)
+    row). [writer] is the client's unique writer id — the ABD tag
+    tie-break; the cluster passes its client counter (default 0). *)
 
 val ring : t -> Ring.t
 (** The client's local ring view. *)
@@ -94,6 +99,14 @@ val hedge_wins : t -> int
 val sheds : t -> int
 (** Ops abandoned on a deadline — client-side expiry before re-issue, or
     a terminal [Deadline_exceeded] NACK from the engine's shedder. *)
+
+val quorum_rounds : t -> int
+(** Cumulative ABD quorum round-trips executed (phase 1 + phase 2 +
+    write-backs); 0 under CRRS. *)
+
+val writebacks : t -> int
+(** ABD reads that needed a repair write-back round before serving;
+    0 under CRRS. *)
 
 val set_slow : t -> node:int -> level:int -> unit
 (** Control-plane push: set a node's slow-escalation level (0 clears,

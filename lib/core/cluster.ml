@@ -12,6 +12,7 @@ module Trace = Leed_trace.Trace
 type config = {
   nnodes : int;
   r : int;
+  proto : Replication.proto; (* replication protocol on every vnode *)
   engine_config : Engine.config;
   client_config : Client.config;
   platform : Platform.t;
@@ -26,6 +27,7 @@ let default_config =
   {
     nnodes = 3;
     r = 3;
+    proto = Replication.Crrs;
     engine_config = Engine.default_config;
     client_config = Client.default_config;
     platform = Platform.smartnic_jbof;
@@ -85,7 +87,11 @@ let check_chain_structure t =
     done
 
 let check_replica_agreement t key =
-  if Invariant.active () then begin
+  (* CRRS-only: ABD guarantees a majority intersection, not identical
+     replicas — a minority replica legitimately lags until the next read
+     writes the winning tag back, so engine-level equality would
+     false-positive. *)
+  if Invariant.active () && t.config.proto = Replication.Crrs then begin
     let chain = Ring.chain (Control.ring t.control) ~r:t.config.r key in
     require_chain_structure t ~key chain;
     let replicas =
@@ -93,7 +99,9 @@ let check_replica_agreement t key =
     in
     let dirty () =
       List.exists
-        (fun ((e : Ring.entry), n) -> Node.is_key_dirty n ~vidx:e.Ring.owner.Ring.vidx key)
+        (fun ((e : Ring.entry), n) ->
+          Node.is_key_dirty n ~vidx:e.Ring.owner.Ring.vidx key
+          || Node.is_key_tainted n ~vidx:e.Ring.owner.Ring.vidx key)
         replicas
     in
     if not (dirty ()) then begin
@@ -161,8 +169,8 @@ let create ?(config = default_config) () =
   in
   for _ = 1 to config.nnodes do
     let n =
-      Node.create ~read_mode:config.read_mode ~id:t.next_node_id ~platform:config.platform
-        ~fabric ~engine_config:config.engine_config ~r:config.r ()
+      Node.create ~read_mode:config.read_mode ~proto:config.proto ~id:t.next_node_id
+        ~platform:config.platform ~fabric ~engine_config:config.engine_config ~r:config.r ()
     in
     t.next_node_id <- t.next_node_id + 1;
     Node.start n;
@@ -186,6 +194,9 @@ let fabric t = t.fabric
    clients never share a backoff sequence). *)
 let client ?(config : Client.config option) t =
   let cfg = Option.value config ~default:t.config.client_config in
+  (* The protocol is a cluster-wide choice: clients must speak what the
+     vnodes host, so the cluster's setting always wins. *)
+  let cfg = { cfg with Client.proto = t.config.proto } in
   let c =
     Client.create ~config:cfg
       ~rng:(Rng.create (40000 + t.next_client_id))
@@ -193,7 +204,7 @@ let client ?(config : Client.config option) t =
       ~name:(Printf.sprintf "client%d" t.next_client_id)
       ~peer:(Control.peer_resolver t.control)
       ~refresh:(fun () -> Control.snapshot t.control)
-      ()
+      ~writer:(1 + t.next_client_id) ()
   in
   t.next_client_id <- t.next_client_id + 1;
   Control.register_client t.control c;
@@ -204,8 +215,9 @@ let client ?(config : Client.config option) t =
    Returns the number of key-value pairs copied. *)
 let add_node t =
   let n =
-    Node.create ~read_mode:t.config.read_mode ~id:t.next_node_id ~platform:t.config.platform
-      ~fabric:t.fabric ~engine_config:t.config.engine_config ~r:t.config.r ()
+    Node.create ~read_mode:t.config.read_mode ~proto:t.config.proto ~id:t.next_node_id
+      ~platform:t.config.platform ~fabric:t.fabric ~engine_config:t.config.engine_config
+      ~r:t.config.r ()
   in
   t.next_node_id <- t.next_node_id + 1;
   Node.start n;

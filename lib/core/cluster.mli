@@ -5,6 +5,10 @@
 type config = {
   nnodes : int;
   r : int;
+  proto : Replication.proto;
+      (** replication protocol hosted on every vnode and spoken by every
+          client the cluster creates (default [Crrs]); clients built via
+          {!client} have their config's [proto] overridden to match *)
   engine_config : Engine.config;
   client_config : Client.config;
   platform : Leed_platform.Platform.t;
@@ -88,6 +92,8 @@ val check_chain_order : t -> string -> unit
 
 val check_replica_agreement : t -> string -> unit
 (** Read every replica of [key] directly through the engines and require
-    identical committed values. Skips keys with writes in flight, but is
-    only meaningful at quiescent points — call it explicitly (e.g. from
-    tests after traffic drains). *)
+    identical committed values. Skips keys with writes in flight (dirty
+    or tainted), but is only meaningful at quiescent points — call it
+    explicitly (e.g. from tests after traffic drains). CRRS-only: under
+    ABD a minority replica legitimately lags until the next read writes
+    the winning tag back, so the check no-ops. *)

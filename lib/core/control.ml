@@ -155,8 +155,15 @@ let finish_bootstrap t =
 (* --- COPY orchestration helpers --- *)
 
 (* Stream one arc from a source vnode to a destination vnode, with
-   concurrent writes forwarded and fenced (§3.8.1). *)
-let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
+   concurrent writes forwarded and fenced (§3.8.1).
+
+   When [detach] is given, the forward + fence stay ATTACHED after the
+   bulk stream finishes and their teardown closures accumulate there
+   instead. The join path needs this: between an arc's copy completing
+   and the phase-3 ring flip, commits to that arc would otherwise be
+   neither forwarded (forward removed) nor bulk-copied (stream done) —
+   a window in which the rejoiner silently went stale. *)
+let copy_arc ?detach t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
   match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
   | None -> 0
   | Some sns when not sns.alive -> 0
@@ -166,8 +173,11 @@ let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
       Node.begin_fence dst_node dst.Ring.vidx;
       Node.add_copy_forward sns.node ~lo ~hi ~dst;
       let copied = Node.copy_range sns.node ~vidx:src.Ring.owner.Ring.vidx ~lo ~hi ~dst in
-      Node.remove_copy_forward sns.node ~dst;
-      Node.end_fence dst_node dst.Ring.vidx;
+      let finish () =
+        Node.remove_copy_forward sns.node ~lo ~hi ~dst;
+        Node.end_fence dst_node dst.Ring.vidx
+      in
+      (match detach with None -> finish () | Some acc -> acc := finish :: !acc);
       if Trace.on () then
         Trace.complete ~track:t.track ~cat:"control"
           ~args:
@@ -184,11 +194,11 @@ let copy_arc t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
    dies mid-stream its Copy_puts silently time out and the destination is
    left hollow — so a copy only counts as complete if its source is still
    alive when it returns; otherwise fall back to the next survivor. *)
-let copy_arc_from_any t ~(sources : Ring.entry list) ~(dst : Ring.vnode) ~lo ~hi =
+let copy_arc_from_any ?detach t ~(sources : Ring.entry list) ~(dst : Ring.vnode) ~lo ~hi =
   let rec go = function
     | [] -> 0
     | (src : Ring.entry) :: rest ->
-        let copied = copy_arc t ~src ~dst ~lo ~hi in
+        let copied = copy_arc ?detach t ~src ~dst ~lo ~hi in
         let src_alive =
           match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
           | Some ns -> ns.alive
@@ -239,28 +249,54 @@ let join t (n : Node.t) =
   broadcast t;
   (* Phase 2: for every arc the newcomers will serve in the future ring,
      the arc's current tail COPYs the range over. *)
-  let future = Ring.copy t.ring in
-  List.iter (fun vn -> Ring.set_state future vn Ring.Running) new_vns;
   let total_copied = ref 0 in
-  List.iter
-    (fun (e : Ring.entry) ->
-      let future_chain = Ring.chain_at future ~r:t.r e.Ring.point in
-      let gained =
-        List.filter (fun (m : Ring.entry) -> List.mem m.Ring.owner new_vns) future_chain
-      in
-      if gained <> [] then begin
-        let lo, hi = Ring.arc_of future e in
-        let sources = Ring.chain_at t.ring ~r:t.r e.Ring.point in
-        List.iter
-          (fun (m : Ring.entry) ->
-            total_copied :=
-              !total_copied + copy_arc_from_any t ~sources ~dst:m.Ring.owner ~lo ~hi)
-          gained
-      end)
-    (Ring.entries future);
+  (* Forwards and fences from every arc stay attached until after the
+     phase-3 broadcast: a commit landing between an early arc's copy and
+     the ring flip must still be forwarded to the newcomer. *)
+  let detach = ref [] in
+  let copy_pass () =
+    let future = Ring.copy t.ring in
+    List.iter (fun vn -> Ring.set_state future vn Ring.Running) new_vns;
+    List.iter
+      (fun (e : Ring.entry) ->
+        let future_chain = Ring.chain_at future ~r:t.r e.Ring.point in
+        let gained =
+          List.filter (fun (m : Ring.entry) -> List.mem m.Ring.owner new_vns) future_chain
+        in
+        if gained <> [] then begin
+          let lo, hi = Ring.arc_of future e in
+          let sources = Ring.chain_at t.ring ~r:t.r e.Ring.point in
+          List.iter
+            (fun (m : Ring.entry) ->
+              total_copied :=
+                !total_copied + copy_arc_from_any ~detach t ~sources ~dst:m.Ring.owner ~lo ~hi)
+            gained
+        end)
+      (Ring.entries future)
+  in
+  (* A concurrent membership change (another node expelled or joining
+     while an arc streams) re-appoints chain tails, and commits then
+     land at nodes that carry no forward for this join — the newcomer
+     would flip to RUNNING missing them. Re-copy until a whole pass sees
+     a stable ring: marked keys are skipped by the fence, so a re-pass
+     streams only what the dead forwards missed, and the final pass
+     leaves live forwards attached on the current tails. Bounded as a
+     churn backstop; eight membership flips inside one join means the
+     cluster has bigger problems than this copy. *)
+  let stable = ref false in
+  let passes = ref 0 in
+  while (not !stable) && !passes < 8 do
+    let v0 = Ring.version t.ring in
+    copy_pass ();
+    incr passes;
+    stable := Ring.version t.ring = v0
+  done;
   (* Phase 3: flip to RUNNING and broadcast; clients may now address it. *)
   List.iter (fun vn -> Ring.set_state t.ring vn Ring.Running) new_vns;
   broadcast t;
+  (* Only now do the sources stop forwarding and the newcomer's fences
+     lift — all post-flip writes route through the new chains anyway. *)
+  List.iter (fun finish -> finish ()) (List.rev !detach);
   t.joins <- t.joins + 1;
   !total_copied
 

@@ -63,6 +63,11 @@ let counters t =
       (fun (h, w, s) c -> (h + Client.hedges c, w + Client.hedge_wins c, s + Client.sheds c))
       (0, 0, 0) (Cluster.clients t)
   in
+  let quorum_rounds, writebacks =
+    List.fold_left
+      (fun (q, w) c -> (q + Client.quorum_rounds c, w + Client.writebacks c))
+      (0, 0) (Cluster.clients t)
+  in
   let engine_sheds =
     List.fold_left
       (fun acc n ->
@@ -90,6 +95,10 @@ let counters t =
     hedge_wins;
     sheds = client_sheds + engine_sheds;
     slow_events = cs.Control.n_slow_events;
+    quorum_rounds;
+    writebacks;
+    (* the chaos harness owns the history recorder; see Fault.Chaos *)
+    lin_checked_keys = 0;
   }
 
 let watts t ~util =

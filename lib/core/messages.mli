@@ -10,11 +10,15 @@ type request =
       shipped : bool;
       tenant : int;
       deadline : float;
+      version : int;
     }
       (** [shipped] marks a dirty read forwarded to the tail (§3.7);
           [tenant] selects the weighted token share (§3.5); [deadline]
           is an absolute virtual-time SLO bound (0. = none): work still
-          queued past it is shed by the token engine instead of served. *)
+          queued past it is shed by the token engine instead of served.
+          [version] is the sender's ring view: a mismatched receiver
+          nacks [Stale_view], so reads never land on an expelled replica
+          that still believes it serves the key. *)
   | Write of {
       vn : Ring.vnode;
       key : string;
@@ -30,8 +34,35 @@ type request =
   | Version_query of { vn : Ring.vnode; key : string }
       (** The CRAQ-style alternative to request shipping (§3.7): ask the
           tail whether the key's latest write has committed. *)
-  | Copy_put of { vn : Ring.vnode; key : string; value : bytes }
-      (** COPY traffic into a JOINING/repairing vnode (§3.8). *)
+  | Tag_read of {
+      vn : Ring.vnode;
+      key : string;
+      want_value : bool;
+      tenant : int;
+      deadline : float;
+      version : int;
+    }
+      (** ABD phase 1: fetch the replica's local (tag, value). GETs set
+          [want_value]; PUTs only need the tag to mint a higher one. *)
+  | Tag_write of {
+      vn : Ring.vnode;
+      key : string;
+      value : bytes;
+      tag : int * int;
+      tenant : int;
+      deadline : float;
+      version : int;
+    }
+      (** ABD phase 2: store [value] under [tag] = (ts, writer) iff the
+          tag beats the replica's local one. Used by both writes and the
+          read-path write-back; [value] carries the protocol framing. *)
+  | Copy_put of { vn : Ring.vnode; key : string; value : bytes; fresh : bool }
+      (** COPY traffic into a JOINING/repairing vnode (§3.8). [fresh]
+          distinguishes a forwarded concurrent write (newer than anything
+          the bulk stream carries — it marks the destination's COPY
+          fence) from a bulk-stream entry (dropped when the fence already
+          holds the key, so a slow bulk copy can never clobber a write
+          that committed during the COPY). *)
   | Repair_get of { vn : Ring.vnode; key : string }
       (** Read-repair fetch after a local checksum failure: the receiver
           serves strictly from its own store (never repairs recursively,
@@ -51,6 +82,9 @@ type response =
   | Value of { value : bytes option; tokens : int }
   | Ok of { tokens : int }
   | Version of { dirty : bool; tokens : int }
+  | Tagged of { value : bytes option; tag : int * int; tokens : int }
+      (** ABD phase-1 reply: the replica's local tag, plus the stored
+          (framed) value when the reader asked for it *)
   | Pong of { tokens : int; svc_us : float }
       (** heartbeat reply carrying the node's smoothed local service time
           (µs) — the gray-failure telemetry the control plane scores *)

@@ -1,17 +1,14 @@
 (* A LEED back-end node: one SmartNIC JBOF running the I/O engine, its
-   virtual nodes, and the CRRS chain-replication protocol (§3.7).
+   virtual nodes, and the host side of the selected replication protocol.
 
-   Request handling:
-   - Writes enter at the chain head and propagate forward; every replica
-     sets the key's dirty mark, applies the write, and forwards; the tail
-     is the commitment point; acknowledgments flow backward clearing dirty
-     marks (the blocking RPC return path *is* the backward ack).
-   - Reads are served by any replica whose dirty mark for the key is clear;
-     a dirty replica ships the read to the tail, which always holds the
-     committed value.
-   - The hop counter in a write is checked against the receiver's own ring
-     view: a mismatch (membership change in flight) NACKs back to the
-     client for retry (§3.8.1). *)
+   The protocol itself (CRRS chain replication, ABD quorums, ...) lives
+   behind the Replication seam: this module owns the engine, the fabric
+   endpoint, the ring view, and the volatile per-vnode protocol state
+   (dirty marks, taint marks, copy fences, the ABD tag gate), and hands
+   the selected protocol a [Replication.server_env] of closures over
+   them. Requests in the protocol's wire vocabulary dispatch through the
+   seam; COPY traffic, integrity repair, membership updates and
+   heartbeats are generic and handled here. *)
 
 open Leed_sim
 open Leed_netsim
@@ -24,17 +21,25 @@ type vnode_state = {
   pid : int; (* engine partition backing this vnode *)
   (* count of in-flight (uncommitted) writes per key — the dirty map *)
   dirty : (string, int) Hashtbl.t;
+  (* keys whose local copy may be ahead of the commit point: a chain
+     write applied here but failed somewhere down-chain (partial write);
+     reads route through the tail until a later write lands clean *)
+  taint : (string, unit) Hashtbl.t;
+  (* ABD write gate: highest tag accepted per key (DRAM cache over the
+     framed store values; wiped on restart, rebuilt lazily) *)
+  tags : (string, int * int) Hashtbl.t;
   (* keys freshly written via chain forwarding while a COPY is in
      progress: bulk-copy values must not overwrite them (§3.8.1) *)
   copy_fence : (string, unit) Hashtbl.t;
-  mutable fence_active : bool;
+  (* nesting depth: one vnode can be the destination of several
+     overlapping arc COPYs (it sits in the chain of R consecutive ring
+     points), so the fence lifts only when the *last* COPY detaches *)
+  mutable fence_depth : int;
 }
 
-(* How a dirty replica resolves a read (§3.7): ship the whole request to
-   the tail (CRRS, the paper's choice) or ask the tail whether the write
-   has committed and serve locally if so (the CRAQ-style alternative the
-   paper measured as generating more cross-JBOF traffic). *)
-type read_mode = Ship | Version_query
+let fence_active vs = vs.fence_depth > 0
+
+type read_mode = Replication.read_mode = Ship | Version_query
 
 type t = {
   id : int;
@@ -51,13 +56,18 @@ type t = {
   (* forwarding rules active during COPY: writes committed in (lo, hi]
      are also forwarded to [dst] *)
   mutable copy_forwards : (int * int * Ring.vnode) list;
+  proto : Replication.proto;
+  repl : (module Replication.S);
+  mutable renv : Replication.server_env option; (* built lazily over [t] *)
   read_mode : read_mode;
   mutable nacks : int;
   mutable shipped_reads : int;
   mutable served_reads : int;
   mutable version_queries : int;
+  mutable write_applies : int;     (* replica writes applied locally *)
   mutable read_repairs : int;      (* corrupt entries healed from a replica *)
   mutable repair_failures : int;   (* no replica could supply the value *)
+  mutable repair_serves : int;     (* Repair_get fetches served to peers *)
   mutable scrubbed_segments : int; (* segments verified by the scrubber *)
   mutable scrub_repairs : int;     (* rotted values the scrubber healed *)
   (* gray-failure injection: >1 models a degraded NIC-CPU compute path
@@ -72,7 +82,8 @@ type t = {
 (* Cycles to pull a request out of the RDMA stack and dispatch it. *)
 let rx_cycles = 2500.
 
-let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
+let create ?(read_mode = Ship) ?(proto = Replication.Crrs) ~id ~platform ~fabric
+    ~engine_config ~r () =
   let track = Trace.new_track (Printf.sprintf "jbof%d" id) in
   let engine = Engine.create ~config:engine_config ~rng:(Rng.create (1000 + id)) ~track platform in
   let rpc = Rpc.create fabric ~name:(Printf.sprintf "jbof%d" id) ~gbps:platform.Platform.nic_gbps in
@@ -84,8 +95,10 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
         vn = { Ring.node = id; vidx };
         pid = vidx;
         dirty = Hashtbl.create 256;
+        taint = Hashtbl.create 64;
+        tags = Hashtbl.create 256;
         copy_fence = Hashtbl.create 64;
-        fence_active = false;
+        fence_depth = 0;
       }
   done;
   {
@@ -105,13 +118,18 @@ let create ?(read_mode = Ship) ~id ~platform ~fabric ~engine_config ~r () =
     peer = (fun _ -> failwith "Node.peer unset");
     up = true;
     copy_forwards = [];
+    proto;
+    repl = Abd.protocol proto;
+    renv = None;
     read_mode;
     nacks = 0;
     shipped_reads = 0;
     served_reads = 0;
     version_queries = 0;
+    write_applies = 0;
     read_repairs = 0;
     repair_failures = 0;
+    repair_serves = 0;
     scrubbed_segments = 0;
     scrub_repairs = 0;
     slow_factor = 1.0;
@@ -123,6 +141,7 @@ let engine t = t.engine
 let track t = t.track
 let rpc t = t.rpc
 let ring t = t.ring
+let proto t = t.proto
 let set_peer_resolver t f = t.peer <- f
 let vnode t vidx = Hashtbl.find t.vnodes vidx
 
@@ -184,39 +203,38 @@ let submit_local ?deadline t vs cmd =
 let tokens_for ?(tenant = 0) t vs =
   Engine.available_tokens_for t.engine ~tenant (Engine.partition t.engine vs.pid)
 
-(* Validate that this node is position [hop] of the key's chain in the
-   local ring view; returns the chain on success. *)
-let validate_chain t ~key ~hop ~vn =
-  let chain = Ring.chain t.ring ~r:t.r key in
-  match List.nth_opt chain hop with
-  | Some e when e.Ring.owner = vn && vn.Ring.node = t.id -> Some chain
-  | _ -> None
-
 (* --- COPY fencing (§3.8.1): while a COPY streams into a vnode, writes
    arriving through chain forwarding are newer than any bulk-copied value;
    the fence records them so stale copies are dropped. --- *)
 
 let begin_fence t vidx =
   let vs = vnode t vidx in
-  vs.fence_active <- true
+  vs.fence_depth <- vs.fence_depth + 1
 
 let end_fence t vidx =
   let vs = vnode t vidx in
-  vs.fence_active <- false;
-  Hashtbl.reset vs.copy_fence
+  vs.fence_depth <- vs.fence_depth - 1;
+  if vs.fence_depth <= 0 then begin
+    vs.fence_depth <- 0;
+    Hashtbl.reset vs.copy_fence
+  end
 
 (* --- COPY forwarding (§3.8.1) --- *)
 
 let add_copy_forward t ~lo ~hi ~dst = t.copy_forwards <- (lo, hi, dst) :: t.copy_forwards
 
-let remove_copy_forward t ~dst =
-  t.copy_forwards <- List.filter (fun (_, _, d) -> d <> dst) t.copy_forwards
+let remove_copy_forward t ~lo ~hi ~dst =
+  (* exact-triple match: a vnode can be the destination of several
+     overlapping arc COPYs at once, so detaching one arc must not tear
+     down the forwards the others still rely on *)
+  t.copy_forwards <-
+    List.filter (fun (l, h, d) -> not (l = lo && h = hi && d = dst)) t.copy_forwards
 
 let forward_copies t ~key ~value =
   List.iter
     (fun (lo, hi, dst) ->
       if Ring.key_in_arc ~lo ~hi key then begin
-        let req = Messages.Copy_put { vn = dst; key; value } in
+        let req = Messages.Copy_put { vn = dst; key; value; fresh = true } in
         match
           Rpc.call_timeout t.rpc ~dst:(t.peer dst.Ring.node) ~size:(Messages.request_size req)
             ~timeout:0.5 req
@@ -225,98 +243,12 @@ let forward_copies t ~key ~value =
       end)
     t.copy_forwards
 
-(* --- request handlers --- *)
-
-let handle_write t ~vn ~key ~value ~hop ~version ~tenant ~deadline =
-  (* §3.8.1: a write carries the sender's ring version; a receiver on a
-     different view NACKs Stale_view so the client refreshes and retries.
-     Chain-position validation alone misses membership changes that leave
-     this key's chain intact but move others — the version check is the
-     authoritative fence. *)
-  if version <> Ring.version t.ring then begin
-    t.nacks <- t.nacks + 1;
-    Messages.Nack (Messages.Stale_view (Ring.version t.ring))
-  end
-  else
-  match vnode_opt t vn.Ring.vidx with
-  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
-  | Some vs -> (
-      match validate_chain t ~key ~hop ~vn with
-      | None ->
-          t.nacks <- t.nacks + 1;
-          Messages.Nack (Messages.Stale_view (Ring.version t.ring))
-      | Some chain ->
-          let is_tail = hop = List.length chain - 1 in
-          dirty_incr vs key;
-          let ok = ref true in
-          let deadline_hit = ref false in
-          let apply () =
-            let cmd =
-              match value with
-              | Some v -> Engine.Put (key, v)
-              | None -> Engine.Del key
-            in
-            match submit_local ~deadline t vs cmd with
-            | Engine.Done | Engine.Found _ | Engine.Missing -> ()
-            | Engine.Shed ->
-                ok := false;
-                deadline_hit := true
-            | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ -> ok := false
-            | exception Engine.Overloaded _ -> ok := false
-          in
-          let forward () =
-            if not is_tail then begin
-              match List.nth_opt chain (hop + 1) with
-              | None -> ok := false
-              | Some next ->
-                  let req =
-                    Messages.Write
-                      {
-                        vn = next.Ring.owner;
-                        key;
-                        value;
-                        hop = hop + 1;
-                        version = Ring.version t.ring;
-                        tenant;
-                        deadline;
-                      }
-                  in
-                  let resp =
-                    Rpc.call_timeout t.rpc
-                      ~dst:(t.peer next.Ring.owner.Ring.node)
-                      ~size:(Messages.request_size req) ~timeout:0.5 req
-                  in
-                  (match resp with
-                  | Some (Messages.Ok _) -> ()
-                  | Some (Messages.Nack Messages.Deadline_exceeded) ->
-                      ok := false;
-                      deadline_hit := true
-                  | _ -> ok := false)
-            end
-          in
-          (* Apply locally and propagate down-chain concurrently; the reply
-             (backward ack) leaves only when both are done. *)
-          Sim.fork_join [ apply; forward ];
-          dirty_decr vs key;
-          if !ok then begin
-            if is_tail && vs.fence_active then Hashtbl.replace vs.copy_fence key ();
-            if is_tail then (
-              match value with
-              | Some v -> forward_copies t ~key ~value:v
-              | None -> ());
-            Messages.Ok { tokens = tokens_for ~tenant t vs }
-          end
-          else begin
-            t.nacks <- t.nacks + 1;
-            if !deadline_hit then Messages.Nack Messages.Deadline_exceeded
-            else Messages.Nack Messages.Not_serving
-          end)
-
 (* --- read-repair (data integrity): a checksum-corrupt local entry is
-   healed transparently from the CRRS chain. The [Repair_get] fetch is
+   healed transparently from the replica set. The [Repair_get] fetch is
    served strictly locally by the peer (no recursive repair, so two rotted
-   replicas cannot ping-pong); the chain is tried tail first — the tail
-   always holds committed data. --- *)
+   replicas cannot ping-pong); the chain is tried tail first — under CRRS
+   the tail always holds committed data, and under ABD any replica is as
+   good as another. --- *)
 
 let fetch_from_replicas t vs key =
   let chain = Ring.chain t.ring ~r:t.r key in
@@ -355,78 +287,68 @@ let read_repair t vs ~key =
       | exception Engine.Overloaded _ -> t.repair_failures <- t.repair_failures + 1);
       Some v
 
-let serve_local_read t vs ~key ~tenant ~deadline =
-  t.served_reads <- t.served_reads + 1;
-  match submit_local ~deadline t vs (Engine.Get key) with
-  | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
-  | Engine.Missing -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
-  | Engine.Done | Engine.Scrubbed _ -> Messages.Value { value = None; tokens = tokens_for ~tenant t vs }
-  | Engine.Corrupt -> (
-      (* Never serve (or silently drop) a rotted entry: heal it from the
-         chain and answer with the verified replica value, or NACK. *)
-      match read_repair t vs ~key with
-      | Some v -> Messages.Value { value = Some v; tokens = tokens_for ~tenant t vs }
-      | None ->
-          t.nacks <- t.nacks + 1;
-          Messages.Nack Messages.Not_serving)
-  | Engine.Shed ->
-      t.nacks <- t.nacks + 1;
-      Messages.Nack Messages.Deadline_exceeded
-  | Engine.Failed -> Messages.Nack Messages.Not_serving
-  | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded
+(* --- the seam: the server_env closure record handed to the protocol --- *)
 
-let ship_to_tail t ~key ~tenant ~deadline (te : Ring.entry) =
-  t.shipped_reads <- t.shipped_reads + 1;
-  if Trace.on () then
-    Trace.instant ~track:t.track ~cat:"node" "get.ship"
-      ~args:[ ("key", Trace.Str key); ("tail", Trace.Int te.Ring.owner.Ring.node) ];
-  let req = Messages.Get { vn = te.Ring.owner; key; shipped = true; tenant; deadline } in
-  let resp =
-    Rpc.call_timeout t.rpc
-      ~dst:(t.peer te.Ring.owner.Ring.node)
-      ~size:(Messages.request_size req) ~timeout:0.5 req
-  in
-  match resp with Some r -> r | None -> Messages.Nack Messages.Not_serving
+let make_env t : Replication.server_env =
+  let module R = Replication in
+  {
+    R.sv_node = t.id;
+    sv_r = t.r;
+    sv_ring = t.ring;
+    sv_read_mode = t.read_mode;
+    sv_track = t.track;
+    sv_has_vnode = (fun ~vidx -> Hashtbl.mem t.vnodes vidx);
+    sv_submit = (fun ~deadline ~vidx cmd -> submit_local ~deadline t (vnode t vidx) cmd);
+    sv_tokens = (fun ~tenant ~vidx -> tokens_for ~tenant t (vnode t vidx));
+    sv_call =
+      (fun ~dst ~timeout req ->
+        Rpc.call_timeout t.rpc ~dst:(t.peer dst.Ring.node)
+          ~size:(Messages.request_size req) ~timeout req);
+    sv_is_dirty = (fun ~vidx ~key -> is_dirty (vnode t vidx) key);
+    sv_dirty_incr = (fun ~vidx ~key -> dirty_incr (vnode t vidx) key);
+    sv_dirty_decr = (fun ~vidx ~key -> dirty_decr (vnode t vidx) key);
+    sv_taint = (fun ~vidx ~key -> Hashtbl.replace (vnode t vidx).taint key ());
+    sv_untaint = (fun ~vidx ~key -> Hashtbl.remove (vnode t vidx).taint key);
+    sv_is_tainted = (fun ~vidx ~key -> Hashtbl.mem (vnode t vidx).taint key);
+    sv_fence_active = (fun ~vidx -> fence_active (vnode t vidx));
+    sv_fence_mark = (fun ~vidx ~key -> Hashtbl.replace (vnode t vidx).copy_fence key ());
+    sv_fence_holds = (fun ~vidx ~key -> Hashtbl.mem (vnode t vidx).copy_fence key);
+    sv_tag_get = (fun ~vidx ~key -> Hashtbl.find_opt (vnode t vidx).tags key);
+    sv_tag_set = (fun ~vidx ~key ~tag -> Hashtbl.replace (vnode t vidx).tags key tag);
+    sv_on_commit = (fun ~key ~value -> forward_copies t ~key ~value);
+    sv_repair = (fun ~vidx ~key -> read_repair t (vnode t vidx) ~key);
+    sv_note =
+      (function
+      | R.S_nack -> t.nacks <- t.nacks + 1
+      | R.S_shipped_read -> t.shipped_reads <- t.shipped_reads + 1
+      | R.S_served_read -> t.served_reads <- t.served_reads + 1
+      | R.S_version_query -> t.version_queries <- t.version_queries + 1
+      | R.S_write_apply -> t.write_applies <- t.write_applies + 1);
+  }
 
-(* CRAQ-style resolution (§3.7's alternative): ask the tail whether the
-   key's latest write has committed; if it has, the local copy is the
-   committed one and can be served without moving the value across the
-   fabric. A still-dirty tail falls back to shipping. *)
-let resolve_by_version t vs ~key ~tenant ~deadline (te : Ring.entry) =
-  t.version_queries <- t.version_queries + 1;
-  let req = Messages.Version_query { vn = te.Ring.owner; key } in
-  match
-    Rpc.call_timeout t.rpc
-      ~dst:(t.peer te.Ring.owner.Ring.node)
-      ~size:(Messages.request_size req) ~timeout:0.5 req
-  with
-  | Some (Messages.Version { dirty = false; _ }) -> serve_local_read t vs ~key ~tenant ~deadline
-  | Some _ -> ship_to_tail t ~key ~tenant ~deadline te
-  | None -> Messages.Nack Messages.Not_serving
+let renv t =
+  match t.renv with
+  | Some e -> e
+  | None ->
+      let e = make_env t in
+      t.renv <- Some e;
+      e
 
-let handle_get t ~vn ~key ~shipped ~tenant ~deadline =
-  match vnode_opt t vn.Ring.vidx with
-  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
-  | Some vs ->
-      let chain = Ring.chain t.ring ~r:t.r key in
-      let tail_entry = match List.rev chain with e :: _ -> Some e | [] -> None in
-      let am_tail = match tail_entry with Some e -> e.Ring.owner = vn | None -> false in
-      if (not shipped) && is_dirty vs key && not am_tail then begin
-        match tail_entry with
-        | None -> Messages.Nack Messages.Not_serving
-        | Some te -> (
-            match t.read_mode with
-            | Ship -> ship_to_tail t ~key ~tenant ~deadline te
-            | Version_query -> resolve_by_version t vs ~key ~tenant ~deadline te)
-      end
-      else serve_local_read t vs ~key ~tenant ~deadline
+(* Exposed for the cluster's replication sanitizer: is a write to [key]
+   orphaned (partially applied) at this vnode? *)
+let is_key_tainted t ~vidx key =
+  match vnode_opt t vidx with None -> false | Some vs -> Hashtbl.mem vs.taint key
 
-let handle_copy_put t ~vn ~key ~value =
+(* --- generic handlers (protocol-independent) --- *)
+
+let handle_copy_put t ~(vn : Ring.vnode) ~key ~value ~fresh =
   match vnode_opt t vn.Ring.vidx with
   | None -> Messages.Nack Messages.Not_serving
   | Some vs ->
-      if vs.fence_active && Hashtbl.mem vs.copy_fence key then
-        (* A forwarded write already delivered a newer value. *)
+      let module P = (val t.repl : Replication.S) in
+      if not (P.accept_copy (renv t) ~vidx:vn.Ring.vidx ~key ~value ~fresh) then
+        (* The local copy is already newer (a fenced chain write or a
+           higher ABD tag): acknowledge without writing. *)
         Messages.Ok { tokens = tokens_for t vs }
       else begin
         match submit_local t vs (Engine.Put (key, value)) with
@@ -439,39 +361,44 @@ let handle_copy_put t ~vn ~key ~value =
 (* Read-repair fetch: serve strictly from the local store. A local
    checksum failure answers Not_serving — the asker moves on to the next
    chain member; no recursive repair. *)
-let handle_repair_get t ~vn ~key =
+let handle_repair_get t ~(vn : Ring.vnode) ~key =
   match vnode_opt t vn.Ring.vidx with
   | None -> Messages.Nack Messages.Not_serving
+  | Some vs when fence_active vs && not (Hashtbl.mem vs.copy_fence key) -> (
+      (* Mid-COPY and the key has not been confirmed current by a chain
+         write: this replica may hold a pre-expulsion leftover, which
+         must never become a repair source. *)
+      Messages.Nack Messages.Not_serving)
   | Some vs -> (
       match submit_local t vs (Engine.Get key) with
-      | Engine.Found v -> Messages.Value { value = Some v; tokens = tokens_for t vs }
+      | Engine.Found v ->
+          t.repair_serves <- t.repair_serves + 1;
+          Messages.Value { value = Some v; tokens = tokens_for t vs }
       | Engine.Missing | Engine.Done -> Messages.Value { value = None; tokens = tokens_for t vs }
       | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ | Engine.Shed ->
           Messages.Nack Messages.Not_serving
       | exception Engine.Overloaded _ -> Messages.Nack Messages.Overloaded)
 
-let handle_version_query t ~vn ~key =
-  match vnode_opt t vn.Ring.vidx with
-  | None -> Messages.Nack (Messages.Stale_view (Ring.version t.ring))
-  | Some vs -> Messages.Version { dirty = is_dirty vs key; tokens = tokens_for t vs }
-
 let dispatch t (req : Messages.request) : Messages.response =
-  match req with
-  | Messages.Get { vn; key; shipped; tenant; deadline } ->
-      handle_get t ~vn ~key ~shipped ~tenant ~deadline
-  | Messages.Write { vn; key; value; hop; version; tenant; deadline } ->
-      handle_write t ~vn ~key ~value ~hop ~version ~tenant ~deadline
-  | Messages.Version_query { vn; key } -> handle_version_query t ~vn ~key
-  | Messages.Copy_put { vn; key; value } -> handle_copy_put t ~vn ~key ~value
-  | Messages.Repair_get { vn; key } -> handle_repair_get t ~vn ~key
-  | Messages.Ring_update snap ->
-      install_ring t snap;
-      Messages.Ok { tokens = 0 }
-  | Messages.Ping { node = _ } ->
-      (* Heartbeat replies piggyback the node's smoothed service time —
-         the gray-failure telemetry the control plane scores (§3.8-adjacent
-         escalation ladder). *)
-      Messages.Pong { tokens = 0; svc_us = t.svc_ewma_us }
+  let module P = (val t.repl : Replication.S) in
+  match P.handle (renv t) req with
+  | Some resp -> resp
+  | None -> (
+      match req with
+      | Messages.Copy_put { vn; key; value; fresh } -> handle_copy_put t ~vn ~key ~value ~fresh
+      | Messages.Repair_get { vn; key } -> handle_repair_get t ~vn ~key
+      | Messages.Ring_update snap ->
+          install_ring t snap;
+          Messages.Ok { tokens = 0 }
+      | Messages.Ping { node = _ } ->
+          (* Heartbeat replies piggyback the node's smoothed service time —
+             the gray-failure telemetry the control plane scores
+             (§3.8-adjacent escalation ladder). *)
+          Messages.Pong { tokens = 0; svc_us = t.svc_ewma_us }
+      | Messages.Get _ | Messages.Write _ | Messages.Version_query _
+      | Messages.Tag_read _ | Messages.Tag_write _ ->
+          (* A data request the selected protocol declined to handle. *)
+          Messages.Nack Messages.Not_serving)
 
 let handle t (req : Messages.request) : Messages.response =
   charge_rx t;
@@ -487,6 +414,8 @@ let handle t (req : Messages.request) : Messages.response =
       | Messages.Get _ -> "get"
       | Messages.Write _ -> "write"
       | Messages.Version_query _ -> "version_query"
+      | Messages.Tag_read _ -> "tag_read"
+      | Messages.Tag_write _ -> "tag_write"
       | Messages.Copy_put _ -> "copy_put"
       | Messages.Repair_get _ -> "repair_get"
       | Messages.Ring_update _ -> "ring_update"
@@ -497,6 +426,9 @@ let handle t (req : Messages.request) : Messages.response =
       | Messages.Get { key; shipped; _ } ->
           [ ("key", Trace.Str key); ("shipped", Trace.Bool shipped) ]
       | Messages.Write { key; hop; _ } -> [ ("key", Trace.Str key); ("hop", Trace.Int hop) ]
+      | Messages.Tag_read { key; _ } -> [ ("key", Trace.Str key) ]
+      | Messages.Tag_write { key; tag = (ts, _); _ } ->
+          [ ("key", Trace.Str key); ("ts", Trace.Int ts) ]
       | Messages.Version_query { key; _ }
       | Messages.Copy_put { key; _ }
       | Messages.Repair_get { key; _ } ->
@@ -522,12 +454,14 @@ let recover_network t =
 
 let is_up t = t.up
 
-(* Crash-restart (§3.8.2): the DRAM side of the node — dirty marks, copy
-   fences, forwarding rules — died with the power; the flash side (the
-   circular logs) survived. Replay every partition's key log through
-   [Store.recover] to rebuild the DRAM segment tables, wipe the volatile
-   protocol state, and bring the NIC back up. The control plane then
-   re-admits the node via the §3.8.1 join protocol, which re-copies
+(* Crash-restart (§3.8.2): the DRAM side of the node — dirty marks, taint
+   marks, the ABD tag gate, copy fences, forwarding rules — died with the
+   power; the flash side (the circular logs) survived. Replay every
+   partition's key log through [Store.recover] to rebuild the DRAM segment
+   tables, wipe the volatile protocol state, and bring the NIC back up.
+   ABD tags live inside the logged values, so the replay restores them for
+   free; the tag gate refills lazily from the store. The control plane
+   then re-admits the node via the §3.8.1 join protocol, which re-copies
    anything written while it was gone. Blocks for the log-replay I/O time,
    so callers run it from a spawned process. *)
 let restart t =
@@ -537,8 +471,10 @@ let restart t =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.iter (fun (_, vs) ->
          Hashtbl.reset vs.dirty;
+         Hashtbl.reset vs.taint;
+         Hashtbl.reset vs.tags;
          Hashtbl.reset vs.copy_fence;
-         vs.fence_active <- false);
+         vs.fence_depth <- 0);
   t.copy_forwards <- [];
   Array.iter (fun p -> Store.recover (Engine.store p)) (Engine.partitions t.engine);
   recover_network t
@@ -561,7 +497,7 @@ let copy_range t ~vidx ~lo ~hi ~(dst : Ring.vnode) =
         Sim.Resource.acquire window;
         incr pending;
         Sim.spawn (fun () ->
-            let req = Messages.Copy_put { vn = dst; key; value } in
+            let req = Messages.Copy_put { vn = dst; key; value; fresh = false } in
             (match
                Rpc.call_timeout t.rpc ~dst:(t.peer dst.Ring.node) ~size:(Messages.request_size req)
                  ~timeout:1.0 req
@@ -630,8 +566,10 @@ type stats = {
   n_shipped_reads : int;
   n_served_reads : int;
   n_version_queries : int;
+  n_write_applies : int;
   n_read_repairs : int;
   n_repair_failures : int;
+  n_repair_serves : int;
   n_scrubbed_segments : int;
   n_scrub_repairs : int;
 }
@@ -642,8 +580,10 @@ let stats t =
     n_shipped_reads = t.shipped_reads;
     n_served_reads = t.served_reads;
     n_version_queries = t.version_queries;
+    n_write_applies = t.write_applies;
     n_read_repairs = t.read_repairs;
     n_repair_failures = t.repair_failures;
+    n_repair_serves = t.repair_serves;
     n_scrubbed_segments = t.scrubbed_segments;
     n_scrub_repairs = t.scrub_repairs;
   }

@@ -1,27 +1,26 @@
-(** A LEED back-end node (paper §3.7, §3.8): one SmartNIC JBOF running the
-    I/O engine, its virtual nodes, and CRRS chain replication.
+(** A LEED back-end node (paper §3.7, §3.8): one SmartNIC JBOF running
+    the I/O engine, its virtual nodes, and the host side of the selected
+    replication protocol.
 
-    Writes enter at the chain head and propagate forward; every replica
-    sets the key's dirty mark, applies the write, and forwards; the tail
-    is the commitment point and the blocking RPC return path is the
-    backward acknowledgment that clears dirty marks. Reads are served by
-    any replica whose dirty mark is clear; a dirty replica ships the read
-    to the tail. The hop counter of a write is validated against the
-    receiver's own ring view; mismatches NACK back to the client. *)
+    The protocol (CRRS chain replication, ABD quorums, ...) lives behind
+    the {!Replication} seam: this module owns the engine, the fabric
+    endpoint, the ring view and the volatile per-vnode protocol state,
+    and hands the protocol a [Replication.server_env] of closures over
+    them. Protocol wire traffic dispatches through the seam; COPY,
+    integrity repair, membership updates and heartbeats are generic. *)
 
 type vnode_state
 
-(** How a dirty replica resolves a read (§3.7): [Ship] the whole request
-    to the tail (CRRS, the paper's choice), or [Version_query] the tail
-    CRAQ-style and serve locally when the write has committed — the
-    alternative the paper measured as generating more cross-JBOF
-    traffic. *)
-type read_mode = Ship | Version_query
+(** Re-export of {!Replication.read_mode}: how a dirty CRRS replica
+    resolves a read (§3.7) — [Ship] to the tail, or [Version_query] it
+    CRAQ-style and serve locally when the write has committed. *)
+type read_mode = Replication.read_mode = Ship | Version_query
 
 type t
 
 val create :
   ?read_mode:read_mode ->
+  ?proto:Replication.proto ->
   id:int ->
   platform:Leed_platform.Platform.t ->
   fabric:(Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric ->
@@ -29,6 +28,7 @@ val create :
   r:int ->
   unit ->
   t
+(** [proto] selects the replication protocol (default [Crrs]). *)
 
 val id : t -> int
 (** The node's cluster-unique id. *)
@@ -46,6 +46,9 @@ val rpc : t -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t
 val ring : t -> Ring.t
 (** The node's local ring view (refreshed by control-plane broadcasts). *)
 
+val proto : t -> Replication.proto
+(** The replication protocol this node hosts. *)
+
 val set_peer_resolver : t -> (int -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.t) -> unit
 
 val vnode : t -> int -> vnode_state
@@ -54,6 +57,11 @@ val install_ring : t -> Ring.snapshot -> unit
 val is_key_dirty : t -> vidx:int -> string -> bool
 (** Is a write to the key still in flight (dirty mark set) through the
     given vnode? Used by the cluster's replication sanitizer. *)
+
+val is_key_tainted : t -> vidx:int -> string -> bool
+(** Is the key's local copy possibly ahead of the commit point (a chain
+    write applied here but failed down-chain)? Tainted keys read through
+    the tail; the cluster's replication sanitizer skips them. *)
 
 val handle : t -> Messages.request -> Messages.response
 (** The request dispatcher (exposed for tests). *)
@@ -87,11 +95,12 @@ val svc_ewma_us : t -> float
 
 val restart : t -> unit
 (** Crash-restart recovery (§3.8.2): wipe the volatile protocol state
-    (dirty marks, copy fences, forwarding rules), replay every
-    partition's key log through [Store.recover] to rebuild the DRAM
-    segment tables, and bring the NIC back up. Blocks for the log-replay
-    I/O, so run it from a spawned process. The control plane re-admits
-    the node afterwards ({!Control.restart}). *)
+    (dirty marks, taint marks, the ABD tag gate, copy fences, forwarding
+    rules), replay every partition's key log through [Store.recover] to
+    rebuild the DRAM segment tables, and bring the NIC back up. ABD tags
+    live inside the logged values, so the replay restores them for free.
+    Blocks for the log-replay I/O, so run it from a spawned process. The
+    control plane re-admits the node afterwards ({!Control.restart}). *)
 
 (** {1 COPY support (§3.8.1)} *)
 
@@ -101,12 +110,18 @@ val begin_fence : t -> int -> unit
     them so stale copies are dropped. *)
 
 val end_fence : t -> int -> unit
+(** Fences nest: a vnode can be the destination of several overlapping arc
+    COPYs, so the confirmed-current marks are only dropped when the last
+    fence lifts. *)
 
 val add_copy_forward : t -> lo:int -> hi:int -> dst:Ring.vnode -> unit
 (** While active, writes this node commits in (lo, hi] are also forwarded
     to [dst] (the joining/repairing vnode). *)
 
-val remove_copy_forward : t -> dst:Ring.vnode -> unit
+val remove_copy_forward : t -> lo:int -> hi:int -> dst:Ring.vnode -> unit
+(** Detach exactly the [(lo, hi] -> dst] forward registered by the matching
+    [add_copy_forward]; other arcs forwarding to the same destination stay
+    attached. *)
 
 val copy_range : t -> vidx:int -> lo:int -> hi:int -> dst:Ring.vnode -> int
 (** Stream every live pair of [vidx] whose key falls in (lo, hi] to [dst]
@@ -126,8 +141,10 @@ type stats = {
   n_shipped_reads : int;
   n_served_reads : int;
   n_version_queries : int;
+  n_write_applies : int;     (** replica writes applied locally *)
   n_read_repairs : int;      (** corrupt entries healed from a replica *)
   n_repair_failures : int;   (** repairs no replica could supply *)
+  n_repair_serves : int;     (** [Repair_get] fetches served to peers *)
   n_scrubbed_segments : int;
   n_scrub_repairs : int;     (** rotted values the scrubber healed *)
 }

@@ -1,0 +1,202 @@
+(** The replication seam: per-vnode replication protocols as
+    first-class modules.
+
+    A protocol implements {!S}: the client-side read/write paths, the
+    server-side request handlers, the storage framing of values, and the
+    COPY-acceptance rule. The host {!Node}/{!Client} never hard-codes a
+    protocol; they build a {!server_env}/{!client_env} closure record
+    over their internals and dispatch through the module selected by
+    {!proto} (see [Abd.protocol]). CRRS (LEED §3.7) is the first
+    implementation; ABD quorum replication the second. *)
+
+(** The selectable replication protocols. *)
+type proto =
+  | Crrs  (** LEED §3.7 chain replication with replica reads *)
+  | Abd  (** multi-writer ABD quorum register (majority read/write) *)
+
+val proto_to_string : proto -> string
+(** ["crrs"] / ["abd"] — the [--proto] spelling. *)
+
+val proto_of_string : string -> proto
+(** Inverse of {!proto_to_string}; raises [Invalid_argument] on any
+    other string. *)
+
+val all_protos : proto list
+(** Every protocol, in comparison-bench order. *)
+
+(** How a dirty CRRS replica resolves a read (§3.7): [Ship] forwards the
+    whole request to the tail (the paper's choice); [Version_query] asks
+    the tail whether the write committed and serves locally if so (the
+    CRAQ-style alternative). *)
+type read_mode = Ship | Version_query
+
+val quorum : int -> int
+(** [quorum n] is the majority size over [n] replicas, [n/2 + 1]. *)
+
+(** Tagged-value framing: ABD's (logical timestamp, writer id) tags are
+    encoded into the stored bytes themselves so they survive a
+    crash-restart's log replay and ride COPY streams unchanged. *)
+module Tag : sig
+  type t = { ts : int; writer : int }
+
+  val zero : t
+  (** The tag of never-written (or pre-protocol raw) data. *)
+
+  val pair : t -> int * int
+  (** To the wire representation used in {!Messages}. *)
+
+  val of_pair : int * int -> t
+  (** From the wire representation. *)
+
+  val compare : t -> t -> int
+  (** Total order: by [ts], then by [writer] (the multi-writer
+      tie-break). *)
+
+  val header_len : int
+  (** Frame header size in bytes. *)
+
+  val frame : tag:t -> bytes option -> bytes
+  (** [frame ~tag payload] builds the stored representation;
+      [payload = None] builds a tagged tombstone (ABD DEL). *)
+
+  val unframe : bytes -> (t * bytes option) option
+  (** [Some (tag, payload)] for a well-formed frame ([payload = None]
+      for a tombstone); [None] for raw unframed bytes, which callers
+      treat as tag-{!zero} data. *)
+end
+
+(** Server-side statistics events a protocol reports to its host. *)
+type server_stat =
+  | S_nack  (** request refused (stale view, failure, shed) *)
+  | S_shipped_read  (** CRRS dirty read forwarded to the tail *)
+  | S_served_read  (** read served from the local store *)
+  | S_version_query  (** CRAQ-style commit probe sent *)
+  | S_write_apply  (** replica write applied to the local engine *)
+
+(** The host-node surface a server-side protocol runs against. Every
+    field is a closure over the hosting [Node]; protocol code performs
+    no side effect that is not named here. *)
+type server_env = {
+  sv_node : int;  (** hosting node id *)
+  sv_r : int;  (** replication factor *)
+  sv_ring : Ring.t;  (** the node's local ring view *)
+  sv_read_mode : read_mode;
+  sv_track : Leed_trace.Trace.track;
+  sv_has_vnode : vidx:int -> bool;
+  sv_submit : deadline:float -> vidx:int -> Engine.cmd -> Engine.outcome;
+      (** foreground engine submission (deadline [0.] = none); routed
+          through fail-slow inflation and service-time telemetry *)
+  sv_tokens : tenant:int -> vidx:int -> int;
+      (** available token balance piggybacked on responses (§3.5) *)
+  sv_call :
+    dst:Ring.vnode -> timeout:float -> Messages.request -> Messages.response option;
+      (** one bounded RPC to a peer vnode's node *)
+  sv_is_dirty : vidx:int -> key:string -> bool;
+  sv_dirty_incr : vidx:int -> key:string -> unit;
+  sv_dirty_decr : vidx:int -> key:string -> unit;
+      (** CRRS dirty map: in-flight (uncommitted) writes per key *)
+  sv_taint : vidx:int -> key:string -> unit;
+  sv_untaint : vidx:int -> key:string -> unit;
+  sv_is_tainted : vidx:int -> key:string -> bool;
+      (** taint marks for partial writes: applied locally but failed
+          down-chain, so the local copy may be ahead of the commit point
+          and must read through the tail until a write lands clean *)
+  sv_fence_active : vidx:int -> bool;
+  sv_fence_mark : vidx:int -> key:string -> unit;
+  sv_fence_holds : vidx:int -> key:string -> bool;
+      (** COPY fencing (§3.8.1) *)
+  sv_tag_get : vidx:int -> key:string -> (int * int) option;
+  sv_tag_set : vidx:int -> key:string -> tag:int * int -> unit;
+      (** ABD write gate: highest accepted tag per key, cached in DRAM
+          so accept decisions are atomic wrt other handlers; wiped on
+          restart and lazily rebuilt from the framed store values *)
+  sv_on_commit : key:string -> value:bytes -> unit;
+      (** tail commit hook (COPY forwarding of fresh writes) *)
+  sv_repair : vidx:int -> key:string -> bytes option;
+      (** integrity read-repair for a checksum-corrupt local entry *)
+  sv_note : server_stat -> unit;
+}
+
+(** Client-side statistics events a protocol reports to its host. *)
+type client_stat =
+  | C_nack  (** an attempt was refused and will be retried *)
+  | C_quorum_round  (** one quorum round-trip executed (ABD) *)
+  | C_writeback  (** an ABD read needed a repair write-back round *)
+
+(** The client-library surface a client-side protocol runs against. *)
+type client_env = {
+  cl_writer : int;  (** unique writer id (ABD tag tie-break) *)
+  cl_r : int;
+  cl_tenant : int;
+  cl_ring : Ring.t;
+  cl_issue : Ring.entry -> Messages.request -> Messages.response option;
+      (** one RPC with flow-control admission, adaptive timeout and
+          latency accounting *)
+  cl_read_target : Ring.entry list -> Ring.entry option;
+      (** CRRS read spreading: best replica by (slow level, tokens) *)
+  cl_hedged_get :
+    Ring.entry list ->
+    Ring.entry ->
+    key:string ->
+    deadline:float ->
+    Messages.response option;
+      (** hedged GET toward the chosen primary (first response wins) *)
+  cl_fail_deadline : key:string -> unit;
+      (** terminal deadline shed; raises [Client.Unavailable] *)
+  cl_note : client_stat -> unit;
+}
+
+(** A replication protocol. *)
+module type S = sig
+  val proto : proto
+  (** Which selector this module implements. *)
+
+  val handle : server_env -> Messages.request -> Messages.response option
+  (** Serve one protocol request; [None] means the request is not part
+      of this protocol's wire vocabulary and the host node falls through
+      to its generic handlers (COPY, repair, membership, heartbeat). *)
+
+  val read : client_env -> key:string -> deadline:float -> bytes option option
+  (** One client-side GET attempt. [Some v] is a completed read
+      ([v = None]: key absent), [None] asks the caller to refresh its
+      ring view, back off and retry. *)
+
+  val write :
+    client_env -> key:string -> value:bytes option -> deadline:float -> unit option
+  (** One client-side PUT/DEL attempt ([value = None] deletes); [None]
+      as in {!read}. *)
+
+  val payload_of_stored : bytes -> bytes option
+  (** Strip the protocol's storage framing off raw engine bytes:
+      [Some payload] for live data, [None] for a tombstone. *)
+
+  val accept_copy :
+    server_env -> vidx:int -> key:string -> value:bytes -> fresh:bool -> bool
+  (** Should an incoming COPY value overwrite the local one? [fresh]
+      flags a forwarded concurrent write (as opposed to a bulk-stream
+      entry). CRRS consults the COPY fence — a fresh value marks it, a
+      bulk value is dropped once the fence holds the key; ABD compares
+      tags, which makes COPY idempotent and order-free. *)
+end
+
+(** Outcome of one local engine read with integrity repair — the shared
+    helper protocols build their read handlers on. *)
+type local_read =
+  | L_found of bytes
+  | L_missing
+  | L_nack of Messages.nack_reason
+
+val local_get : server_env -> vidx:int -> key:string -> deadline:float -> local_read
+(** One engine [Get] through [sv_submit]; checksum-corrupt entries are
+    healed via [sv_repair] before answering, and engine overload /
+    deadline shed map to the matching NACK reasons. *)
+
+module Crrs_protocol : S
+(** LEED §3.7 chain replication, re-expressed against the seam: head-to
+    -tail forwarding with dirty marks, replica reads, tail shipping (or
+    CRAQ version probes), COPY fencing — plus taint marks that route
+    reads of partially written keys through the tail, keeping the chain
+    linearizable when a mid-chain hop fails after the head applied. *)
+
+val protocol_name : (module S) -> string
+(** The [--proto] spelling of a packed protocol. *)

@@ -475,6 +475,9 @@ module Chaos = struct
     seed : int;
     nnodes : int;
     r : int;
+    proto : Replication.proto;
+        (* replication protocol under test: both must pass the same
+           schedules with the same invariants *)
     nclients : int;
     nkeys : int;
     object_size : int;
@@ -510,6 +513,7 @@ module Chaos = struct
       seed = 42;
       nnodes = 4;
       r = 3;
+      proto = Replication.Crrs;
       nclients = 4;
       nkeys = 192;
       object_size = 256;
@@ -529,6 +533,7 @@ module Chaos = struct
 
   type report = {
     schedule : string;
+    proto : string;
     ops : int;
     reads : int;
     writes : int;
@@ -555,6 +560,8 @@ module Chaos = struct
     verify_bad : int;
     get_p99 : float;
     get_p999 : float;
+    put_p99 : float;
+    put_p999 : float;
     hedges : int;
     hedge_wins : int;
     sheds : int;
@@ -563,6 +570,20 @@ module Chaos = struct
         (* seconds from the first Fail_slow application to the first
            slow-ladder event the control plane logged; negative when
            either never happened *)
+    write_applies : int;
+        (* replica write applications across all nodes: divided by the
+           acknowledged writes this is the per-write hop count (chain
+           depth for CRRS, replied replicas for ABD) *)
+    quorum_rounds : int; (* ABD client quorum round-trips; 0 under CRRS *)
+    writebacks : int; (* ABD read repair write-back rounds; 0 under CRRS *)
+    lin_checked_keys : int;
+        (* keys whose full operation history the Wing–Gong checker
+           searched *)
+    lin_violations : int; (* keys with no legal linearization — must be 0 *)
+    lin_detail : string; (* first violation's explanation ("" when none) *)
+    failed_invariants : string list;
+        (* names of end-of-run invariants that did not hold, in check
+           order; [ok] is their conjunction *)
     ok : bool;
     digest : string;
     state_digest : string;
@@ -607,6 +628,7 @@ module Chaos = struct
       Cluster.default_config with
       Cluster.nnodes = cfg.nnodes;
       r = cfg.r;
+      proto = cfg.proto;
       platform = scaled_platform cfg;
       heartbeat_period = cfg.heartbeat_period;
       miss_limit = cfg.miss_limit;
@@ -653,19 +675,30 @@ module Chaos = struct
            loss. *)
         let attempted = Array.make cfg.nkeys 0 in
         let acked = Array.make cfg.nkeys 0 in
+        (* Every completed client operation lands in the history
+           recorder; the Wing–Gong checker judges it per key after the
+           sweep (the sixth invariant). *)
+        let hist = History.create () in
+        let record_op ~key ~start kind outcome =
+          History.record hist ~key { History.start; finish = Sim.now (); kind; outcome }
+        in
         (* Preload every key at sequence 0 before any fault arms. *)
         List.iteri
           (fun i c ->
             if i = 0 then
               for k = 0 to cfg.nkeys - 1 do
-                Client.put c (key_of k) (encode ~size:cfg.object_size k 0)
+                let t0 = Sim.now () in
+                Client.put c (key_of k) (encode ~size:cfg.object_size k 0);
+                record_op ~key:(key_of k) ~start:t0 (History.Write (Some 0)) History.Ok
               done)
           clients;
         let ops = ref 0 and reads = ref 0 and writes = ref 0 in
         let failed = ref 0 and null_reads = ref 0 and corrupt = ref 0 in
         (* Every GET's client-observed latency, including failed ones
-           (their elapsed time is exactly the tail the SLO cares about). *)
+           (their elapsed time is exactly the tail the SLO cares about);
+           PUTs get the same treatment for the protocol comparison. *)
         let get_hist = Leed_stats.Histogram.create () in
+        let put_hist = Leed_stats.Histogram.create () in
         let last_ok = ref (Sim.now ()) and max_gap = ref 0. in
         let success () =
           let now = Sim.now () in
@@ -701,29 +734,53 @@ module Chaos = struct
             if Rng.float wrng < cfg.write_ratio then begin
               let seq = attempted.(k) + 1 in
               attempted.(k) <- seq;
+              let t0 = Sim.now () in
+              let lat () = Leed_stats.Histogram.record put_hist (Sim.now () -. t0) in
               match Client.put c (key_of k) (encode ~size:cfg.object_size k seq) with
               | () ->
+                  lat ();
                   if seq > acked.(k) then acked.(k) <- seq;
+                  record_op ~key:(key_of k) ~start:t0 (History.Write (Some seq)) History.Ok;
                   incr writes;
                   success ()
-              | exception Client.Unavailable _ -> incr failed
+              | exception Client.Unavailable _ ->
+                  lat ();
+                  (* ambiguous: the write may still have taken effect —
+                     the checker explores both branches *)
+                  record_op ~key:(key_of k) ~start:t0 (History.Write (Some seq)) History.Failed;
+                  incr failed
             end
             else begin
+              (* A quarter of reads leave the worker's own shard: writes
+                 stay single-owner (the ledger depends on it), but
+                 cross-client read concurrency is what gives the
+                 linearizability oracle teeth. [attempted.(k)] is set
+                 before the owner issues, and only ever grows, so the
+                 bound below cannot race. *)
+              let k = if Rng.float wrng < 0.25 then Rng.int wrng cfg.nkeys else k in
               let t0 = Sim.now () in
               let record () = Leed_stats.Histogram.record get_hist (Sim.now () -. t0) in
               match Client.get c (key_of k) with
               | Some v ->
                   record ();
                   (match decode v with
-                  | Some (i, s) when i = k && s <= attempted.(k) -> ()
+                  | Some (i, s) when i = k && s <= attempted.(k) ->
+                      record_op ~key:(key_of k) ~start:t0 (History.Read (Some s)) History.Ok
                   | _ -> incr corrupt);
                   incr reads;
                   success ()
               | None ->
                   (* The key was preloaded: a miss means the serving
-                     replica lacks it (e.g. mid-repair). Counted, and
-                     the end-of-run sweep decides whether data was truly
-                     lost. *)
+                     replica lacks it (e.g. mid-repair or mid-rejoin).
+                     Counted, and the end-of-run sweep decides whether
+                     data was truly lost. Not recorded in the history:
+                     the chaos contract has always treated mid-run
+                     misses as transient unavailability (like a failed
+                     read), not as an observation of an absent value, so
+                     feeding them to the checker would turn tolerated
+                     unavailability into a linearizability verdict. The
+                     final sweep's reads — taken after the heal, when a
+                     miss genuinely means loss — do join the history. *)
                   record ();
                   incr null_reads;
                   incr reads
@@ -756,6 +813,9 @@ module Chaos = struct
         let full_chain = min cfg.r (List.length live) in
         let lost = ref 0 and stale = ref 0 and bad_chains = ref 0 in
         let vc = List.hd clients in
+        (* Raw engine bytes carry the protocol's storage framing (ABD
+           tags); strip it before decoding sequence numbers. *)
+        let module P = (val Abd.protocol cfg.proto : Replication.S) in
         (* Accumulates one "k:seq/acked" cell per key for [state_digest]. *)
         let state_buf = Buffer.create (cfg.nkeys * 16) in
         for k = 0 to cfg.nkeys - 1 do
@@ -766,16 +826,22 @@ module Chaos = struct
             List.length chain <> full_chain
             || List.length (List.sort_uniq compare chain_nodes) <> List.length chain
           then incr bad_chains;
-          (* Client-level: the acknowledged prefix must be readable. *)
+          (* Client-level: the acknowledged prefix must be readable. The
+             sweep read joins the history too — under ABD it is also
+             what synchronously writes the winning tag back to replicas
+             that missed writes, so it must precede the engine walk. *)
+          let t0 = Sim.now () in
           (match Client.get vc key with
           | Some v -> (
               match decode v with
               | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) ->
+                  record_op ~key ~start:t0 (History.Read (Some s)) History.Ok;
                   Buffer.add_string state_buf (Printf.sprintf "%d:%d/%d;" k s acked.(k))
               | Some _ | None ->
                   Buffer.add_string state_buf (Printf.sprintf "%d:garbled/%d;" k acked.(k));
                   incr lost)
           | None ->
+              record_op ~key ~start:t0 (History.Read None) History.Ok;
               Buffer.add_string state_buf (Printf.sprintf "%d:miss/%d;" k acked.(k));
               incr lost
           | exception Client.Unavailable _ ->
@@ -784,7 +850,9 @@ module Chaos = struct
           (* Per-replica durability, straight through the engines: every
              chain member must hold the key at >= the acknowledged
              sequence (a failed write may leave a newer value at the
-             head — legal — but a replica below [acked] missed a repair). *)
+             head — legal — but a replica below [acked] missed a repair.
+             ABD replicas owe the same bound because the sweep read above
+             write-back-repairs any replica the quorum outran). *)
           List.iter
             (fun (e : Ring.entry) ->
               let n = Control.node control e.Ring.owner.Ring.node in
@@ -792,7 +860,7 @@ module Chaos = struct
                 Engine.submit (Node.engine n) ~pid:e.Ring.owner.Ring.vidx (Engine.Get key)
               with
               | Engine.Found v -> (
-                  match decode v with
+                  match Option.bind (P.payload_of_stored v) decode with
                   | Some (i, s) when i = k && s >= acked.(k) && s <= attempted.(k) -> ()
                   | _ -> incr stale)
               | Engine.Missing | Engine.Done | Engine.Failed | Engine.Shed -> incr stale
@@ -800,6 +868,24 @@ module Chaos = struct
               | exception Engine.Overloaded _ -> ())
             chain
         done;
+        (* Sixth invariant: every key's operation history must have a
+           legal linearization (Wing–Gong). *)
+        let lin_checked_keys = List.length (History.keys hist) in
+        let lin_violations = ref 0 in
+        let lin_detail = ref "" in
+        List.iter
+          (fun key ->
+            match History.check_key hist key with
+            | History.Linearizable -> ()
+            | History.Violation { key; detail } ->
+                incr lin_violations;
+                if !lin_detail = "" then lin_detail := Printf.sprintf "key %s: %s" key detail)
+          (History.keys hist);
+        let write_applies =
+          List.fold_left
+            (fun acc n -> acc + (Node.stats n).Node.n_write_applies)
+            0 (Cluster.nodes cluster)
+        in
         let counters = Leed_backend.counters cluster in
         let fstats = Netsim.fabric_stats (Cluster.fabric cluster) in
         (* Detection latency: first Fail_slow application (injector log,
@@ -819,15 +905,28 @@ module Chaos = struct
         in
         let get_p99 = Leed_stats.Histogram.percentile get_hist 0.99 in
         let get_p999 = Leed_stats.Histogram.percentile get_hist 0.999 in
+        let put_p99 = Leed_stats.Histogram.percentile put_hist 0.99 in
+        let put_p999 = Leed_stats.Histogram.percentile put_hist 0.999 in
         let outage_ok = cfg.outage_bound <= 0. || !max_gap <= cfg.outage_bound in
-        let ok =
-          !lost = 0 && !stale = 0 && !bad_chains = 0 && !corrupt = 0 && verify_bad = 0
-          && outage_ok
+        let failed_invariants =
+          List.filter_map
+            (fun (name, failed) -> if failed then Some name else None)
+            [
+              ("lost-writes", !lost > 0);
+              ("stale-replicas", !stale > 0);
+              ("incomplete-chains", !bad_chains > 0);
+              ("corrupt-reads", !corrupt > 0);
+              ("verify-bad", verify_bad > 0);
+              ("outage-bound", not outage_ok);
+              ("linearizability", !lin_violations > 0);
+            ]
         in
+        let ok = failed_invariants = [] in
         let digest =
           digest_of_fields
             [
               string_of_int cfg.seed;
+              Replication.proto_to_string cfg.proto;
               string_of_int !ops;
               string_of_int !reads;
               string_of_int !writes;
@@ -860,6 +959,13 @@ module Chaos = struct
               string_of_int counters.Backend.sheds;
               string_of_int counters.Backend.slow_events;
               Printf.sprintf "%h" detection_latency;
+              Printf.sprintf "%h" put_p99;
+              Printf.sprintf "%h" put_p999;
+              string_of_int write_applies;
+              string_of_int counters.Backend.quorum_rounds;
+              string_of_int counters.Backend.writebacks;
+              string_of_int lin_checked_keys;
+              string_of_int !lin_violations;
             ]
         in
         let state_digest =
@@ -869,10 +975,12 @@ module Chaos = struct
               string_of_int !lost;
               string_of_int !corrupt;
               string_of_int verify_bad;
+              string_of_int !lin_violations;
             ]
         in
         {
           schedule = Schedule.to_string sched;
+          proto = Replication.proto_to_string cfg.proto;
           ops = !ops;
           reads = !reads;
           writes = !writes;
@@ -899,11 +1007,20 @@ module Chaos = struct
           verify_bad;
           get_p99;
           get_p999;
+          put_p99;
+          put_p999;
           hedges = counters.Backend.hedges;
           hedge_wins = counters.Backend.hedge_wins;
           sheds = counters.Backend.sheds;
           slow_events = counters.Backend.slow_events;
           detection_latency;
+          write_applies;
+          quorum_rounds = counters.Backend.quorum_rounds;
+          writebacks = counters.Backend.writebacks;
+          lin_checked_keys;
+          lin_violations = !lin_violations;
+          lin_detail = !lin_detail;
+          failed_invariants;
           ok;
           digest;
           state_digest;
@@ -912,6 +1029,7 @@ module Chaos = struct
   let pp_report fmt (r : report) =
     Format.fprintf fmt
       "@[<v>schedule:@,%s@,\
+       proto      %s@,\
        ops        %8d  (reads %d, writes %d, failed %d)@,\
        reads      null %d, corrupt %d@,\
        writes     lost %d (acked-write loss)@,\
@@ -923,14 +1041,21 @@ module Chaos = struct
        nvme       %d accesses@,\
        integrity  scrubbed %d segments; read-repairs %d, scrub-repairs %d, post-heal bad %d@,\
        get tail   p99 %.1fus, p99.9 %.1fus@,\
+       put tail   p99 %.1fus, p99.9 %.1fus@,\
+       replication write applies %d; quorum rounds %d, write-backs %d@,\
+       linearizability %d keys checked, %d violations%s@,\
        gray       hedges %d (wins %d), sheds %d, slow events %d, detection %.3fs@,\
        digest     %s@,\
        verdict    %s@]"
-      r.schedule r.ops r.reads r.writes r.failed_ops r.null_reads r.corrupt_reads r.lost_writes
-      r.stale_replicas r.incomplete_chains r.max_outage r.live_nodes r.joins r.leaves
-      r.failures_handled r.msgs_dropped r.msgs_delayed r.nacks r.retries r.backoff_time
+      r.schedule r.proto r.ops r.reads r.writes r.failed_ops r.null_reads r.corrupt_reads
+      r.lost_writes r.stale_replicas r.incomplete_chains r.max_outage r.live_nodes r.joins
+      r.leaves r.failures_handled r.msgs_dropped r.msgs_delayed r.nacks r.retries r.backoff_time
       r.nvme_accesses r.scrubbed_segments r.read_repairs r.scrub_repairs r.verify_bad
-      (Leed_sim.Sim.to_us r.get_p99) (Leed_sim.Sim.to_us r.get_p999) r.hedges r.hedge_wins r.sheds
-      r.slow_events r.detection_latency r.digest
-      (if r.ok then "OK" else "INVARIANT VIOLATED")
+      (Leed_sim.Sim.to_us r.get_p99) (Leed_sim.Sim.to_us r.get_p999)
+      (Leed_sim.Sim.to_us r.put_p99) (Leed_sim.Sim.to_us r.put_p999)
+      r.write_applies r.quorum_rounds r.writebacks r.lin_checked_keys r.lin_violations
+      (if r.lin_detail = "" then "" else "\n  " ^ r.lin_detail)
+      r.hedges r.hedge_wins r.sheds r.slow_events r.detection_latency r.digest
+      (if r.ok then "OK"
+       else "INVARIANT VIOLATED: " ^ String.concat ", " r.failed_invariants)
 end

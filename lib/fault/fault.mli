@@ -101,6 +101,9 @@ module Chaos : sig
     seed : int;
     nnodes : int;
     r : int;
+    proto : Leed_core.Replication.proto;
+        (** replication protocol under test (default [Crrs]); every
+            schedule must pass the same invariants under both *)
     nclients : int;
     nkeys : int;
     object_size : int;
@@ -137,6 +140,7 @@ module Chaos : sig
 
   type report = {
     schedule : string;
+    proto : string;          (** protocol the run exercised ("crrs"/"abd") *)
     ops : int;
     reads : int;
     writes : int;
@@ -163,6 +167,8 @@ module Chaos : sig
     verify_bad : int;        (** checksum failures left after the final heal — must be 0 *)
     get_p99 : float;         (** client-observed GET tail over the whole run, seconds *)
     get_p999 : float;
+    put_p99 : float;         (** client-observed PUT tail, seconds *)
+    put_p999 : float;
     hedges : int;            (** hedged GETs fired *)
     hedge_wins : int;        (** hedges whose response beat the primary *)
     sheds : int;             (** deadline sheds (client + engine) *)
@@ -170,6 +176,20 @@ module Chaos : sig
     detection_latency : float;
         (** seconds from the first [Fail_slow] application to the first
             slow-ladder event; negative when either never happened *)
+    write_applies : int;
+        (** replica write applications across all nodes; divided by the
+            acknowledged writes this is the per-write hop count (chain
+            depth under CRRS, replied replicas under ABD) *)
+    quorum_rounds : int;     (** ABD client quorum round-trips; 0 under CRRS *)
+    writebacks : int;        (** ABD read-repair write-back rounds; 0 under CRRS *)
+    lin_checked_keys : int;  (** keys the Wing–Gong checker searched *)
+    lin_violations : int;    (** keys with no legal linearization — must be 0 *)
+    lin_detail : string;     (** first violation's explanation ([""] when none) *)
+    failed_invariants : string list;
+        (** names of end-of-run invariants that did not hold, in check
+            order ([lost-writes], [stale-replicas], [incomplete-chains],
+            [corrupt-reads], [verify-bad], [outage-bound],
+            [linearizability]); [ok] is their conjunction *)
     ok : bool;               (** all invariants held *)
     digest : string;         (** hex digest — bit-identical across same-seed runs *)
     state_digest : string;

@@ -1,0 +1,1 @@
+let majority n = (n / 2) + 1

@@ -1,0 +1,2 @@
+let tag_gate : (string, int * int) Hashtbl.t = Hashtbl.create 64
+let quorum_expired deadline = Sim.now () > deadline

@@ -1,0 +1,4 @@
+(** Fixture: the replication seam interface is doc-curated (R5), so an
+    exported value without a doc comment must be flagged. *)
+
+val quorum_expired : float -> bool

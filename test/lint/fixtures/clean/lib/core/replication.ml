@@ -1,0 +1,7 @@
+(* Replication-seam counterpart of the bad tree: mutable protocol state
+   lives inside per-node records built at Sim.run time (nothing mutable
+   allocated at module init, R6), and deadline logic goes through the
+   epsilon-free helpers instead of comparing Sim.now () raw (R7). *)
+
+let majority n = (n / 2) + 1
+let quorum_expired deadline = Sim.reached deadline

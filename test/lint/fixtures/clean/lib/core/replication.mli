@@ -1,0 +1,8 @@
+(** Clean fixture for the doc-curated replication seam interface. *)
+
+val majority : int -> int
+(** Majority quorum size over [n] replicas, [n/2 + 1]. *)
+
+val quorum_expired : float -> bool
+(** Whether the virtual clock has reached the quorum deadline (through
+    [Sim.reached], never a raw [Sim.now ()] comparison). *)

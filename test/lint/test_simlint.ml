@@ -79,7 +79,12 @@ let () =
   expect_line out "R7 time inequality flagged" "lib/core/bad_timecmp.ml:1: R7";
   expect_line out "R7 time equality flagged" "lib/core/bad_timecmp.ml:2: R7";
   expect_absent out "Sim.reached not flagged" "bad_timecmp.ml:3";
-  expect_line out "exact violation count" "simlint: 16 violation(s)";
+  (* replication-seam coverage: the seam module under every structural rule *)
+  expect_line out "R3 protocol module without mli flagged" "lib/core/abd.ml:1: R3";
+  expect_line out "R5 undocumented replication value flagged" "lib/core/replication.mli:4: R5";
+  expect_line out "R6 replication toplevel tag gate flagged" "lib/core/replication.ml:1: R6";
+  expect_line out "R7 replication quorum deadline flagged" "lib/core/replication.ml:2: R7";
+  expect_line out "exact violation count" "simlint: 20 violation(s)";
   (* --- clean tree: allowlists and suppressions must hold --- *)
   let status, out = run_simlint ~dir:"fixtures/clean" [ "lib"; "bin"; "bench" ] in
   if status <> 0 then fail "clean tree: expected exit 0, got %d:\n%s" status out

@@ -186,7 +186,9 @@ let test_read_repair_heals_replica () =
          replica and answer with the verified bytes. *)
       (match
          Node.handle victim
-           (Messages.Get { vn = entry.Ring.owner; key; shipped = false; tenant = 0; deadline = 0. })
+           (Messages.Get
+              { vn = entry.Ring.owner; key; shipped = false; tenant = 0; deadline = 0.;
+                version = Ring.version (Node.ring victim) })
        with
       | Messages.Value { value = Some v; _ } ->
           Alcotest.(check bool) "repaired read returns the value" true (Bytes.equal v value)

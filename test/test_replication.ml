@@ -1,0 +1,222 @@
+(* Tests for the replication seam: tag framing, the ABD quorum protocol
+   end to end (basic ops, minority-crash availability, read write-back
+   repair of a lagging replica), and CRRS integrity read-repair's
+   tail-first fallback order when the tail is partitioned away. *)
+
+open Leed_sim
+open Leed_blockdev
+open Leed_netsim
+open Leed_core
+module R = Replication
+
+(* --- tag framing: round trip, tombstones, raw pre-protocol bytes --- *)
+
+let test_tag_frame_roundtrip () =
+  let tag = { R.Tag.ts = 42; writer = 7 } in
+  let payload = Bytes.of_string "hello, quorum" in
+  (match R.Tag.unframe (R.Tag.frame ~tag (Some payload)) with
+  | Some (t, Some p) ->
+      Alcotest.(check int) "ts survives" 42 t.R.Tag.ts;
+      Alcotest.(check int) "writer survives" 7 t.R.Tag.writer;
+      Alcotest.(check bool) "payload survives" true (Bytes.equal p payload)
+  | _ -> Alcotest.fail "framed value did not round-trip");
+  (match R.Tag.unframe (R.Tag.frame ~tag None) with
+  | Some (t, None) -> Alcotest.(check int) "tombstone keeps its tag" 42 t.R.Tag.ts
+  | _ -> Alcotest.fail "tombstone did not round-trip");
+  (* Raw bytes that never went through the protocol — including strings
+     short enough to not even hold a header — read as unframed. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "raw %S is unframed" s)
+        true
+        (R.Tag.unframe (Bytes.of_string s) = None))
+    [ ""; "x"; "hello, quorum"; String.make R.Tag.header_len 'q' ]
+
+let test_tag_order () =
+  let t a b = { R.Tag.ts = a; writer = b } in
+  Alcotest.(check bool) "ts dominates" true (R.Tag.compare (t 2 0) (t 1 9) > 0);
+  Alcotest.(check bool) "writer breaks ties" true (R.Tag.compare (t 1 2) (t 1 1) > 0);
+  Alcotest.(check bool) "zero is smallest" true (R.Tag.compare R.Tag.zero (t 1 0) < 0);
+  Alcotest.(check int) "equal tags" 0 (R.Tag.compare (t 3 4) (t 3 4))
+
+let test_proto_strings () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "proto string round-trips" true
+        (R.proto_of_string (R.proto_to_string p) = p))
+    R.all_protos;
+  Alcotest.(check bool)
+    "unknown proto rejected" true
+    (match R.proto_of_string "paxos" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- ABD end to end --- *)
+
+let abd_config =
+  {
+    Cluster.default_config with
+    Cluster.proto = R.Abd;
+    (* keep the failure detector out of the way: these tests crash nodes
+       on purpose and must not race chain rebuilds *)
+    miss_limit = 1_000_000;
+    slow_detection = false;
+  }
+
+let test_abd_basic_ops () =
+  Sim.run (fun () ->
+      let cluster = Cluster.create ~config:abd_config () in
+      let client = Cluster.client cluster in
+      let v1 = Bytes.of_string "first" and v2 = Bytes.of_string "second" in
+      Client.put client "k" v1;
+      (match Client.get client "k" with
+      | Some v -> Alcotest.(check bool) "reads v1" true (Bytes.equal v v1)
+      | None -> Alcotest.fail "k missing after put");
+      Client.put client "k" v2;
+      (match Client.get client "k" with
+      | Some v -> Alcotest.(check bool) "overwrite wins" true (Bytes.equal v v2)
+      | None -> Alcotest.fail "k missing after overwrite");
+      Alcotest.(check bool) "absent key reads None" true (Client.get client "nope" = None);
+      Client.del client "k";
+      Alcotest.(check bool) "deleted key reads None" true (Client.get client "k" = None);
+      Alcotest.(check bool)
+        "quorum rounds counted" true
+        (Client.quorum_rounds client > 0);
+      (* every node applied tagged writes through the seam *)
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            "replica applied writes" true
+            ((Node.stats n).Node.n_write_applies > 0))
+        (Cluster.nodes cluster))
+
+let test_abd_minority_crash () =
+  Sim.run (fun () ->
+      let cluster = Cluster.create ~config:abd_config () in
+      let client = Cluster.client cluster in
+      let v1 = Bytes.of_string "before-crash" and v2 = Bytes.of_string "after-crash" in
+      Client.put client "k" v1;
+      (* With nnodes = r = 3 every chain spans all three nodes: crashing
+         any one leaves a majority of two. *)
+      Cluster.crash_node cluster 0;
+      Client.put client "k" v2;
+      (match Client.get client "k" with
+      | Some v -> Alcotest.(check bool) "writes and reads ride the majority" true (Bytes.equal v v2)
+      | None -> Alcotest.fail "k lost during minority crash"))
+
+let test_abd_writeback_heals_lagging_replica () =
+  Sim.run (fun () ->
+      let cluster = Cluster.create ~config:abd_config () in
+      let client = Cluster.client cluster in
+      let key = "lagger" in
+      let v1 = Bytes.of_string "old" and v2 = Bytes.of_string "new" in
+      Client.put client key v1;
+      let control = Cluster.control cluster in
+      let chain = Ring.chain (Control.ring control) ~r:3 key in
+      let entry = List.hd chain in
+      let victim = Control.node control entry.Ring.owner.Ring.node in
+      let pid = entry.Ring.owner.Ring.vidx in
+      (* The victim's NIC goes dark across an overwrite, so it misses the
+         higher tag; flash and DRAM survive. *)
+      Node.crash victim;
+      Client.put client key v2;
+      Node.recover_network victim;
+      (* The next client read fans out to all three, sees the victim's
+         stale tag, and must write the winning value back before
+         answering. *)
+      (match Client.get client key with
+      | Some v -> Alcotest.(check bool) "read returns the quorum value" true (Bytes.equal v v2)
+      | None -> Alcotest.fail "key lost");
+      Alcotest.(check bool) "write-back counted" true (Client.writebacks client >= 1);
+      (* the victim's own store now holds the framed winning value *)
+      match Engine.submit (Node.engine victim) ~pid (Engine.Get key) with
+      | Engine.Found raw -> (
+          match R.Tag.unframe raw with
+          | Some (_, Some p) ->
+              Alcotest.(check bool) "replica healed to v2" true (Bytes.equal p v2)
+          | _ -> Alcotest.fail "healed replica holds a malformed frame")
+      | _ -> Alcotest.fail "victim still behind after read write-back")
+
+(* --- CRRS integrity repair: tail first, then the next survivor --- *)
+
+let test_repair_get_tail_fallback () =
+  Sim.run (fun () ->
+      let config = { Cluster.default_config with Cluster.nnodes = 3 } in
+      let cluster = Cluster.create ~config () in
+      let client = Cluster.client cluster in
+      let key = "fallback" in
+      let value = Bytes.make 200 'F' in
+      Client.put client key value;
+      let control = Cluster.control cluster in
+      let chain = Ring.chain (Control.ring control) ~r:config.Cluster.r key in
+      let head = List.hd chain in
+      let mid = List.nth chain 1 in
+      let tail = List.nth chain 2 in
+      let victim = Control.node control head.Ring.owner.Ring.node in
+      let mid_node = Control.node control mid.Ring.owner.Ring.node in
+      let tail_node = Control.node control tail.Ring.owner.Ring.node in
+      let pid = head.Ring.owner.Ring.vidx in
+      (* Rot the key's segment frame on the head replica (the
+         deterministic idiom from the integrity tests). *)
+      let st = Engine.store (Engine.partitions (Node.engine victim)).(pid) in
+      let seg = Codec.segment_of_key ~nsegments:(Store.nsegments st) key in
+      let e = Segtbl.entry (Store.segtbl st) seg in
+      let devs = Engine.devices (Node.engine victim) in
+      Blockdev.flip_bit devs.(e.Segtbl.dev)
+        ~off:(Circular_log.phys (Store.klog st) e.Segtbl.off + 50)
+        ~bit:2;
+      (* Partition the tail away: drop every message to or from its NIC.
+         Read-repair prefers the tail (the one replica guaranteed
+         committed), so the fetch must time out there once and move to
+         the next survivor — never bounce back to the tail. *)
+      let tail_ep = Netsim.id (Netsim.Rpc.endpoint (Node.rpc tail_node)) in
+      let rule =
+        Netsim.add_fault (Cluster.fabric cluster) (fun src dst ->
+            if Netsim.id src = tail_ep || Netsim.id dst = tail_ep then Some Netsim.Drop
+            else None)
+      in
+      (match
+         Node.handle victim
+           (Messages.Get
+              { vn = head.Ring.owner; key; shipped = false; tenant = 0; deadline = 0.;
+                version = Ring.version (Node.ring victim) })
+       with
+      | Messages.Value { value = Some v; _ } ->
+          Alcotest.(check bool) "repaired read serves the value" true (Bytes.equal v value)
+      | _ -> Alcotest.fail "read across the partitioned tail was not served");
+      Netsim.remove_fault (Cluster.fabric cluster) rule;
+      Alcotest.(check bool)
+        "head counted a read-repair" true
+        ((Node.stats victim).Node.n_read_repairs >= 1);
+      (* the partitioned tail served nothing; the middle survivor served
+         exactly one Repair_get — no ping-pong retries *)
+      Alcotest.(check int) "tail served no repair" 0 (Node.stats tail_node).Node.n_repair_serves;
+      Alcotest.(check int)
+        "next survivor served exactly once" 1
+        (Node.stats mid_node).Node.n_repair_serves)
+
+let () =
+  Alcotest.run "leed_replication"
+    [
+      ( "tag",
+        [
+          Alcotest.test_case "frame round-trips values and tombstones" `Quick
+            test_tag_frame_roundtrip;
+          Alcotest.test_case "tag order: ts then writer" `Quick test_tag_order;
+          Alcotest.test_case "proto names round-trip" `Quick test_proto_strings;
+        ] );
+      ( "abd",
+        [
+          Alcotest.test_case "basic ops through quorums" `Quick test_abd_basic_ops;
+          Alcotest.test_case "available across a minority crash" `Quick test_abd_minority_crash;
+          Alcotest.test_case "read write-back heals a lagging replica" `Quick
+            test_abd_writeback_heals_lagging_replica;
+        ] );
+      ( "crrs",
+        [
+          Alcotest.test_case "repair falls back past a partitioned tail" `Quick
+            test_repair_get_tail_fallback;
+        ] );
+    ]

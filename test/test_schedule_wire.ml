@@ -1,0 +1,127 @@
+(* Property tests for the fault-schedule wire format: [Schedule.to_wire]
+   / [of_wire] must round-trip bit-exactly over schedules covering every
+   fault constructor, and [of_wire] must reject malformed input with
+   [Invalid_argument], never a parse crash or a silently mangled
+   schedule. *)
+
+open Leed_fault
+module S = Fault.Schedule
+
+(* --- generators --- *)
+
+let gen_float =
+  (* a spread of magnitudes, including awkward non-representables that
+     only survive printing because to_wire uses %h *)
+  QCheck.Gen.oneofl [ 0.; 0.1; 0.3; 1.0; 1.5; 2.75; 0.017; 3.14159265358979; 1e-6; 123.456 ]
+
+let gen_node = QCheck.Gen.int_range 0 9
+let gen_nodes = QCheck.Gen.list_size (QCheck.Gen.int_range 1 4) gen_node
+
+let gen_fault =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun n -> S.Crash n) gen_node;
+      map2 (fun node downtime -> S.Crash_restart { node; downtime }) gen_node gen_float;
+      map3
+        (fun a b duration -> S.Partition { a; b; duration })
+        gen_nodes gen_nodes gen_float;
+      map3 (fun node prob duration -> S.Link_loss { node; prob; duration }) gen_node gen_float
+        gen_float;
+      map3
+        (fun node extra duration -> S.Link_jitter { node; extra; duration })
+        gen_node gen_float gen_float;
+      map3
+        (fun (node, ssd) factor duration -> S.Ssd_degrade { node; ssd; factor; duration })
+        (pair gen_node (int_range 0 3))
+        gen_float gen_float;
+      map2 (fun node ssd -> S.Ssd_fail { node; ssd }) gen_node (int_range 0 3);
+      map2 (fun node flips -> S.Bit_rot { node; flips }) gen_node (int_range 1 64);
+      map3
+        (fun node factor duration -> S.Fail_slow { node; factor; duration })
+        gen_node gen_float gen_float;
+      map3
+        (fun (node, inbound) (peak, ramp) duration ->
+          S.Link_jitter_ramp { node; peak; ramp; duration; inbound })
+        (pair gen_node bool) (pair gen_float gen_float) gen_float;
+    ]
+
+let gen_schedule =
+  let open QCheck.Gen in
+  map S.make
+    (list_size (int_range 0 12)
+       (map2 (fun at fault -> { S.at; fault }) gen_float gen_fault))
+
+let arb_schedule = QCheck.make ~print:S.to_string gen_schedule
+
+(* --- properties --- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"to_wire/of_wire round-trips bit-exactly" arb_schedule
+    (fun sched -> S.of_wire (S.to_wire sched) = sched)
+
+let prop_wire_stable =
+  QCheck.Test.make ~count:200 ~name:"wire text is a fixed point" arb_schedule (fun sched ->
+      let w = S.to_wire sched in
+      S.to_wire (S.of_wire w) = w)
+
+(* every constructor round-trips individually, so a regression cannot
+   hide behind generator luck *)
+let test_every_constructor () =
+  let faults =
+    [
+      S.Crash 1;
+      S.Crash_restart { node = 2; downtime = 0.5 };
+      S.Partition { a = [ 0; 1 ]; b = [ 2 ]; duration = 0.3 };
+      S.Link_loss { node = 3; prob = 0.25; duration = 1.5 };
+      S.Link_jitter { node = 4; extra = 0.01; duration = 2.0 };
+      S.Ssd_degrade { node = 5; ssd = 1; factor = 8.0; duration = 1.0 };
+      S.Ssd_fail { node = 6; ssd = 0 };
+      S.Bit_rot { node = 7; flips = 32 };
+      S.Fail_slow { node = 8; factor = 10.0; duration = 2.5 };
+      S.Link_jitter_ramp { node = 9; peak = 0.02; ramp = 1.0; duration = 3.0; inbound = true };
+      S.Link_jitter_ramp { node = 0; peak = 0.03; ramp = 0.5; duration = 1.0; inbound = false };
+    ]
+  in
+  let sched = S.make (List.mapi (fun i fault -> { S.at = float_of_int i *. 0.1; fault }) faults) in
+  Alcotest.(check bool)
+    "all-constructor schedule round-trips" true
+    (S.of_wire (S.to_wire sched) = sched)
+
+let test_malformed_rejected () =
+  List.iter
+    (fun wire ->
+      match S.of_wire wire with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "malformed wire %S was accepted" wire)
+    [
+      "x";
+      "1.0";
+      "1.0 frob 3";
+      "1.0 crash";
+      "1.0 crash notanint";
+      "crash 3";
+      "1.0 crash-restart 2";
+      "1.0 partition 0,1";
+      "1.0 link-loss 3 0.5";
+      "1.0 bit-rot 1 2 3";
+      "0x1p+0 ssd-fail 1";
+      "1.0 link-jitter-ramp 1 0.1 0.2 0.3 maybe";
+    ]
+
+let test_blank_lines_ignored () =
+  let sched = S.make [ { S.at = 1.0; fault = S.Crash 0 } ] in
+  let wire = "\n" ^ S.to_wire sched ^ "\n\n" in
+  Alcotest.(check bool) "blank lines skipped" true (S.of_wire wire = sched)
+
+let () =
+  Alcotest.run "leed_schedule_wire"
+    [
+      ( "wire",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_wire_stable ]
+        @ [
+            Alcotest.test_case "every constructor round-trips" `Quick test_every_constructor;
+            Alcotest.test_case "malformed wire rejected" `Quick test_malformed_rejected;
+            Alcotest.test_case "blank lines ignored" `Quick test_blank_lines_ignored;
+          ] );
+    ]

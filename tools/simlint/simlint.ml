@@ -383,6 +383,7 @@ let doc_required_files =
     "lib/sim/timing_wheel.mli";
     "lib/sim/scheduler.mli";
     "lib/core/engine.mli";
+    "lib/core/replication.mli";
   ]
 
 let doc_required file =
