@@ -32,21 +32,35 @@ module R = Replication
 
 let tag_max a b = if R.Tag.compare a b >= 0 then a else b
 
+(* The tag of the value the STORE actually holds (not the gate): the
+   engine read yields, so callers must treat the answer as a lower
+   bound that was true at serialization time. [None] = nothing stored,
+   or the store could not answer. *)
+let store_tag env ~vidx ~key =
+  match env.R.sv_submit ~deadline:0. ~vidx (Engine.Get key) with
+  | Engine.Found v -> (
+      match R.Tag.unframe v with
+      | Some (tg, _) -> Some tg
+      | None -> Some R.Tag.zero (* pre-protocol raw bytes *))
+  | Engine.Missing | Engine.Done | Engine.Scrubbed _ -> None
+  | Engine.Corrupt | Engine.Failed | Engine.Shed -> None
+  | exception Engine.Overloaded _ -> None
+
 (* Highest tag this vnode has accepted: consult the DRAM gate first and
    fall back to the framed value in the store (cold cache after a
-   restart). [None] = nothing stored. *)
+   restart), WARMING the gate from what the store answered so the next
+   decision is cache-only and yield-free. The warm-up set is monotonic,
+   so it cannot regress a tag a concurrent writer advanced during the
+   store read's yield. [None] = nothing stored. *)
 let local_tag env ~vidx ~key =
   match env.R.sv_tag_get ~vidx ~key with
   | Some c -> Some (R.Tag.of_pair c)
   | None -> (
-      match env.R.sv_submit ~deadline:0. ~vidx (Engine.Get key) with
-      | Engine.Found v -> (
-          match R.Tag.unframe v with
-          | Some (tg, _) -> Some tg
-          | None -> Some R.Tag.zero (* pre-protocol raw bytes *))
-      | Engine.Missing | Engine.Done | Engine.Scrubbed _ -> None
-      | Engine.Corrupt | Engine.Failed | Engine.Shed -> None
-      | exception Engine.Overloaded _ -> None)
+      match store_tag env ~vidx ~key with
+      | Some tg ->
+          env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair tg);
+          Some tg
+      | None -> None)
 
 module Impl = struct
   let proto = R.Abd
@@ -68,10 +82,8 @@ module Impl = struct
             match R.Tag.unframe v with Some (tg, _) -> tg | None -> R.Tag.zero
           in
           (* Warm the write gate: the cache may be cold after a restart,
-             and raising it from the store is always safe. *)
-          (match env.R.sv_tag_get ~vidx ~key with
-          | Some c when R.Tag.compare (R.Tag.of_pair c) tag >= 0 -> ()
-          | _ -> env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair tag));
+             and the monotonic set only ever raises it. *)
+          env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair tag);
           Messages.Tagged
             {
               value = (if want_value then Some v else None);
@@ -93,37 +105,65 @@ module Impl = struct
   (* Phase-2 service: store [value] iff [tag] beats the local one. The
      gate is advanced *before* the engine write so a concurrent
      lower-tagged Tag_write observes it and refuses — no yield separates
-     the compare from the set. *)
+     the final compare from the set. An Ok from this handler is a
+     quorum-countable promise that the STORE holds a value at >= [tag]:
+     the refuse branch therefore verifies the store before acking (the
+     gate can run ahead of it while an accepted write's engine Put is in
+     flight or after one failed), and a failed Put rolls the speculative
+     gate advance back so the replica does not keep refusing writes it
+     never applied. *)
   let handle_tag_write env ~(vn : Ring.vnode) ~key ~value ~tag ~tenant ~deadline ~version =
     if version <> Ring.version env.R.sv_ring then nack_stale env
     else if not (env.R.sv_has_vnode ~vidx:vn.Ring.vidx) then nack_stale env
     else begin
       let vidx = vn.Ring.vidx in
       let incoming = R.Tag.of_pair tag in
-      let decide () =
-        match local_tag env ~vidx ~key with
-        | Some l when R.Tag.compare l incoming >= 0 -> false
+      (* Warm the gate if cold (may yield on a store read), then decide
+         against the cache alone — synchronously, so nothing can slip
+         between the compare and the set below. *)
+      ignore (local_tag env ~vidx ~key);
+      let prev = env.R.sv_tag_get ~vidx ~key in
+      let accept =
+        match prev with
+        | Some c when R.Tag.compare (R.Tag.of_pair c) incoming >= 0 -> false
         | Some _ | None -> true
       in
-      (* [local_tag] may block on a cold-cache store read; re-check the
-         gate afterwards in case a concurrent handler advanced it. *)
-      let accept = decide () && decide () in
-      if not accept then
-        (* Already at (or past) this tag: idempotent ack. *)
-        Messages.Ok { tokens = env.R.sv_tokens ~tenant ~vidx }
+      if not accept then begin
+        (* Gate at (or past) this tag already — but only the store can
+           back an ack with data. If it holds >= [tag] the ack is a true
+           idempotent Ok (e.g. a read's write-back of a tag we applied);
+           if it lags (concurrent Put still in flight, or failed), ack
+           would be a phantom quorum vote for a value we do not hold —
+           NACK and let the writer count its majority elsewhere. *)
+        match store_tag env ~vidx ~key with
+        | Some l when R.Tag.compare l incoming >= 0 ->
+            Messages.Ok { tokens = env.R.sv_tokens ~tenant ~vidx }
+        | Some _ | None ->
+            env.R.sv_note R.S_nack;
+            Messages.Nack Messages.Not_serving
+      end
       else begin
         env.R.sv_tag_set ~vidx ~key ~tag;
         match env.R.sv_submit ~deadline ~vidx (Engine.Put (key, value)) with
         | Engine.Done | Engine.Found _ | Engine.Missing ->
             env.R.sv_note R.S_write_apply;
+            (* Commit hook: while a membership COPY streams out of this
+               replica, the accepted write must also reach the joining
+               vnode (the bulk stream may already be past this key). The
+               forward is tag-framed, so the joiner merges it
+               idempotently. No-op outside a COPY window. *)
+            env.R.sv_on_commit ~key ~value;
             Messages.Ok { tokens = env.R.sv_tokens ~tenant ~vidx }
         | Engine.Shed ->
+            env.R.sv_tag_rollback ~vidx ~key ~tag ~prev;
             env.R.sv_note R.S_nack;
             Messages.Nack Messages.Deadline_exceeded
         | Engine.Failed | Engine.Corrupt | Engine.Scrubbed _ ->
+            env.R.sv_tag_rollback ~vidx ~key ~tag ~prev;
             env.R.sv_note R.S_nack;
             Messages.Nack Messages.Not_serving
         | exception Engine.Overloaded _ ->
+            env.R.sv_tag_rollback ~vidx ~key ~tag ~prev;
             env.R.sv_note R.S_nack;
             Messages.Nack Messages.Overloaded
       end
@@ -322,16 +362,23 @@ module Impl = struct
 
   (* COPY streams framed values between replicas: accept one iff its tag
      beats whatever this vnode already holds, and advance the gate at
-     the moment of acceptance (same atomicity argument as Tag_write).
-     [fresh] is irrelevant here — the tag order makes COPY idempotent,
-     so forward/bulk arrival order cannot clobber a newer value. *)
+     the moment of acceptance (same atomicity argument as Tag_write: the
+     decision is made against the cache with no yield before the set,
+     after [local_tag] has warmed it from the store). [fresh] is
+     irrelevant here — the tag order makes COPY idempotent, so
+     forward/bulk arrival order cannot clobber a newer value. The gate
+     advance is speculative (the host's engine Put follows this call and
+     can fail), but a gate ahead of the store is safe: Tag_write's
+     refuse branch verifies the store before acking, so a phantom gate
+     can only cost a retry, never a phantom quorum vote. *)
   let accept_copy env ~vidx ~key ~value ~fresh:_ =
     let incoming =
       match R.Tag.unframe value with Some (tg, _) -> tg | None -> R.Tag.zero
     in
+    ignore (local_tag env ~vidx ~key);
     let accept =
-      match local_tag env ~vidx ~key with
-      | Some l -> R.Tag.compare incoming l > 0
+      match env.R.sv_tag_get ~vidx ~key with
+      | Some c -> R.Tag.compare incoming (R.Tag.of_pair c) > 0
       | None -> true
     in
     if accept then env.R.sv_tag_set ~vidx ~key ~tag:(R.Tag.pair incoming);

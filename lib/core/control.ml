@@ -189,24 +189,57 @@ let copy_arc ?detach t ~(src : Ring.entry) ~(dst : Ring.vnode) ~lo ~hi =
           "copy.arc" ~since;
       copied
 
-(* Stream an arc trying each candidate source in turn, preferring the
-   last (the chain tail, which always holds committed data). If a source
-   dies mid-stream its Copy_puts silently time out and the destination is
-   left hollow — so a copy only counts as complete if its source is still
-   alive when it returns; otherwise fall back to the next survivor. *)
+(* Which replication protocol the destination node runs — every node in
+   a cluster runs the same one, and it decides how many sources a
+   membership COPY must draw from. *)
+let proto_of_dst t (dst : Ring.vnode) =
+  match Hashtbl.find_opt t.nodes dst.Ring.node with
+  | Some ns -> Node.proto ns.node
+  | None -> (
+      match Hashtbl.find_opt t.directory dst.Ring.node with
+      | Some n -> Node.proto n
+      | None -> Replication.Crrs)
+
+(* Stream an arc into [dst] from the candidate [sources].
+
+   CRRS: any single committed replica suffices — the tail (last source)
+   always holds every committed write, so try each candidate in turn,
+   tail first. If a source dies mid-stream its Copy_puts silently time
+   out and the destination is left hollow — so a copy only counts as
+   complete if its source is still alive when it returns; otherwise
+   fall back to the next survivor.
+
+   ABD: NO single replica is guaranteed complete — a write is durable on
+   any majority, and each write's majority can be a different subset, so
+   an arc copied from one source can silently miss acked writes (the
+   newcomer then outvotes the holders on a later read quorum). Merge the
+   streams of EVERY live source instead: the union of the survivors
+   covers every acked write's majority (losing more is beyond the
+   protocol's fault bound anyway), and [Abd.accept_copy]'s tag
+   comparison makes the merge idempotent and order-free. Each source
+   also carries a copy-forward while it streams (kept attached via
+   [detach] on the join path), so writes committed mid-COPY reach the
+   newcomer through [sv_on_commit] forwarding rather than racing the
+   bulk stream. *)
 let copy_arc_from_any ?detach t ~(sources : Ring.entry list) ~(dst : Ring.vnode) ~lo ~hi =
-  let rec go = function
-    | [] -> 0
-    | (src : Ring.entry) :: rest ->
-        let copied = copy_arc ?detach t ~src ~dst ~lo ~hi in
-        let src_alive =
-          match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
-          | Some ns -> ns.alive
-          | None -> false
-        in
-        if src_alive then copied else copied + go rest
-  in
-  go (List.rev sources)
+  match proto_of_dst t dst with
+  | Replication.Abd ->
+      List.fold_left
+        (fun acc (src : Ring.entry) -> acc + copy_arc ?detach t ~src ~dst ~lo ~hi)
+        0 sources
+  | Replication.Crrs ->
+      let rec go = function
+        | [] -> 0
+        | (src : Ring.entry) :: rest ->
+            let copied = copy_arc ?detach t ~src ~dst ~lo ~hi in
+            let src_alive =
+              match Hashtbl.find_opt t.nodes src.Ring.owner.Ring.node with
+              | Some ns -> ns.alive
+              | None -> false
+            in
+            if src_alive then copied else copied + go rest
+      in
+      go (List.rev sources)
 
 (* --- scrub escalation (data integrity) --- *)
 

@@ -314,7 +314,28 @@ let make_env t : Replication.server_env =
     sv_fence_mark = (fun ~vidx ~key -> Hashtbl.replace (vnode t vidx).copy_fence key ());
     sv_fence_holds = (fun ~vidx ~key -> Hashtbl.mem (vnode t vidx).copy_fence key);
     sv_tag_get = (fun ~vidx ~key -> Hashtbl.find_opt (vnode t vidx).tags key);
-    sv_tag_set = (fun ~vidx ~key ~tag -> Hashtbl.replace (vnode t vidx).tags key tag);
+    (* Monotonic: the gate only rises. A handler resuming from a yield
+       may try to install the (older) tag it decided on before blocking;
+       silently keeping the higher tag is what makes that safe. Pair
+       order is (ts, writer), so Stdlib compare is the tag order. *)
+    sv_tag_set =
+      (fun ~vidx ~key ~tag ->
+        let tags = (vnode t vidx).tags in
+        match Hashtbl.find_opt tags key with
+        | Some cur when compare cur tag >= 0 -> ()
+        | Some _ | None -> Hashtbl.replace tags key tag);
+    (* Undo a speculative advance whose engine write failed: restore
+       [prev] only if the gate still equals [tag] — if a concurrent
+       higher-tagged writer has raised it since, the gate is theirs. *)
+    sv_tag_rollback =
+      (fun ~vidx ~key ~tag ~prev ->
+        let tags = (vnode t vidx).tags in
+        match Hashtbl.find_opt tags key with
+        | Some cur when cur = tag -> (
+            match prev with
+            | Some p -> Hashtbl.replace tags key p
+            | None -> Hashtbl.remove tags key)
+        | Some _ | None -> ());
     sv_on_commit = (fun ~key ~value -> forward_copies t ~key ~value);
     sv_repair = (fun ~vidx ~key -> read_repair t (vnode t vidx) ~key);
     sv_note =

@@ -60,7 +60,19 @@ module Tag = struct
      of removing the key. *)
   let header_len = 24
 
+  (* The fixed-width header fields bound the representable tags; a tag
+     past either bound would silently shift the layout, [unframe] would
+     answer [None], and the newest value would demote to tag-zero "raw
+     bytes" and lose to everything — a silent data regression. Fail
+     loudly at frame time instead. *)
+  let max_ts = 999_999_999_999 (* %012d *)
+  let max_writer = 999_999_999 (* %09d *)
+
   let frame ~tag payload =
+    if tag.ts < 0 || tag.ts > max_ts || tag.writer < 0 || tag.writer > max_writer then
+      invalid_arg
+        (Printf.sprintf "Replication.Tag.frame: tag (ts=%d, writer=%d) overflows the header fields"
+           tag.ts tag.writer);
     let flag, body =
       match payload with Some v -> ('V', v) | None -> ('D', Bytes.empty)
     in
@@ -129,10 +141,17 @@ type server_env = {
   sv_fence_holds : vidx:int -> key:string -> bool;
   (* ABD write gate: highest tag this vnode has accepted, cached in DRAM
      so the accept decision is atomic wrt other handlers (no yield
-     between check and set). Wiped on restart; lazily rebuilt from the
+     between check and set). [sv_tag_set] is monotonic — it only ever
+     raises the gate, so a handler resuming from a yield cannot regress
+     a tag a concurrent writer advanced past it. [sv_tag_rollback]
+     undoes a speculative advance whose engine write failed: it restores
+     [prev] iff the gate still equals [tag] (a concurrent higher writer
+     owns it otherwise). Wiped on restart; lazily rebuilt from the
      framed values in the store. *)
   sv_tag_get : vidx:int -> key:string -> (int * int) option;
   sv_tag_set : vidx:int -> key:string -> tag:int * int -> unit;
+  sv_tag_rollback :
+    vidx:int -> key:string -> tag:int * int -> prev:(int * int) option -> unit;
   (* tail commit hook: COPY forwarding of freshly committed writes *)
   sv_on_commit : key:string -> value:bytes -> unit;
   (* integrity read-repair for a checksum-corrupt local entry *)

@@ -57,7 +57,10 @@ module Tag : sig
 
   val frame : tag:t -> bytes option -> bytes
   (** [frame ~tag payload] builds the stored representation;
-      [payload = None] builds a tagged tombstone (ABD DEL). *)
+      [payload = None] builds a tagged tombstone (ABD DEL). Raises
+      [Invalid_argument] when [tag] overflows the fixed-width header
+      fields (ts beyond 12 digits, writer beyond 9) — a silent overflow
+      would demote the value to tag-zero raw bytes on read. *)
 
   val unframe : bytes -> (t * bytes option) option
   (** [Some (tag, payload)] for a well-formed frame ([payload = None]
@@ -107,9 +110,14 @@ type server_env = {
       (** COPY fencing (§3.8.1) *)
   sv_tag_get : vidx:int -> key:string -> (int * int) option;
   sv_tag_set : vidx:int -> key:string -> tag:int * int -> unit;
+  sv_tag_rollback :
+    vidx:int -> key:string -> tag:int * int -> prev:(int * int) option -> unit;
       (** ABD write gate: highest accepted tag per key, cached in DRAM
           so accept decisions are atomic wrt other handlers; wiped on
-          restart and lazily rebuilt from the framed store values *)
+          restart and lazily rebuilt from the framed store values.
+          [sv_tag_set] is monotonic (raise-only); [sv_tag_rollback]
+          restores [prev] iff the gate still equals [tag] — the undo for
+          a speculative advance whose engine write failed *)
   sv_on_commit : key:string -> value:bytes -> unit;
       (** tail commit hook (COPY forwarding of fresh writes) *)
   sv_repair : vidx:int -> key:string -> bytes option;

@@ -770,18 +770,28 @@ module Chaos = struct
                   incr reads;
                   success ()
               | None ->
-                  (* The key was preloaded: a miss means the serving
-                     replica lacks it (e.g. mid-repair or mid-rejoin).
-                     Counted, and the end-of-run sweep decides whether
-                     data was truly lost. Not recorded in the history:
-                     the chaos contract has always treated mid-run
-                     misses as transient unavailability (like a failed
-                     read), not as an observation of an absent value, so
-                     feeding them to the checker would turn tolerated
-                     unavailability into a linearizability verdict. The
-                     final sweep's reads — taken after the heal, when a
-                     miss genuinely means loss — do join the history. *)
+                  (* The key was preloaded, so a miss means the serving
+                     side claims it absent. What that implies is
+                     protocol-specific. Under ABD a [None] is a
+                     COMPLETED quorum read — a majority answered and
+                     the highest tag among them carried no value — so
+                     it is a genuine register observation and joins the
+                     history: the checker then flags a protocol that
+                     wrongly serves "key absent" for a present key
+                     (e.g. a quorum dominated by hollow replicas after
+                     a botched membership copy), which a later heal
+                     would otherwise mask. Under CRRS a miss is one
+                     replica lacking the key (mid-repair, mid-rejoin) —
+                     the chaos contract treats that as transient
+                     unavailability, like a failed read, and recording
+                     it would turn tolerated unavailability into a
+                     linearizability verdict. The end-of-run sweep's
+                     reads — taken after the heal, when a miss
+                     genuinely means loss — join the history for both
+                     protocols. *)
                   record ();
+                  if cfg.proto = Replication.Abd then
+                    record_op ~key:(key_of k) ~start:t0 (History.Read None) History.Ok;
                   incr null_reads;
                   incr reads
               | exception Client.Unavailable _ ->

@@ -33,6 +33,28 @@ let test_tag_frame_roundtrip () =
         (R.Tag.unframe (Bytes.of_string s) = None))
     [ ""; "x"; "hello, quorum"; String.make R.Tag.header_len 'q' ]
 
+let test_tag_frame_overflow () =
+  (* A tag past the fixed-width header fields must fail loudly at frame
+     time: a silent overflow would make [unframe] read the value as
+     tag-zero raw bytes, demoting the newest write below every framed
+     one. *)
+  let t a b = { R.Tag.ts = a; writer = b } in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tag (%d,%d) rejected" tag.R.Tag.ts tag.R.Tag.writer)
+        true
+        (match R.Tag.frame ~tag (Some (Bytes.of_string "v")) with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ t 1_000_000_000_000 0; t (-1) 0; t 1 1_000_000_000; t 1 (-1) ];
+  (* the widest representable tag still round-trips *)
+  match R.Tag.unframe (R.Tag.frame ~tag:(t 999_999_999_999 999_999_999) (Some Bytes.empty)) with
+  | Some (tg, Some _) ->
+      Alcotest.(check int) "max ts survives" 999_999_999_999 tg.R.Tag.ts;
+      Alcotest.(check int) "max writer survives" 999_999_999 tg.R.Tag.writer
+  | _ -> Alcotest.fail "maximal tag did not round-trip"
+
 let test_tag_order () =
   let t a b = { R.Tag.ts = a; writer = b } in
   Alcotest.(check bool) "ts dominates" true (R.Tag.compare (t 2 0) (t 1 9) > 0);
@@ -139,6 +161,102 @@ let test_abd_writeback_heals_lagging_replica () =
           | _ -> Alcotest.fail "healed replica holds a malformed frame")
       | _ -> Alcotest.fail "victim still behind after read write-back")
 
+(* A Tag_write whose engine Put fails must not leave the write gate
+   claiming a tag the store never received: the replica would then
+   idempotently ack a later write-back of the same tag — a phantom
+   quorum vote for a value it does not hold, which lets an overlapping
+   read majority serve the older value. The retry must instead land the
+   value in the store. *)
+let test_abd_failed_write_no_phantom_ack () =
+  Sim.run (fun () ->
+      let cluster = Cluster.create ~config:abd_config () in
+      let client = Cluster.client cluster in
+      let key = "phantom" in
+      Client.put client key (Bytes.of_string "base");
+      let control = Cluster.control cluster in
+      let chain = Ring.chain (Control.ring control) ~r:3 key in
+      let entry = List.hd chain in
+      let victim = Control.node control entry.Ring.owner.Ring.node in
+      let pid = entry.Ring.owner.Ring.vidx in
+      (* Advance virtual time so a small absolute deadline reads as
+         already expired: the engine sheds the Put without applying. *)
+      Sim.delay 1.0;
+      let tag = (1_000, 7) in
+      let payload = Bytes.of_string "phantom-v" in
+      let framed = R.Tag.frame ~tag:(R.Tag.of_pair tag) (Some payload) in
+      let mk deadline =
+        Messages.Tag_write
+          { vn = entry.Ring.owner; key; value = framed; tag; tenant = 0; deadline;
+            version = Ring.version (Node.ring victim) }
+      in
+      (match Node.handle victim (mk 0.5) with
+      | Messages.Nack _ -> ()
+      | _ -> Alcotest.fail "shed write was acked");
+      (* A retry at the SAME tag — a read's write-back round does exactly
+         this — must apply the value, not idempotently ack it away. *)
+      (match Node.handle victim (mk 0.) with
+      | Messages.Ok _ -> ()
+      | _ -> Alcotest.fail "retry at the same tag was refused");
+      match Engine.submit (Node.engine victim) ~pid (Engine.Get key) with
+      | Engine.Found raw -> (
+          match R.Tag.unframe raw with
+          | Some (tg, Some p) ->
+              Alcotest.(check int) "store holds the acked tag" 1_000 tg.R.Tag.ts;
+              Alcotest.(check bool) "store holds the acked value" true (Bytes.equal p payload)
+          | _ -> Alcotest.fail "store holds a malformed frame")
+      | _ -> Alcotest.fail "store never received the acked value")
+
+(* An ABD membership COPY must merge a quorum of sources: no single
+   replica is guaranteed to hold every acked write, so sourcing an arc
+   from one (possibly lagging) replica hands the newcomer stale values
+   that can later outvote fresh ones on a read quorum. *)
+let test_abd_join_copy_merges_quorum () =
+  Sim.run (fun () ->
+      let cluster = Cluster.create ~config:abd_config () in
+      let client = Cluster.client cluster in
+      let nkeys = 64 in
+      let key i = Printf.sprintf "merge%03d" i in
+      let v1 = Bytes.of_string "stale" and v2 = Bytes.of_string "fresh" in
+      for i = 0 to nkeys - 1 do
+        Client.put client (key i) v1
+      done;
+      (* One replica sleeps through every overwrite: it keeps the old
+         tags while the surviving majority moves on. *)
+      let lagger = List.hd (Cluster.nodes cluster) in
+      Node.crash lagger;
+      for i = 0 to nkeys - 1 do
+        Client.put client (key i) v2
+      done;
+      Node.recover_network lagger;
+      (* Join a fourth node. For some arcs the lagger is the old chain's
+         tail — the single source the CRRS copy strategy would pick — so
+         only a quorum-merged COPY gets the newcomer the acked values. *)
+      let newbie, _copied = Cluster.add_node cluster in
+      let control = Cluster.control cluster in
+      let checked = ref 0 in
+      for i = 0 to nkeys - 1 do
+        let chain = Ring.chain (Control.ring control) ~r:3 (key i) in
+        List.iter
+          (fun (e : Ring.entry) ->
+            if e.Ring.owner.Ring.node = Node.id newbie then begin
+              incr checked;
+              match
+                Engine.submit (Node.engine newbie) ~pid:e.Ring.owner.Ring.vidx
+                  (Engine.Get (key i))
+              with
+              | Engine.Found raw -> (
+                  match R.Tag.unframe raw with
+                  | Some (_, Some p) ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "newcomer holds the acked value of %s" (key i))
+                        true (Bytes.equal p v2)
+                  | _ -> Alcotest.fail "newcomer holds a malformed frame")
+              | _ -> Alcotest.fail (Printf.sprintf "newcomer missing copied key %s" (key i))
+            end)
+          chain
+      done;
+      Alcotest.(check bool) "some arcs moved to the newcomer" true (!checked > 0))
+
 (* --- CRRS integrity repair: tail first, then the next survivor --- *)
 
 let test_repair_get_tail_fallback () =
@@ -204,6 +322,7 @@ let () =
         [
           Alcotest.test_case "frame round-trips values and tombstones" `Quick
             test_tag_frame_roundtrip;
+          Alcotest.test_case "frame rejects out-of-range tags" `Quick test_tag_frame_overflow;
           Alcotest.test_case "tag order: ts then writer" `Quick test_tag_order;
           Alcotest.test_case "proto names round-trip" `Quick test_proto_strings;
         ] );
@@ -213,6 +332,10 @@ let () =
           Alcotest.test_case "available across a minority crash" `Quick test_abd_minority_crash;
           Alcotest.test_case "read write-back heals a lagging replica" `Quick
             test_abd_writeback_heals_lagging_replica;
+          Alcotest.test_case "failed write leaves no phantom ack" `Quick
+            test_abd_failed_write_no_phantom_ack;
+          Alcotest.test_case "join COPY merges a quorum of sources" `Quick
+            test_abd_join_copy_merges_quorum;
         ] );
       ( "crrs",
         [
