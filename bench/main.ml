@@ -23,6 +23,12 @@
                                     after a cross-scheduler digest diff
      bench/main.exe scale-validate [file]
                                     check BENCH_scale.json's shape (CI gate)
+     bench/main.exe cache           in-network cache sweep: Zipf theta x
+                                    {cache-off+CRRS, cache-only, cache+CRRS}
+                                    plus a flash-crowd scenario; writes
+                                    BENCH_cache.json
+     bench/main.exe cache-validate [file]
+                                    check BENCH_cache.json's shape (CI gate)
 
    The ycsb mode takes --jbofs N to scale the cluster. The ycsb, race and
    scale modes additionally write machine-readable BENCH_ycsb.json /
@@ -700,6 +706,223 @@ let scale_validate file =
         (List.length schedulers)
   | Ok _ -> fail "top level is not an object"
 
+(* --- in-network cache sweep (fig7/fig8-style; DESIGN.md §15) ---
+
+   The LETHE comparison: under growing Zipf skew and under a flash crowd,
+   how does switch-resident caching compare with — and compose with —
+   CRRS read-spreading? Three configs per traffic point:
+
+     crrs        cache off, CRRS replica reads on  (the PR-baseline)
+     cache       cache on,  CRRS replica reads off (head-only reads)
+     cache+crrs  cache on,  CRRS replica reads on  (the composition)
+
+   Read-heavy (95/5) so the cache has something to serve while the 5%
+   writes keep exercising invalidation. *)
+
+let cache_configs = [ ("crrs", false, true); ("cache", true, false); ("cache+crrs", true, true) ]
+(* Zipf.create (the YCSB sampler) supports theta in (0,1); the beyond-1
+   "extreme skew" regime LETHE targets is covered by the flash-crowd
+   scenario instead, which concentrates half the picks on 16 keys. *)
+let cache_thetas = [ 0.6; 0.9; 0.99 ]
+
+let cache_bench ~fast () =
+  let open Leed_sim in
+  let open Leed_workload in
+  let module Backend = Leed_core.Backend in
+  let module Netcache = Leed_core.Netcache in
+  ignore fast;
+  print_endline "== In-network cache: Zipf sweep + flash crowd (95/5 read/write, 1KB) ==";
+  let nkeys = 4_000 and workers = 128 and window = 0.1 in
+  (* Sized for this sweep's traffic (~1M gets/s over 4000 keys): 256
+     hash groups see ~40 gets per 10 ms classifier window on average, so
+     the warm threshold at 2x average and hot at 6x select the upper
+     tail instead of saturating every group; the short window fits
+     several rotations even into the scaled-down fast measure window,
+     and 4x256 slots hold roughly the keys behind the warm quantile. *)
+  let cache_cfg =
+    Netcache.enabled
+      {
+        Netcache.default_config with
+        Netcache.instances = 4;
+        capacity = 256;
+        groups = 256;
+        window = 0.01;
+        warm_up = 80;
+        warm_down = 40;
+        hot_up = 240;
+        hot_down = 120;
+      }
+  in
+  let cell ~scenario ~theta ~label ~cached ~crrs =
+    let m =
+      Sim.run (fun () ->
+          let setup =
+            Exp_common.make_leed ~nclients:4 ~crrs
+              ?cache:(if cached then Some cache_cfg else None)
+              ()
+          in
+          Exp_common.preload setup ~nkeys ~value_size:1008;
+          let flash_crowd =
+            if scenario = "flash" then
+              Some
+                {
+                  Workload.fc_start = Sim.now () +. Exp_common.dur 0.02;
+                  fc_duration = Exp_common.dur 0.05;
+                  fc_frac = 0.5;
+                  fc_keys = 16;
+                }
+            else None
+          in
+          let gen =
+            Workload.generator ~object_size:1024 ?flash_crowd
+              (Workload.read_write ~read:0.95 ~theta)
+              ~nkeys (Rng.create 9)
+          in
+          Exp_common.measure_closed
+            ~label:(Printf.sprintf "%s/%s θ=%.1f" scenario label theta)
+            ~setup ~clients:workers ~duration:(Exp_common.dur window) ~gen ())
+    in
+    Exp_common.report_metrics m;
+    let lookups = m.Backend.cache_hits + m.Backend.cache_misses in
+    let hit_rate =
+      if lookups > 0 then float_of_int m.Backend.cache_hits /. float_of_int lookups else 0.
+    in
+    Json.Obj
+      [
+        ("scenario", Json.Str scenario);
+        ("config", Json.Str label);
+        ("theta", Json.Num theta);
+        ("ops", Json.Int m.Backend.ops);
+        ("throughput_ops_s", Json.Num m.Backend.throughput);
+        ("p99_s", Json.Num m.Backend.p99);
+        ("p999_s", Json.Num m.Backend.p999);
+        ("cache_hits", Json.Int m.Backend.cache_hits);
+        ("cache_misses", Json.Int m.Backend.cache_misses);
+        ("hit_rate", Json.Num hit_rate);
+        ("cache_invalidations", Json.Int m.Backend.cache_invalidations);
+        ("cache_sprays", Json.Int m.Backend.cache_sprays);
+        ("cache_hot_keys", Json.Int m.Backend.cache_hot_keys);
+        ("nvme_accesses", Json.Int m.Backend.nvme_accesses);
+        ("watts", Json.Num m.Backend.watts);
+        ("queries_per_joule", Json.Num m.Backend.queries_per_joule);
+      ]
+  in
+  let sweep =
+    List.concat_map
+      (fun theta ->
+        Printf.printf "-- zipf θ=%.1f --\n%!" theta;
+        List.map
+          (fun (label, cached, crrs) -> cell ~scenario:"zipf" ~theta ~label ~cached ~crrs)
+          cache_configs)
+      cache_thetas
+  in
+  (* Flash crowd on moderate base skew: the spike, not the static tail,
+     is what concentrates the load here. *)
+  print_endline "-- flash crowd (50% of picks on 16 keys) --";
+  let flash =
+    List.map
+      (fun (label, cached, crrs) -> cell ~scenario:"flash" ~theta:0.9 ~label ~cached ~crrs)
+      cache_configs
+  in
+  Json.write "BENCH_cache.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "cache");
+         ("workload", Json.Str "95/5 read/write, 1KB");
+         ("nkeys", Json.Int nkeys);
+         ("thetas", Json.List (List.map (fun t -> Json.Num t) cache_thetas));
+         ("results", Json.List (sweep @ flash));
+       ]);
+  Printf.printf "wrote BENCH_cache.json (%d rows)\n" (List.length sweep + List.length flash)
+
+(* Shape check for the CI gate, mirroring [scale_validate]: every
+   (scenario x config) cell present, all metrics finite, and the armed
+   configs actually hit in the cache somewhere. *)
+let cache_validate file =
+  let module J = Leed_trace.Trace.Json in
+  let fail msg =
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+  in
+  let contents =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail e
+  in
+  match J.parse contents with
+  | Error e -> fail ("parse error: " ^ e)
+  | Ok (J.Obj fields) ->
+      let str_field name = function
+        | J.Obj fs -> (match List.assoc_opt name fs with Some (J.Str s) -> Some s | _ -> None)
+        | _ -> None
+      in
+      let num_field name = function
+        | J.Obj fs -> (
+            match List.assoc_opt name fs with Some (J.Num n) -> Some n | _ -> None)
+        | _ -> None
+      in
+      if List.assoc_opt "bench" fields <> Some (J.Str "cache") then
+        fail "bench field is not \"cache\"";
+      let rows =
+        match List.assoc_opt "results" fields with
+        | Some (J.Arr rows) -> rows
+        | _ -> fail "missing results array"
+      in
+      if rows = [] then fail "empty results array";
+      let configs = List.map (fun (l, _, _) -> l) cache_configs in
+      let required =
+        [ "theta"; "ops"; "throughput_ops_s"; "p99_s"; "p999_s"; "cache_hits"; "cache_misses";
+          "hit_rate"; "cache_invalidations"; "cache_sprays"; "cache_hot_keys"; "nvme_accesses";
+          "watts"; "queries_per_joule" ]
+      in
+      List.iteri
+        (fun i row ->
+          (match str_field "scenario" row with
+          | Some ("zipf" | "flash") -> ()
+          | Some s -> fail (Printf.sprintf "row %d: unknown scenario %S" i s)
+          | None -> fail (Printf.sprintf "row %d: missing scenario" i));
+          (match str_field "config" row with
+          | Some c when List.mem c configs -> ()
+          | Some c -> fail (Printf.sprintf "row %d: unknown config %S" i c)
+          | None -> fail (Printf.sprintf "row %d: missing config" i));
+          List.iter
+            (fun f ->
+              match num_field f row with
+              | Some n when Float.is_finite n && n >= 0. -> ()
+              | Some _ -> fail (Printf.sprintf "row %d: non-finite or negative %s" i f)
+              | None -> fail (Printf.sprintf "row %d: missing numeric field %s" i f))
+            required;
+          if num_field "throughput_ops_s" row = Some 0. then
+            fail (Printf.sprintf "row %d: zero throughput" i);
+          (* cache-off rows must not report cache traffic *)
+          if str_field "config" row = Some "crrs" && num_field "cache_hits" row <> Some 0. then
+            fail (Printf.sprintf "row %d: cache-off config reports cache hits" i))
+        rows;
+      List.iter
+        (fun scenario ->
+          List.iter
+            (fun c ->
+              if
+                not
+                  (List.exists
+                     (fun row ->
+                       str_field "scenario" row = Some scenario && str_field "config" row = Some c)
+                     rows)
+              then fail (Printf.sprintf "no %s rows for config %S" scenario c))
+            configs)
+        [ "zipf"; "flash" ];
+      if
+        not
+          (List.exists
+             (fun row ->
+               str_field "config" row <> Some "crrs"
+               && match num_field "cache_hits" row with Some h -> h > 0. | None -> false)
+             rows)
+      then fail "no armed config ever hit in the cache";
+      Printf.printf "%s: ok (%d rows, %d configs)\n" file (List.length rows)
+        (List.length configs)
+  | Ok _ -> fail "top level is not an object"
+
 (* --- Bechamel microbenchmarks of the core data structures --- *)
 
 let micro () =
@@ -836,6 +1059,9 @@ let () =
         (s1.Gc.minor_collections - s0.Gc.minor_collections)
   | "scale-validate" :: rest ->
       scale_validate (match rest with f :: _ -> f | [] -> "BENCH_scale.json")
+  | "cache" :: _ -> cache_bench ~fast ()
+  | "cache-validate" :: rest ->
+      cache_validate (match rest with f :: _ -> f | [] -> "BENCH_cache.json")
   | _ ->
   let micro_only = selected = [ "micro" ] in
   let run_micro = selected = [] || List.mem "micro" selected in

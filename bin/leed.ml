@@ -252,6 +252,14 @@ let chaos_cmd =
           ~doc:"Replication protocol under test: $(b,crrs) (chain replication, the paper's \
                 §3.7) or $(b,abd) (multi-writer quorum). Both must pass the same schedules.")
   in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:"Arm the in-network hot-object cache on the cluster fabric (DESIGN.md \
+                \xc2\xa715). Same schedules, same invariants: a cache that ever served a \
+                stale value trips the linearizability oracle.")
+  in
   let sanitize =
     Arg.(
       value & flag
@@ -265,11 +273,11 @@ let chaos_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Capture the first run as Chrome trace_event JSON into $(docv).")
   in
-  let run seed runs fast bit_rot fail_slow naive proto sanitize trace_out =
+  let run seed runs fast bit_rot fail_slow naive proto cache sanitize trace_out =
     let open Leed_fault.Fault in
     let module Trace = Leed_trace.Trace in
     let cfg =
-      let base = { Chaos.default_config with Chaos.seed; bit_rot; naive; proto } in
+      let base = { Chaos.default_config with Chaos.seed; bit_rot; naive; proto; cache } in
       let base =
         if fast then { base with Chaos.nnodes = 3; nkeys = 96; nclients = 3; duration = 4.0 }
         else base
@@ -324,7 +332,8 @@ let chaos_cmd =
           linearizable per-key operation history, deterministic digest. Exits non-zero on any \
           failure, naming the failing invariant and seed on the final line.")
     Term.(
-      const run $ seed $ runs $ fast $ bit_rot $ fail_slow $ naive $ proto $ sanitize $ trace_out)
+      const run $ seed $ runs $ fast $ bit_rot $ fail_slow $ naive $ proto $ cache $ sanitize
+      $ trace_out)
 
 
 let race_cmd =

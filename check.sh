@@ -55,6 +55,14 @@ echo "== fail-slow chaos [$proto] (gray failure: hedging + ladder + shedding, de
 # races must still produce bit-identical same-seed digests.
 dune exec bin/leed.exe -- chaos --fast --sanitize --fail-slow --seed 11 --runs 2 --proto "$proto"
 
+echo "== cached chaos [$proto] (in-network cache armed, determinism diff) =="
+# Arms the switch-resident hot-object cache (DESIGN.md §15): the same
+# schedule must pass all six invariants — including the linearizability
+# oracle, which a single stale cached read would trip — and stay
+# bit-identical across same-seed runs. Under abd the cache must stay
+# silent (quorum reads are never intercepted).
+dune exec bin/leed.exe -- chaos --fast --sanitize --cache --seed 42 --runs 2 --proto "$proto"
+
 done
 
 echo "== race smoke (perturbed equal-time orderings, clean target + racy fixture) =="
@@ -73,6 +81,14 @@ echo "== scheduler scale smoke (digest equivalence + fast sweep + schema) =="
 # the validator shape-checks.
 dune exec bench/main.exe -- scale fast
 dune exec bench/main.exe -- scale-validate BENCH_scale.json
+
+echo "== cache bench smoke (theta sweep + flash crowd + schema) =="
+# `cache fast` sweeps Zipf skew and a flash crowd across cache-off /
+# cache-only / cache+CRRS and writes BENCH_cache.json; the validator
+# checks every (scenario x config) cell is present, metrics are finite,
+# cache-off rows report no cache traffic, and some armed cell hit.
+dune exec bench/main.exe -- cache fast
+dune exec bench/main.exe -- cache-validate BENCH_cache.json
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

@@ -217,6 +217,11 @@ let counters t =
     quorum_rounds = 0;
     writebacks = 0;
     lin_checked_keys = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
+    cache_sprays = 0;
+    cache_hot_keys = 0;
   }
 
 let watts t ~util =

@@ -24,6 +24,11 @@ type counters = {
   quorum_rounds : int;
   writebacks : int;
   lin_checked_keys : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_sprays : int;
+  cache_hot_keys : int;
 }
 
 let no_counters =
@@ -48,6 +53,11 @@ let no_counters =
     quorum_rounds = 0;
     writebacks = 0;
     lin_checked_keys = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
+    cache_sprays = 0;
+    cache_hot_keys = 0;
   }
 
 let nvme_accesses c = c.nvme_reads + c.nvme_writes
@@ -74,6 +84,12 @@ let diff_counters ~after ~before =
     quorum_rounds = after.quorum_rounds - before.quorum_rounds;
     writebacks = after.writebacks - before.writebacks;
     lin_checked_keys = after.lin_checked_keys - before.lin_checked_keys;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    cache_invalidations = after.cache_invalidations - before.cache_invalidations;
+    cache_sprays = after.cache_sprays - before.cache_sprays;
+    (* a gauge, not a counter: report the end-of-window hot-set size *)
+    cache_hot_keys = after.cache_hot_keys;
   }
 
 type metrics = {
@@ -103,6 +119,11 @@ type metrics = {
   quorum_rounds : int;
   writebacks : int;
   lin_checked_keys : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_sprays : int;
+  cache_hot_keys : int;
   watts : float;
   queries_per_joule : float;
 }
@@ -184,6 +205,11 @@ let measure ~label b run =
     quorum_rounds = delta.quorum_rounds;
     writebacks = delta.writebacks;
     lin_checked_keys = delta.lin_checked_keys;
+    cache_hits = delta.cache_hits;
+    cache_misses = delta.cache_misses;
+    cache_invalidations = delta.cache_invalidations;
+    cache_sprays = delta.cache_sprays;
+    cache_hot_keys = delta.cache_hot_keys;
     watts = w;
     queries_per_joule = (if w > 0. then r.D.throughput /. w else 0.);
   }

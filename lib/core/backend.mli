@@ -51,6 +51,17 @@ type counters = {
       (** keys whose operation history passed through the linearizability
           checker; 0 outside a chaos run (the chaos harness owns the
           history recorder and reports the count through its digest) *)
+  cache_hits : int;
+      (** GETs answered by the in-network cache at the switch (§15);
+          0 unless the cluster armed [cache: ttl_lru] *)
+  cache_misses : int;     (** WARM/HOT GETs looked up but not resident *)
+  cache_invalidations : int;
+      (** write-driven evictions that removed at least one cached entry *)
+  cache_sprays : int;     (** HOT GETs round-robined across cache instances *)
+  cache_hot_keys : int;
+      (** hash groups currently classified HOT — a gauge, not a counter
+          ({!diff_counters} keeps the [after] value rather than
+          subtracting) *)
 }
 
 val no_counters : counters
@@ -89,6 +100,11 @@ type metrics = {
   quorum_rounds : int;       (** ABD quorum round-trips during the window *)
   writebacks : int;          (** ABD repair write-backs during the window *)
   lin_checked_keys : int;    (** linearizability-checked keys (chaos only) *)
+  cache_hits : int;          (** in-network cache hits during the window *)
+  cache_misses : int;
+  cache_invalidations : int; (** write-driven cache evictions *)
+  cache_sprays : int;        (** HOT GETs sprayed across cache instances *)
+  cache_hot_keys : int;      (** hash groups HOT at window end (gauge) *)
   watts : float;             (** modeled cluster wall power (paper's meters) *)
   queries_per_joule : float; (** throughput / watts — the paper's headline *)
 }

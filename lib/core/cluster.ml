@@ -21,6 +21,7 @@ type config = {
   heartbeat_period : float;   (* failure-detector probe period (§3.8.2) *)
   miss_limit : int;           (* consecutive missed probes before fail-out *)
   slow_detection : bool;      (* gray-failure outlier scoring + escalation *)
+  cache : Netcache.config;    (* in-network cache (§15); default Off *)
 }
 
 let default_config =
@@ -36,12 +37,14 @@ let default_config =
     heartbeat_period = 0.2;
     miss_limit = 3;
     slow_detection = true;
+    cache = Netcache.default_config;
   }
 
 type t = {
   config : config;
   fabric : (Messages.request, Messages.response) Rpc.wire Netsim.fabric;
   control : Control.t;
+  cache : Netcache.t option; (* armed in-network cache, when configured *)
   clients_track : Trace.track; (* one shared row for all front-end clients *)
   (* newest first: membership changes prepend (appending to a growing
      list is quadratic); the accessors below restore arrival order *)
@@ -155,11 +158,17 @@ let create ?(config = default_config) () =
     Control.create ~r:config.r ~heartbeat_period:config.heartbeat_period
       ~miss_limit:config.miss_limit ~slow_detection:config.slow_detection fabric
   in
+  let cache =
+    match config.cache.Netcache.mode with
+    | Netcache.Off -> None
+    | Netcache.Ttl_lru -> Some (Netcache.attach ~config:config.cache fabric)
+  in
   let t =
     {
       config;
       fabric;
       control;
+      cache;
       clients_track = Trace.new_track "clients";
       nodes_rev = [];
       clients_rev = [];
@@ -188,6 +197,7 @@ let nodes t = List.rev t.nodes_rev
 let clients t = List.rev t.clients_rev
 let node t id = Control.node t.control id
 let fabric t = t.fabric
+let cache t = t.cache
 
 (* A new front-end client with its own NIC endpoint, ring watch, and a
    deterministic per-client jitter stream (seeded off its id so two

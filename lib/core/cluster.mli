@@ -25,6 +25,10 @@ type config = {
           service times against the per-round median and walk sustained
           outliers up the deprioritize → drain → fence ladder
           ({!Control.create}) *)
+  cache : Netcache.config;
+      (** in-network hot-object cache (DESIGN.md §15); armed when its
+          [mode] is [Ttl_lru], default [Netcache.default_config]
+          (mode [Off]) *)
 }
 
 val default_config : config
@@ -52,6 +56,10 @@ val node : t -> int -> Node.t
 
 val fabric :
   t -> (Messages.request, Messages.response) Leed_netsim.Netsim.Rpc.wire Leed_netsim.Netsim.fabric
+
+val cache : t -> Netcache.t option
+(** The armed in-network cache, when the config's cache mode was
+    [Ttl_lru] at creation; [None] otherwise. *)
 
 val client : ?config:Client.config -> t -> Client.t
 (** A new front-end client with its own NIC endpoint and ring watch. *)

@@ -327,6 +327,31 @@ let join t (n : Node.t) =
   (* Phase 3: flip to RUNNING and broadcast; clients may now address it. *)
   List.iter (fun vn -> Ring.set_state t.ring vn Ring.Running) new_vns;
   broadcast t;
+  (* The broadcast is asynchronous and foreground writes keep flowing
+     while it travels, so two kinds of old-ring writes can still be in
+     flight: those admitted before the flip, and those admitted at a node
+     that has not yet installed the new snapshot. Either kind commits at
+     the *old* tail — possibly after this point — and that commit reaches
+     the newcomer only through the copy forwards. Before detaching,
+     confirm the snapshot has landed everywhere (a synchronous
+     Ring_update wave; installs are idempotent) and drain every write
+     handler admitted before that confirmation. *)
+  let snap = Ring.snapshot t.ring in
+  let marks =
+    List.filter_map
+      (fun id ->
+        let ns = Hashtbl.find t.nodes id in
+        if not ns.alive then None
+        else begin
+          let req = Messages.Ring_update snap in
+          ignore
+            (Rpc.call_timeout t.rpc ~dst:(Node.rpc ns.node) ~size:(Messages.request_size req)
+               ~timeout:0.5 req);
+          Some (ns.node, Node.write_mark ns.node)
+        end)
+      (node_ids t)
+  in
+  List.iter (fun (n, m) -> Node.drain_writes n ~below:m) marks;
   (* Only now do the sources stop forwarding and the newcomer's fences
      lift — all post-flip writes route through the new chains anyway. *)
   List.iter (fun finish -> finish ()) (List.rev !detach);

@@ -68,6 +68,24 @@ let counters t =
       (fun (q, w) c -> (q + Client.quorum_rounds c, w + Client.writebacks c))
       (0, 0) (Cluster.clients t)
   in
+  let cache =
+    match Cluster.cache t with
+    | Some c -> Netcache.stats c
+    | None ->
+        {
+          Netcache.hits = 0;
+          misses = 0;
+          invalidations = 0;
+          sprays = 0;
+          populates = 0;
+          evictions = 0;
+          expirations = 0;
+          promotes = 0;
+          demotes = 0;
+          hot_groups = 0;
+          resident = 0;
+        }
+  in
   let engine_sheds =
     List.fold_left
       (fun acc n ->
@@ -99,6 +117,11 @@ let counters t =
     writebacks;
     (* the chaos harness owns the history recorder; see Fault.Chaos *)
     lin_checked_keys = 0;
+    cache_hits = cache.Netcache.hits;
+    cache_misses = cache.Netcache.misses;
+    cache_invalidations = cache.Netcache.invalidations;
+    cache_sprays = cache.Netcache.sprays;
+    cache_hot_keys = cache.Netcache.hot_groups;
   }
 
 let watts t ~util =

@@ -77,6 +77,15 @@ type t = {
   (* smoothed local service time (µs) of foreground engine submissions —
      the telemetry piggybacked on heartbeat replies for outlier scoring *)
   mutable svc_ewma_us : float;
+  (* in-flight write-handler admission tracking: a write admitted under a
+     pre-flip ring can commit at the old tail *after* a membership flip,
+     and that commit only reaches a joining node through the copy
+     forwards — so the control plane drains these before detaching
+     (Control.join phase 3). Ids are per-node and monotonically
+     increasing; [wr_active] holds the ids of handlers still executing. *)
+  mutable wr_next : int;
+  wr_active : (int, unit) Hashtbl.t;
+  mutable wr_waiters : (int * unit Sim.Ivar.t) list;
 }
 
 (* Cycles to pull a request out of the RDMA stack and dispatch it. *)
@@ -134,6 +143,9 @@ let create ?(read_mode = Ship) ?(proto = Replication.Crrs) ~id ~platform ~fabric
     scrub_repairs = 0;
     slow_factor = 1.0;
     svc_ewma_us = 0.0;
+    wr_next = 0;
+    wr_active = Hashtbl.create 16;
+    wr_waiters = [];
   }
 
 let id t = t.id
@@ -421,9 +433,51 @@ let dispatch t (req : Messages.request) : Messages.response =
           (* A data request the selected protocol declined to handle. *)
           Messages.Nack Messages.Not_serving)
 
+(* --- in-flight write tracking (membership-flip safety) ---
+
+   Every write-path handler (chain [Write], quorum [Tag_write]) is
+   bracketed with an admission id. [Control.join] flips the ring, then
+   waits via [drain_writes] until every handler admitted before the flip
+   has finished — only then is it safe to detach the copy forwards, since
+   a pre-flip write commits on the *old* chain and its commit reaches the
+   newcomer solely through the forwards. *)
+
+let writes_active_below t bound =
+  (* simlint: allow hashtbl-order — existence test, order-insensitive *)
+  Hashtbl.fold (fun wid () acc -> acc || wid < bound) t.wr_active false
+
+let write_mark t = t.wr_next
+
+let drain_writes t ~below =
+  if writes_active_below t below then begin
+    let iv = Sim.Ivar.create () in
+    t.wr_waiters <- (below, iv) :: t.wr_waiters;
+    Sim.Ivar.read iv
+  end
+
+let tracked_dispatch t (req : Messages.request) : Messages.response =
+  match req with
+  | Messages.Write _ | Messages.Tag_write _ ->
+      let wid = t.wr_next in
+      t.wr_next <- wid + 1;
+      Hashtbl.replace t.wr_active wid ();
+      Fun.protect
+        ~finally:(fun () ->
+          Hashtbl.remove t.wr_active wid;
+          match t.wr_waiters with
+          | [] -> ()
+          | waiters ->
+              let ready, still =
+                List.partition (fun (bound, _) -> not (writes_active_below t bound)) waiters
+              in
+              t.wr_waiters <- still;
+              List.iter (fun (_, iv) -> Sim.Ivar.fill iv ()) ready)
+        (fun () -> dispatch t req)
+  | _ -> dispatch t req
+
 let handle t (req : Messages.request) : Messages.response =
   charge_rx t;
-  if not (Trace.on ()) then dispatch t req
+  if not (Trace.on ()) then tracked_dispatch t req
   else begin
     (* One span per request on the node's row; the hop argument makes a
        CRRS chain write readable straight off the timeline (hop 0 on the
@@ -456,7 +510,7 @@ let handle t (req : Messages.request) : Messages.response =
           [ ("key", Trace.Str key) ]
       | Messages.Ring_update _ | Messages.Ping _ -> []
     in
-    Trace.span ~track:t.track ~cat:"node" name ~largs (fun () -> dispatch t req)
+    Trace.span ~track:t.track ~cat:"node" name ~largs (fun () -> tracked_dispatch t req)
   end
 
 let start t =

@@ -128,6 +128,19 @@ val copy_range : t -> vidx:int -> lo:int -> hi:int -> dst:Ring.vnode -> int
     as a pipelined bulk transfer (COPY competes with foreground traffic —
     the Figure 9 dips). Returns pairs copied. *)
 
+val write_mark : t -> int
+(** The admission id the node's next write-path handler (chain [Write] or
+    quorum [Tag_write]) will receive. Taken by the control plane right
+    after a membership flip: every handler admitted before the mark may
+    have routed on the pre-flip ring. *)
+
+val drain_writes : t -> below:int -> unit
+(** Block until no write-path handler admitted before [below] is still
+    executing. [Control.join] drains every live node between the phase-3
+    ring flip and the copy-forward detach: a pre-flip write commits on
+    the old chain, and its commit reaches the newcomer only through the
+    forwards. Returns immediately if nothing qualifying is in flight. *)
+
 val scrub_pass : t -> Ring.vnode list
 (** One background-scrub pass (data integrity): walk every materialised
     segment of every partition through the token engine, submitting Scrub

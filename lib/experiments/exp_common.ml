@@ -83,20 +83,22 @@ let kvell_backend cluster =
 (* The raw LEED cluster, for experiments that poke cluster-level machinery
    (fig9's join/leave) in addition to serving ops through the boundary. *)
 let make_leed_cluster ?(nnodes = 3) ?(r = 3) ?(crrs = true) ?(flow_control = true) ?(swap = true)
-    ?engine_cfg ?platform () =
+    ?cache ?engine_cfg ?platform () =
   let platform = Option.value platform ~default:(leed_platform ()) in
   let engine_cfg = Option.value engine_cfg ~default:(engine_config ~swap ()) in
   let client_config = { Client.default_config with Client.r; crrs; flow_control } in
+  let cache = Option.value cache ~default:Cluster.default_config.Cluster.cache in
   let config =
-    { Cluster.default_config with Cluster.nnodes; r; engine_config = engine_cfg; client_config; platform }
+    { Cluster.default_config with Cluster.nnodes; r; engine_config = engine_cfg; client_config;
+      platform; cache }
   in
   Cluster.create ~config ()
 
 let setup_of_cluster ?nclients cluster = attach_clients ?nclients (leed_backend cluster)
 
-let make_leed ?nnodes ?r ?nclients ?crrs ?flow_control ?swap ?engine_cfg ?platform () =
+let make_leed ?nnodes ?r ?nclients ?crrs ?flow_control ?swap ?cache ?engine_cfg ?platform () =
   setup_of_cluster ?nclients
-    (make_leed_cluster ?nnodes ?r ?crrs ?flow_control ?swap ?engine_cfg ?platform ())
+    (make_leed_cluster ?nnodes ?r ?crrs ?flow_control ?swap ?cache ?engine_cfg ?platform ())
 
 let make_fawn ?(nnodes = 10) ?(r = 3) ?nclients ?(dram_for_index = 16 * 1024 * 1024) () =
   let config = { Fawn_cluster.r; nnodes; dram_for_index } in

@@ -55,13 +55,15 @@ val make_leed_cluster :
   ?crrs:bool ->
   ?flow_control:bool ->
   ?swap:bool ->
+  ?cache:Netcache.config ->
   ?engine_cfg:Engine.config ->
   ?platform:Leed_platform.Platform.t ->
   unit ->
   Cluster.t
 (** The raw LEED cluster, for experiments that poke cluster-level
     machinery (fig9's join/leave) in addition to serving ops through the
-    boundary. *)
+    boundary. [cache] arms the in-network cache when its mode is
+    [Ttl_lru] (default off). *)
 
 val setup_of_cluster : ?nclients:int -> Cluster.t -> setup
 
@@ -72,6 +74,7 @@ val make_leed :
   ?crrs:bool ->
   ?flow_control:bool ->
   ?swap:bool ->
+  ?cache:Netcache.config ->
   ?engine_cfg:Engine.config ->
   ?platform:Leed_platform.Platform.t ->
   unit ->

@@ -506,6 +506,10 @@ module Chaos = struct
            (and hence the race-detection digest) structurally invariant
            under tie-break perturbation; the race harness uses this
            mode. *)
+    cache : bool;
+        (* arm the in-network hot-object cache (DESIGN.md §15): same
+           schedules, same invariants — the cache must never make a
+           linearizable history illegal *)
   }
 
   let default_config =
@@ -529,6 +533,7 @@ module Chaos = struct
       naive = false;
       op_deadline = 0.;
       ops_per_worker = None;
+      cache = false;
     }
 
   type report = {
@@ -576,6 +581,10 @@ module Chaos = struct
            depth for CRRS, replied replicas for ABD) *)
     quorum_rounds : int; (* ABD client quorum round-trips; 0 under CRRS *)
     writebacks : int; (* ABD read repair write-back rounds; 0 under CRRS *)
+    cache_hits : int; (* GETs the in-network cache answered; 0 unarmed *)
+    cache_misses : int;
+    cache_invalidations : int; (* write-driven cache evictions *)
+    cache_sprays : int; (* HOT GETs sprayed across cache instances *)
     lin_checked_keys : int;
         (* keys whose full operation history the Wing–Gong checker
            searched *)
@@ -645,6 +654,9 @@ module Chaos = struct
           adaptive_timeout = not cfg.naive;
         };
       slow_detection = not cfg.naive;
+      cache =
+        (if cfg.cache then Netcache.enabled Netcache.default_config
+         else Netcache.default_config);
       engine_config =
         {
           Engine.default_config with
@@ -974,6 +986,11 @@ module Chaos = struct
               string_of_int write_applies;
               string_of_int counters.Backend.quorum_rounds;
               string_of_int counters.Backend.writebacks;
+              string_of_int counters.Backend.cache_hits;
+              string_of_int counters.Backend.cache_misses;
+              string_of_int counters.Backend.cache_invalidations;
+              string_of_int counters.Backend.cache_sprays;
+              string_of_int fstats.Netsim.consumed;
               string_of_int lin_checked_keys;
               string_of_int !lin_violations;
             ]
@@ -1027,6 +1044,10 @@ module Chaos = struct
           write_applies;
           quorum_rounds = counters.Backend.quorum_rounds;
           writebacks = counters.Backend.writebacks;
+          cache_hits = counters.Backend.cache_hits;
+          cache_misses = counters.Backend.cache_misses;
+          cache_invalidations = counters.Backend.cache_invalidations;
+          cache_sprays = counters.Backend.cache_sprays;
           lin_checked_keys;
           lin_violations = !lin_violations;
           lin_detail = !lin_detail;
@@ -1053,6 +1074,7 @@ module Chaos = struct
        get tail   p99 %.1fus, p99.9 %.1fus@,\
        put tail   p99 %.1fus, p99.9 %.1fus@,\
        replication write applies %d; quorum rounds %d, write-backs %d@,\
+       cache      hits %d, misses %d, invalidations %d, sprays %d@,\
        linearizability %d keys checked, %d violations%s@,\
        gray       hedges %d (wins %d), sheds %d, slow events %d, detection %.3fs@,\
        digest     %s@,\
@@ -1063,7 +1085,8 @@ module Chaos = struct
       r.nvme_accesses r.scrubbed_segments r.read_repairs r.scrub_repairs r.verify_bad
       (Leed_sim.Sim.to_us r.get_p99) (Leed_sim.Sim.to_us r.get_p999)
       (Leed_sim.Sim.to_us r.put_p99) (Leed_sim.Sim.to_us r.put_p999)
-      r.write_applies r.quorum_rounds r.writebacks r.lin_checked_keys r.lin_violations
+      r.write_applies r.quorum_rounds r.writebacks r.cache_hits r.cache_misses
+      r.cache_invalidations r.cache_sprays r.lin_checked_keys r.lin_violations
       (if r.lin_detail = "" then "" else "\n  " ^ r.lin_detail)
       r.hedges r.hedge_wins r.sheds r.slow_events r.detection_latency r.digest
       (if r.ok then "OK"

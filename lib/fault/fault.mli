@@ -134,6 +134,11 @@ module Chaos : sig
             looping until [duration] elapses, making op totals — and
             hence {!report.state_digest} — structurally invariant under
             tie-break perturbation. Used by the [leed race] targets. *)
+    cache : bool;
+        (** arm the in-network hot-object cache
+            ([Leed_core.Netcache], DESIGN.md §15) on the cluster fabric;
+            same schedules, same invariants — a cache that ever served a
+            stale value would trip the linearizability oracle *)
   }
 
   val default_config : config
@@ -182,6 +187,10 @@ module Chaos : sig
             depth under CRRS, replied replicas under ABD) *)
     quorum_rounds : int;     (** ABD client quorum round-trips; 0 under CRRS *)
     writebacks : int;        (** ABD read-repair write-back rounds; 0 under CRRS *)
+    cache_hits : int;        (** GETs answered by the in-network cache; 0 unarmed *)
+    cache_misses : int;      (** WARM/HOT cache lookups that fell through *)
+    cache_invalidations : int; (** write-driven cache evictions *)
+    cache_sprays : int;      (** HOT GETs sprayed across cache instances *)
     lin_checked_keys : int;  (** keys the Wing–Gong checker searched *)
     lin_violations : int;    (** keys with no legal linearization — must be 0 *)
     lin_detail : string;     (** first violation's explanation ([""] when none) *)

@@ -40,6 +40,12 @@ and 'p envelope = {
    up/down state (which models whole-NIC failures). *)
 type verdict = Drop | Delay of float
 
+(* Switch-resident tap verdicts: [Forward] lets the message continue to
+   its addressed endpoint (through the fault rules); [Consume] ends its
+   flight at the switch — the tap owner is now responsible for any
+   further effect (e.g. injecting a reply). *)
+type tap_verdict = Forward | Consume
+
 type 'p fabric = {
   base_latency : float;
   trace : Trace.track;
@@ -50,6 +56,10 @@ type 'p fabric = {
   mutable rules : (int * ('p endpoint -> 'p endpoint -> verdict option)) list;
   mutable dropped_msgs : int;
   mutable delayed_msgs : int;
+  (* the switch-resident message tap (at most one per fabric): sees every
+     message that left a sender NIC, before fault rules *)
+  mutable tap : ('p envelope -> tap_verdict) option;
+  mutable consumed_msgs : int;
 }
 
 let fabric ?(base_latency_us = 3.0) () =
@@ -62,6 +72,8 @@ let fabric ?(base_latency_us = 3.0) () =
     rules = [];
     dropped_msgs = 0;
     delayed_msgs = 0;
+    tap = None;
+    consumed_msgs = 0;
   }
 
 let endpoint fab ~name ~gbps =
@@ -115,9 +127,15 @@ let judge fab ~src ~dst =
     if !dropped then Drop else Delay !extra
   end
 
-type fabric_stats = { dropped : int; delayed : int }
+(* --- switch tap --- *)
 
-let fabric_stats fab = { dropped = fab.dropped_msgs; delayed = fab.delayed_msgs }
+let set_tap fab f = fab.tap <- Some f
+let clear_tap fab = fab.tap <- None
+
+type fabric_stats = { dropped : int; delayed : int; consumed : int }
+
+let fabric_stats fab =
+  { dropped = fab.dropped_msgs; delayed = fab.delayed_msgs; consumed = fab.consumed_msgs }
 
 let set_down ep = ep.up <- false
 
@@ -158,6 +176,25 @@ let send fab ~src ~dst ~size payload =
       Trace.async_begin ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
         ~args:[ ("src", Trace.Str src.name); ("dst", Trace.Str dst.name); ("size", Trace.Int size) ];
     Sim.Resource.with_ src.nic (fun () -> Sim.delay (wire_time size src.gbps));
+    let env = { src; dst; size; payload; trace_id } in
+    (* The tap models switch-resident logic (in-network caching): it sees
+       every message that left a sender NIC, exactly once, before the
+       fault rules — switch-local handling is not subject to link loss
+       between the switch and the addressed endpoint. Tap closures run in
+       the sender's process and must not block; anything slow (a cache
+       lookup service time) is spawned. *)
+    let consumed =
+      match fab.tap with
+      | Some tap when tap env = Consume ->
+          fab.consumed_msgs <- fab.consumed_msgs + 1;
+          if trace_id <> 0 then
+            Trace.async_end ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
+              ~args:[ ("consumed", Trace.Bool true) ];
+          true
+      | _ -> false
+    in
+    if consumed then ()
+    else
     (* Fault rules apply after the sender has paid its NIC occupancy: the
        packet left the NIC and was lost (or delayed) in the fabric, so
        sender-side timing is identical with and without an armed fault. *)
@@ -172,7 +209,6 @@ let send fab ~src ~dst ~size payload =
         end
     | Delay extra ->
         if extra > 0. then fab.delayed_msgs <- fab.delayed_msgs + 1;
-        let env = { src; dst; size; payload; trace_id } in
         Sim.after (fab.base_latency +. extra) (fun () ->
             if dst.up then
               Sim.spawn ~label:dst.name (fun () ->
@@ -183,6 +219,28 @@ let send fab ~src ~dst ~size payload =
 (* Non-blocking variant for callers that must not stall (e.g. replica
    forwarding inside a request handler). *)
 let post fab ~src ~dst ~size payload = Sim.spawn (fun () -> send fab ~src ~dst ~size payload)
+
+(* Switch-originated delivery: a message minted at the switch itself (an
+   in-network cache serving a consumed request). It pays the base switch
+   latency and the receiver's NIC occupancy but no sender NIC time and no
+   fault rules — the switch-to-receiver leg shares fate with the switch,
+   not with whatever link a rule models. Never blocks the caller. *)
+let inject fab ~src ~dst ~size payload =
+  src.sent_msgs <- src.sent_msgs + 1;
+  src.sent_bytes <- src.sent_bytes + size;
+  let trace_id = Trace.next_id () in
+  if trace_id <> 0 then
+    Trace.async_begin ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
+      ~args:[ ("src", Trace.Str src.name); ("dst", Trace.Str dst.name); ("size", Trace.Int size) ];
+  let env = { src; dst; size; payload; trace_id } in
+  Sim.after fab.base_latency (fun () ->
+      if dst.up then
+        Sim.spawn ~label:dst.name (fun () ->
+            Sim.Resource.with_ dst.nic (fun () -> Sim.delay (wire_time size dst.gbps));
+            deliver env)
+      else if trace_id <> 0 then
+        Trace.async_end ~track:fab.trace ~cat:"net" ~id:trace_id "msg"
+          ~args:[ ("dropped", Trace.Bool true) ])
 
 type stats = { msgs_out : int; bytes_out : int; msgs_in : int; bytes_in : int }
 

@@ -23,6 +23,12 @@ type 'p fabric
     latency. *)
 type verdict = Drop | Delay of float
 
+(** Verdicts of the switch-resident message {e tap}: [Forward] lets the
+    message continue to its addressed endpoint (through the fault rules);
+    [Consume] ends its flight at the switch — the tap owner is then
+    responsible for any further effect, typically an {!inject}ed reply. *)
+type tap_verdict = Forward | Consume
+
 val fabric : ?base_latency_us:float -> unit -> 'p fabric
 val endpoint : 'p fabric -> name:string -> gbps:float -> 'p endpoint
 val name : 'p endpoint -> string
@@ -42,10 +48,30 @@ val add_fault : 'p fabric -> ('p endpoint -> 'p endpoint -> verdict option) -> i
 val remove_fault : 'p fabric -> int -> unit
 (** Heal: remove a previously installed rule (unknown ids are ignored). *)
 
-type fabric_stats = { dropped : int; delayed : int }
+val set_tap : 'p fabric -> ('p envelope -> tap_verdict) -> unit
+(** Install the fabric's switch-resident tap (at most one; a second call
+    replaces the first). The tap sees every message that left a sender
+    NIC, exactly once, {e before} the fault rules are consulted — it
+    models logic living in the ToR switch itself (the in-network cache),
+    whose handling of a message is not subject to loss on the link toward
+    the addressed endpoint. Tap closures run in the sender's process and
+    must not block; spawn anything slow. *)
+
+val clear_tap : 'p fabric -> unit
+(** Remove the tap, restoring pure pass-through forwarding. *)
+
+val inject : 'p fabric -> src:'p endpoint -> dst:'p endpoint -> size:int -> 'p -> unit
+(** Switch-originated delivery: send a message minted at the switch (e.g.
+    a cache serving a consumed request). Pays the base switch latency and
+    the receiver's NIC occupancy, but no sender-side NIC time and no
+    fault rules — the switch-to-receiver leg shares fate with the switch.
+    Never blocks the caller; silently dropped if [dst] is down. *)
+
+type fabric_stats = { dropped : int; delayed : int; consumed : int }
 
 val fabric_stats : 'p fabric -> fabric_stats
-(** Messages dropped / delayed by fault rules since fabric creation. *)
+(** Messages dropped / delayed by fault rules, and consumed by the tap,
+    since fabric creation. *)
 
 val is_up : 'p endpoint -> bool
 val set_down : 'p endpoint -> unit

@@ -85,12 +85,25 @@ let value_matches ~id ~version v =
 
 (* ------------------------------------------------------------------ *)
 
+(* Flash-crowd overlay (§15): between [fc_start] and
+   [fc_start + fc_duration], a fraction [fc_frac] of key picks is
+   redirected uniformly into the first [fc_keys] ids — a sudden
+   popularity spike on a tiny key set, the regime in-network caching
+   targets. *)
+type flash_crowd = {
+  fc_start : float;
+  fc_duration : float;
+  fc_frac : float;
+  fc_keys : int;
+}
+
 type gen = {
   mix : mix;
   nkeys : int;
   value_size : int;
   rng : Rng.t;
   zipf : Zipf.t option;
+  flash : flash_crowd option;
   mutable inserted : int; (* grows under YCSB-D inserts *)
   versions : (int, int) Hashtbl.t;
 }
@@ -105,34 +118,56 @@ type gen = {
    and turn every experiment into a single-key benchmark. *)
 let virtual_ranks = 10_000_000
 
-let generator ?(object_size = 1024) mix ~nkeys rng =
+let generator ?(object_size = 1024) ?flash_crowd mix ~nkeys rng =
   let value_size = max 1 (object_size - key_size) in
+  (match flash_crowd with
+  | Some fc ->
+      if fc.fc_keys <= 0 || fc.fc_frac < 0. || fc.fc_frac > 1. || fc.fc_duration < 0. then
+        invalid_arg "Workload.generator: malformed flash_crowd"
+  | None -> ());
   let zipf =
     match mix.dist with
     | Uniform -> None
     | Zipfian theta -> Some (Zipf.create ~theta ~n:(max nkeys virtual_ranks) rng)
     | Latest theta -> Some (Zipf.create ~theta ~n:nkeys rng)
   in
-  { mix; nkeys; value_size; rng = Rng.split rng; zipf; inserted = nkeys; versions = Hashtbl.create 1024 }
+  { mix; nkeys; value_size; rng = Rng.split rng; zipf; flash = flash_crowd;
+    inserted = nkeys; versions = Hashtbl.create 1024 }
 
 let value_size g = g.value_size
 
 (* Total inserts so far; the head of the YCSB-D "latest" window. *)
 let inserted_count g = g.inserted
 
+(* The crowd is live between start and start+duration. Drawing the
+   redirect coin *only inside the window* keeps the baseline stream's rng
+   consumption identical before and after it, so runs with and without a
+   crowd share a prefix. *)
+let flash_pick g =
+  match g.flash with
+  | Some fc
+    when Sim.reached fc.fc_start
+         && not (Sim.past (fc.fc_start +. fc.fc_duration))
+         && Rng.float g.rng < fc.fc_frac ->
+      Some (Rng.int g.rng (min fc.fc_keys g.nkeys))
+  | _ -> None
+
 let pick_id g =
-  match g.mix.dist with
-  | Uniform -> Rng.int g.rng g.nkeys
-  | Zipfian _ -> (
-      match g.zipf with Some z -> Zipf.next_scrambled z mod g.nkeys | None -> assert false)
-  | Latest _ -> (
-      (* Rank 0 = most recently inserted key. *)
-      match g.zipf with
-      | Some z ->
-          let rank = Zipf.next z in
-          let id = (g.inserted - 1 - rank) mod g.nkeys in
-          if id < 0 then id + g.nkeys else id
-      | None -> assert false)
+  match flash_pick g with
+  | Some id -> id
+  | None -> (
+      match g.mix.dist with
+      | Uniform -> Rng.int g.rng g.nkeys
+      | Zipfian _ -> (
+          match g.zipf with Some z -> Zipf.next_scrambled z mod g.nkeys | None -> assert false)
+      | Latest _ -> (
+          (* Rank 0 = most recently inserted key. *)
+          match g.zipf with
+          | Some z ->
+              let rank = Zipf.next z in
+              let id = (g.inserted - 1 - rank) mod g.nkeys in
+              if id < 0 then id + g.nkeys else id
+          | None -> assert false))
 
 let fresh_version g id =
   let v = (try Hashtbl.find g.versions id with Not_found -> 0) + 1 in

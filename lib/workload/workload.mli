@@ -70,11 +70,26 @@ val virtual_ranks : int
 
 (** {1 Generators} *)
 
+(** A flash-crowd overlay on any mix: between [fc_start] and
+    [fc_start +. fc_duration] (simulated seconds), a fraction [fc_frac]
+    of key picks is redirected uniformly into the first [fc_keys] ids —
+    a sudden popularity spike on a tiny key set, the regime the
+    in-network cache (DESIGN.md §15) targets. *)
+type flash_crowd = {
+  fc_start : float;
+  fc_duration : float;
+  fc_frac : float;
+  fc_keys : int;
+}
+
 type gen
 
-val generator : ?object_size:int -> mix -> nkeys:int -> Leed_sim.Rng.t -> gen
+val generator :
+  ?object_size:int -> ?flash_crowd:flash_crowd -> mix -> nkeys:int -> Leed_sim.Rng.t -> gen
 (** [object_size] is the paper's headline size (256 B / 1 KB); the value
-    payload is what remains after the key. *)
+    payload is what remains after the key. [flash_crowd] overlays a
+    popularity spike; outside its window the stream (and its rng draws)
+    is identical to the same generator without one. *)
 
 val value_size : gen -> int
 val inserted_count : gen -> int

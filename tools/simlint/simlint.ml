@@ -384,6 +384,7 @@ let doc_required_files =
     "lib/sim/scheduler.mli";
     "lib/core/engine.mli";
     "lib/core/replication.mli";
+    "lib/core/netcache.mli";
   ]
 
 let doc_required file =
